@@ -1,0 +1,419 @@
+package dynaddr
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one benchmark per artefact) over a paper-scale
+// synthetic world, and adds ablation benchmarks for the design choices
+// DESIGN.md calls out. Benchmarks attach shape metrics via
+// b.ReportMetric so `go test -bench` output doubles as a compact
+// reproduction record.
+
+import (
+	"sync"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/sim"
+)
+
+var (
+	benchOnce   sync.Once
+	benchWorld  *sim.World
+	benchFilter *core.FilterResult
+	benchOutage *core.OutageAnalysis
+)
+
+func benchSetup(b *testing.B) (*sim.World, *core.FilterResult, *core.OutageAnalysis) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		w, err := Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorld = w
+		benchFilter = core.Filter(w.Dataset)
+		benchOutage = core.AnalyzeOutages(w.Dataset, benchFilter)
+	})
+	if benchWorld == nil {
+		b.Fatal("bench world failed to build")
+	}
+	return benchWorld, benchFilter, benchOutage
+}
+
+// BenchmarkWorldGeneration measures the substrate itself: simulating the
+// full probe population for the study year.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ConnectionLog regenerates Table 1: bounded address
+// durations from one daily-renumbered probe's connection log.
+func BenchmarkTable1ConnectionLog(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	// The busiest probe's log stands in for the paper's probe 206.
+	var entries []atlasdata.ConnLogEntry
+	for _, view := range res.Views {
+		if len(view.Entries) > len(entries) {
+			entries = view.Entries
+		}
+	}
+	_ = w
+	b.ResetTimer()
+	var durations int
+	for i := 0; i < b.N; i++ {
+		durations = len(core.V4Durations(entries))
+	}
+	b.ReportMetric(float64(durations), "durations")
+}
+
+// BenchmarkTable2Filtering regenerates Table 2: the probe-filtering
+// pipeline over the whole dataset.
+func BenchmarkTable2Filtering(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	b.ResetTimer()
+	var analyzable int
+	for i := 0; i < b.N; i++ {
+		res := core.Filter(w.Dataset)
+		analyzable = len(res.GeoProbes)
+	}
+	b.ReportMetric(float64(analyzable), "geo-analyzable")
+}
+
+// BenchmarkTable5PeriodicASes regenerates Table 5: per-probe periodic
+// classification and per-AS aggregation.
+func BenchmarkTable5PeriodicASes(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var rows []core.ASPeriodicRow
+	for i := 0; i < b.N; i++ {
+		rows = core.PeriodicByAS(res)
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// BenchmarkTable6OutageProbability regenerates Table 6: the full outage
+// pipeline (network/power detection, firmware filtering, association).
+func BenchmarkTable6OutageProbability(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var rows []core.ASOutageRow
+	for i := 0; i < b.N; i++ {
+		oa := core.AnalyzeOutages(w.Dataset, res)
+		rows = core.OutagesByAS(oa, res)
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// BenchmarkTable7PrefixChanges regenerates Table 7: prefix-change
+// classification via month-matched pfx2as lookups.
+func BenchmarkTable7PrefixChanges(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var row core.PrefixChangeRow
+	for i := 0; i < b.N; i++ {
+		row = core.PrefixChangesAll(w.Dataset, res)
+	}
+	b.ReportMetric(row.FracBGP()*100, "pct-cross-bgp")
+}
+
+// BenchmarkFigure1ContinentCDF regenerates Figure 1: total-time-fraction
+// CDFs aggregated by continent.
+func BenchmarkFigure1ContinentCDF(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var curves int
+	for i := 0; i < b.N; i++ {
+		ttfs := core.ProbeTTFs(res)
+		byCont := core.ByContinent(res)
+		curves = 0
+		for _, ids := range byCont {
+			g := core.GroupTTF(ttfs, ids)
+			if g.Total() > 0 {
+				curves++
+			}
+		}
+	}
+	b.ReportMetric(float64(curves), "continents")
+}
+
+// BenchmarkFigure2TopASCDF regenerates Figure 2: TTF CDFs for the
+// largest ASes.
+func BenchmarkFigure2TopASCDF(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ttfs := core.ProbeTTFs(res)
+	byAS := core.ByAS(res)
+	b.ResetTimer()
+	var mass float64
+	for i := 0; i < b.N; i++ {
+		g := core.GroupTTF(ttfs, byAS[3320])
+		mass = g.MassAt(24)
+	}
+	b.ReportMetric(mass*100, "dtag-pct-at-24h")
+}
+
+// BenchmarkFigure3GermanyCDF regenerates Figure 3: TTF CDFs for German
+// ASes.
+func BenchmarkFigure3GermanyCDF(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ttfs := core.ProbeTTFs(res)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		byCountry := core.ByCountry(res)
+		german := map[uint32][]atlasdata.ProbeID{}
+		for _, id := range byCountry["DE"] {
+			asn := uint32(res.Views[id].ASN)
+			german[asn] = append(german[asn], id)
+		}
+		n = 0
+		for _, ids := range german {
+			if core.GroupTTF(ttfs, ids).Total() > 0 {
+				n++
+			}
+		}
+	}
+	b.ReportMetric(float64(n), "german-ases")
+}
+
+// BenchmarkFigure4OrangeHours regenerates Figure 4: Orange's hour-of-day
+// histogram of weekly changes.
+func BenchmarkFigure4OrangeHours(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ids := core.ByAS(res)[3215]
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		h := core.HourHistogram(res, ids, 168)
+		total = 0
+		for _, c := range h {
+			total += c
+		}
+	}
+	b.ReportMetric(float64(total), "changes")
+}
+
+// BenchmarkFigure5DTAGHours regenerates Figure 5: DTAG's hour-of-day
+// histogram of daily changes.
+func BenchmarkFigure5DTAGHours(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ids := core.ByAS(res)[3320]
+	b.ResetTimer()
+	var night float64
+	for i := 0; i < b.N; i++ {
+		h := core.HourHistogram(res, ids, 24)
+		in, total := 0, 0
+		for hr, c := range h {
+			total += c
+			if hr < 6 {
+				in += c
+			}
+		}
+		if total > 0 {
+			night = float64(in) / float64(total)
+		}
+	}
+	b.ReportMetric(night*100, "pct-night")
+}
+
+// BenchmarkFigure6RebootSpikes regenerates Figure 6: reboot detection
+// across all probes plus firmware-day detection.
+func BenchmarkFigure6RebootSpikes(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var fwDays int
+	for i := 0; i < b.N; i++ {
+		reboots := make(map[atlasdata.ProbeID][]core.Reboot, len(res.Views))
+		for id := range res.Views {
+			reboots[id] = core.DetectReboots(w.Dataset.Uptime[id])
+		}
+		perDay := core.RebootsPerDay(reboots)
+		fwDays = len(core.DetectFirmwareDays(perDay))
+	}
+	b.ReportMetric(float64(fwDays), "firmware-days")
+}
+
+// BenchmarkFigure7PacNetwork regenerates Figure 7: the per-probe
+// P(ac|nw) ECDF for the top ASes.
+func BenchmarkFigure7PacNetwork(b *testing.B) {
+	_, res, oa := benchSetup(b)
+	ids := core.ByAS(res)[3215]
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		s := oa.PacSample(ids, false)
+		mean = s.Mean()
+	}
+	b.ReportMetric(mean, "orange-mean-pac-nw")
+}
+
+// BenchmarkFigure8PacPower regenerates Figure 8: the per-probe P(ac|pw)
+// ECDF (v3 probes only).
+func BenchmarkFigure8PacPower(b *testing.B) {
+	_, res, oa := benchSetup(b)
+	ids := core.ByAS(res)[3215]
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		s := oa.PacSample(ids, true)
+		mean = s.Mean()
+	}
+	b.ReportMetric(mean, "orange-mean-pac-pw")
+}
+
+// BenchmarkFigure9DurationBins regenerates Figure 9: renumbering by
+// outage-duration bin for the LGI/Orange contrast.
+func BenchmarkFigure9DurationBins(b *testing.B) {
+	_, res, oa := benchSetup(b)
+	lgi := core.ByAS(res)[6830]
+	orange := core.ByAS(res)[3215]
+	b.ResetTimer()
+	var lgiLong float64
+	for i := 0; i < b.N; i++ {
+		_ = oa.DurationBins(res, orange)
+		bins := oa.DurationBins(res, lgi)
+		total, ren := 0, 0
+		for j := 8; j < len(bins); j++ {
+			total += bins[j].Total
+			ren += bins[j].Renumbered
+		}
+		if total > 0 {
+			lgiLong = float64(ren) / float64(total)
+		}
+	}
+	b.ReportMetric(lgiLong*100, "lgi-pct-renum-12h-plus")
+}
+
+// BenchmarkFullReport runs the entire analysis pipeline end to end.
+func BenchmarkFullReport(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(w.Dataset, Options{})
+	}
+}
+
+// --- Ablation benchmarks ---
+
+// BenchmarkAblationFirmwareFilter contrasts the power-outage analysis
+// with and without firmware-reboot filtering (§5.2): without it,
+// firmware installs masquerade as power outages and dilute P(ac|pw).
+func BenchmarkAblationFirmwareFilter(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	run := func(filter bool) float64 {
+		reboots := make(map[atlasdata.ProbeID][]core.Reboot, len(res.Views))
+		for id := range res.Views {
+			reboots[id] = core.DetectReboots(w.Dataset.Uptime[id])
+		}
+		perDay := core.RebootsPerDay(reboots)
+		fwDays := core.DetectFirmwareDays(perDay)
+		if !filter {
+			fwDays = nil
+		}
+		count := 0
+		for id := range res.Views {
+			kept := core.FilterFirmwareReboots(reboots[id], fwDays)
+			count += len(core.DetectPowerOutages(kept, w.Dataset.KRoot[id]))
+		}
+		return float64(count)
+	}
+	b.ResetTimer()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	b.ReportMetric(with, "power-outages-filtered")
+	b.ReportMetric(without-with, "false-power-outages-removed")
+}
+
+// BenchmarkAblationTTFvsRaw contrasts the paper's total-time-fraction
+// metric with a raw duration-count distribution (§4.1). The two
+// disagree whenever duration lengths are skewed: counts over-weight
+// outage-shortened durations (the paper's Table 1 example) while TTF
+// weights each duration by the time actually spent in it, which is what
+// makes it the right estimator for "how long will this address last".
+func BenchmarkAblationTTFvsRaw(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ids := core.ByAS(res)[3320]
+	b.ResetTimer()
+	var ttfMode, rawMode float64
+	for i := 0; i < b.N; i++ {
+		var durations []core.AddressDuration
+		for _, id := range ids {
+			durations = append(durations, core.V4Durations(res.Views[id].Entries)...)
+		}
+		ttf := core.TTF(durations)
+		ttfMode = ttf.MassAt(24)
+		// Raw: every duration counts once regardless of length.
+		at24, total := 0, 0
+		for _, d := range durations {
+			total++
+			if core.QuantizeHours(d.Hours()) == 24 {
+				at24++
+			}
+		}
+		if total > 0 {
+			rawMode = float64(at24) / float64(total)
+		}
+	}
+	b.ReportMetric(ttfMode*100, "dtag-mode-ttf-pct")
+	b.ReportMetric(rawMode*100, "dtag-mode-rawcount-pct")
+}
+
+// BenchmarkAblationMultihomedFilter contrasts address-change counts with
+// and without the behavioural multihomed filter (§3.2): uplink
+// alternation masquerades as renumbering when the filter is off.
+func BenchmarkAblationMultihomedFilter(b *testing.B) {
+	w, res, _ := benchSetup(b)
+	b.ResetTimer()
+	var genuine, naive float64
+	for i := 0; i < b.N; i++ {
+		genuine = 0
+		for _, view := range res.Views {
+			genuine += float64(len(view.Changes))
+		}
+		naive = genuine
+		for _, id := range res.ByCategory[core.CatBehaviouralMultihomed] {
+			naive += float64(len(core.V4Changes(w.Dataset.ConnLogs[id])))
+		}
+		for _, id := range res.ByCategory[core.CatTaggedMultihomed] {
+			naive += float64(len(core.V4Changes(w.Dataset.ConnLogs[id])))
+		}
+	}
+	b.ReportMetric(genuine, "changes-filtered")
+	b.ReportMetric(naive-genuine, "spurious-changes-avoided")
+}
+
+// BenchmarkAblationWireVsBehavioural contrasts dataset generation cost
+// with protocol-level address assignment (PPPoE/IPCP and DHCP messages
+// marshalled per decision) against the behavioural models. The shapes
+// agree (see sim's wire tests); this measures what the fidelity costs.
+func BenchmarkAblationWireVsBehavioural(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		wire bool
+	}{{"behavioural", false}, {"wire", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Scale = 0.1
+			cfg.WireBackends = mode.wire
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

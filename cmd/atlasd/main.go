@@ -1,0 +1,64 @@
+// Command atlasd serves a dataset through the RIPE-Atlas-style HTTP
+// endpoints (probe archive, per-probe connection-history pages,
+// measurement-result streams, pfx2as snapshots) that cmd/churnctl can
+// scrape with -url — the collection boundary of the paper's §3.
+//
+// Usage:
+//
+//	atlasd -data DIR -addr :8042          # serve a generated dataset
+//	atlasd -seed 7 -scale 0.3 -addr :8042 # generate in memory and serve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dynaddr"
+	"dynaddr/internal/atlasapi"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset directory to serve (mutually exclusive with -seed)")
+	seed := flag.Uint64("seed", 0, "generate a world with this seed instead of loading")
+	scale := flag.Float64("scale", 0.25, "population scale when generating")
+	addr := flag.String("addr", ":8042", "listen address")
+	flag.Parse()
+
+	var ds *dynaddr.Dataset
+	switch {
+	case *data != "" && *seed != 0:
+		fmt.Fprintln(os.Stderr, "atlasd: -data and -seed are mutually exclusive")
+		os.Exit(2)
+	case *data != "":
+		loaded, err := dynaddr.LoadDataset(*data)
+		if err != nil {
+			fatal(err)
+		}
+		ds = loaded
+	case *seed != 0:
+		cfg := dynaddr.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Scale = *scale
+		world, err := dynaddr.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ds = world.Dataset
+	default:
+		fmt.Fprintln(os.Stderr, "atlasd: one of -data or -seed is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("atlasd: serving %d probes on %s\n", len(ds.Probes), *addr)
+	if err := http.ListenAndServe(*addr, atlasapi.NewServer(ds)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atlasd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command atlasgen generates a synthetic RIPE-Atlas-shaped dataset —
+// connection logs, k-root ping rounds, SOS-uptime records, the probe
+// archive, and monthly pfx2as snapshots — into a directory that
+// cmd/churnctl can analyze.
+//
+// Usage:
+//
+//	atlasgen -out DIR [-seed N] [-scale F] [-truth FILE]
+//
+// The same seed and scale always produce byte-identical datasets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaddr"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Uint64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 1.0, "probe population scale factor")
+	truthPath := flag.String("truth", "", "optional path for the ground-truth journal (JSON)")
+	heartbeat := flag.Duration("heartbeat", 0, "k-root heartbeat cadence (0 = config default)")
+	wire := flag.Bool("wire", false, "assign addresses via the protocol exchanges (PPPoE/IPCP, DHCP messages) instead of behavioural models")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "atlasgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := dynaddr.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	if *heartbeat > 0 {
+		cfg.KRootHeartbeat = dynaddr.FromStd(*heartbeat)
+	}
+	cfg.WireBackends = *wire
+
+	world, err := dynaddr.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dynaddr.SaveDataset(world.Dataset, *out); err != nil {
+		fatal(err)
+	}
+
+	var conns, rounds, ups int
+	for _, c := range world.Dataset.ConnLogs {
+		conns += len(c)
+	}
+	for _, r := range world.Dataset.KRoot {
+		rounds += len(r)
+	}
+	for _, u := range world.Dataset.Uptime {
+		ups += len(u)
+	}
+	fmt.Printf("atlasgen: wrote %s: %d probes, %d connections, %d k-root rounds, %d uptime records\n",
+		*out, len(world.Dataset.Probes), conns, rounds, ups)
+
+	if *truthPath != "" {
+		f, err := os.Create(*truthPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(world.Truth); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("atlasgen: wrote ground truth to %s\n", *truthPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atlasgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,266 @@
+// Command churnctl runs the dynamic-address analysis pipeline over a
+// dataset directory (written by cmd/atlasgen) and prints the requested
+// table or figure from the paper.
+//
+// Usage:
+//
+//	churnctl -data DIR [table1|table2|table5|table6|table7|fig1..fig9|linktype|admin|churn|all]
+//
+// With no artefact argument, churnctl prints a short summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"dynaddr"
+	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/tables"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset directory")
+	url := flag.String("url", "", "scrape an atlasd server instead of loading a directory")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	svgDir := flag.String("svg", "", "also write every figure as SVG into this directory")
+	flag.Parse()
+
+	var ds *dynaddr.Dataset
+	var err error
+	switch {
+	case *data != "" && *url != "":
+		fmt.Fprintln(os.Stderr, "churnctl: -data and -url are mutually exclusive")
+		os.Exit(2)
+	case *data != "":
+		ds, err = dynaddr.LoadDataset(*data)
+	case *url != "":
+		client := &atlasapi.Client{BaseURL: *url}
+		client.Months, err = client.FetchMonths()
+		if err == nil {
+			ds, err = client.ScrapeAll()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "churnctl: one of -data or -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	rep := dynaddr.Analyze(ds, dynaddr.Options{})
+	names := dynaddr.ProfileNames(dynaddr.PaperProfiles())
+
+	if *svgDir != "" {
+		written, err := core.WriteFigureSVGs(rep, names, *svgDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("churnctl: wrote %d figures to %s\n", len(written), *svgDir)
+	}
+
+	what := "summary"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	emit := func(t *tables.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	artefacts := map[string]func(){
+		"table1":    func() { emit(renderTable1(ds, rep)) },
+		"table2":    func() { emit(rep.RenderTable2()) },
+		"table5":    func() { emit(rep.RenderTable5(names)) },
+		"table6":    func() { emit(rep.RenderTable6(names)) },
+		"table7":    func() { emit(rep.RenderTable7(names)) },
+		"fig1":      func() { emit(rep.RenderFigure1()) },
+		"fig2":      func() { emit(rep.RenderFigure2(names)) },
+		"fig3":      func() { emit(rep.RenderFigure3(names)) },
+		"fig4":      func() { emit(rep.RenderHourHists(names)) },
+		"fig5":      func() { emit(rep.RenderHourHists(names)) },
+		"fig6":      func() { emit(rep.RenderFigure6()) },
+		"fig7":      func() { emit(rep.RenderFigure7(names)) },
+		"fig8":      func() { emit(rep.RenderFigure8(names)) },
+		"fig9":      func() { emit(rep.RenderFigure9(names)) },
+		"linktype":  func() { emit(rep.RenderLinkTypes(names)) },
+		"admin":     func() { emit(rep.RenderAdminEvents(names)) },
+		"churn":     func() { emit(rep.RenderChurnAndV6()) },
+		"country":   func() { emit(rep.RenderByCountry(3)) },
+		"blacklist": func() { emit(core.RenderBlacklist(core.AdviseBlacklist(rep, 5), names)) },
+		"lease":     func() { emit(core.RenderLeaseEstimates(core.EstimateLeases(rep.Outage, rep.Filter), names)) },
+	}
+
+	switch what {
+	case "probe":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "churnctl: probe needs an ID: churnctl -data DIR probe 1234")
+			os.Exit(2)
+		}
+		id, convErr := strconv.Atoi(flag.Arg(1))
+		if convErr != nil {
+			fatal(convErr)
+		}
+		drilldown(ds, rep, names, atlasdata.ProbeID(id))
+	case "summary":
+		fmt.Printf("dataset: %d probes, %d geo-analyzable, %d AS-analyzable\n",
+			len(ds.Probes), len(rep.Filter.GeoProbes), len(rep.Filter.ASProbes))
+		fmt.Printf("periodic AS rows: %d; outage AS rows: %d; total changes: %d (%.0f%% cross-BGP)\n",
+			len(rep.Table5), len(rep.Table6), rep.Table7All.Changes, rep.Table7All.FracBGP()*100)
+	case "all":
+		order := []string{"table1", "table2", "table5", "table6", "table7",
+			"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+			"country", "linktype", "admin", "churn", "blacklist", "lease"}
+		for _, k := range order {
+			artefacts[k]()
+		}
+	default:
+		fn, ok := artefacts[what]
+		if !ok {
+			var known []string
+			for k := range artefacts {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "churnctl: unknown artefact %q; known: %v\n", what, known)
+			os.Exit(2)
+		}
+		fn()
+	}
+}
+
+// renderTable1 reproduces the paper's Table 1: a sample connection log
+// with computed address durations, using the analyzable probe with the
+// most 24h-quantised durations (a DTAG-style daily renumberer).
+func renderTable1(ds *dynaddr.Dataset, rep *dynaddr.Report) *tables.Table {
+	best, bestCount := int64(-1), -1
+	for id, view := range rep.Filter.Views {
+		count := 0
+		for _, d := range core.V4Durations(view.Entries) {
+			if core.QuantizeHours(d.Hours()) == 24 {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = int64(id), count
+		}
+	}
+	t := tables.New("Table 1: sample connection log (first five days)",
+		"ID", "Start", "End", "IPAddress", "Dur(h)")
+	if best < 0 {
+		return t
+	}
+	view := rep.Filter.Views[atlasdata.ProbeID(best)]
+	entries := view.Entries
+	limit := 10
+	for i, e := range entries {
+		if i >= limit {
+			break
+		}
+		dur := "NA"
+		if i > 0 && i+1 < len(entries) && i+1 < limit {
+			if entries[i+1].Addr != e.Addr && entries[i-1].Addr != e.Addr {
+				dur = fmt.Sprintf("%.1f", e.End.Sub(e.Start).Hours())
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", e.Probe), e.Start.String(), e.End.String(), e.Addr.String(), dur)
+	}
+	return t
+}
+
+// drilldown prints one probe's story: metadata, filtering verdict, and
+// — when analyzable — its address changes with the outage cause the
+// pipeline assigned to each gap, plus the periodicity classification.
+func drilldown(ds *dynaddr.Dataset, rep *dynaddr.Report, names core.NameFunc, id atlasdata.ProbeID) {
+	meta, ok := ds.Probes[id]
+	if !ok {
+		fmt.Printf("probe %d: not in dataset\n", id)
+		return
+	}
+	fmt.Printf("probe %d: country=%s version=v%d tags=%v connected=%.1f days\n",
+		id, meta.Country, meta.Version, meta.Tags, meta.ConnectedDays)
+
+	var category string
+	for _, c := range core.Categories {
+		for _, pid := range rep.Filter.ByCategory[c] {
+			if pid == id {
+				category = c.String()
+			}
+		}
+	}
+	fmt.Printf("filtering: %s\n", category)
+
+	view, analyzable := rep.Filter.Views[id]
+	if !analyzable {
+		fmt.Printf("sessions: %d (not analyzable; no further detail)\n", len(ds.ConnLogs[id]))
+		return
+	}
+	if view.ASN != 0 {
+		fmt.Printf("home AS: %s (AS%d)\n", names(uint32(view.ASN)), view.ASN)
+	} else {
+		fmt.Println("home AS: multiple (cross-AS changes discarded from AS-level analysis)")
+	}
+	durations := core.V4Durations(view.Entries)
+	fmt.Printf("sessions: %d, address changes: %d, bounded durations: %d\n",
+		len(view.Entries), len(view.Changes), len(durations))
+
+	if pp, isPeriodic := core.ClassifyPeriodic(durations); isPeriodic {
+		fmt.Printf("periodic: yes, d=%.0fh (f=%.2f, MAX<=d=%v, harmonic=%v)\n",
+			pp.D, pp.Frac, pp.MaxLeD, pp.Harmonic)
+	} else {
+		fmt.Println("periodic: no")
+	}
+
+	var nw, pw, no, changed int
+	for _, g := range rep.Outage.Gaps[id] {
+		switch g.Cause {
+		case core.NetworkCause:
+			nw++
+		case core.PowerCause:
+			pw++
+		default:
+			no++
+		}
+		if g.Changed {
+			changed++
+		}
+	}
+	fmt.Printf("gaps: %d network-outage, %d power-outage, %d no-outage; %d with an address change\n",
+		nw, pw, no, changed)
+	if st, ok := rep.Outage.Stats[id]; ok {
+		if p, has := st.PacNetwork(); has {
+			fmt.Printf("P(ac|nw) = %.2f over %d outages\n", p, st.NetworkGaps)
+		}
+		if p, has := st.PacPower(); has {
+			fmt.Printf("P(ac|pw) = %.2f over %d outages\n", p, st.PowerGaps)
+		}
+	}
+
+	fmt.Println("\nlast 5 address changes:")
+	changes := view.Changes
+	start := 0
+	if len(changes) > 5 {
+		start = len(changes) - 5
+	}
+	for _, ch := range changes[start:] {
+		fmt.Printf("  %s  %s -> %s\n", ch.NextStart, ch.From, ch.To)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "churnctl:", err)
+	os.Exit(1)
+}

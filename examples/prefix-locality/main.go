@@ -1,0 +1,60 @@
+// Prefix-locality: how far does a customer's new address stray from the
+// old one? The paper's §6 finding — half of all address changes land in
+// a different BGP prefix, and even /8-wide blocklists leak — decides
+// whether blocklisting "the neighbourhood" of a misbehaving address can
+// work.
+//
+// This example measures, for every ISP, the fraction of changes that
+// escape the old address's BGP prefix, /16 and /8, then simulates a
+// blocklist operator who blocks the offender's enclosing prefix and
+// reports how often a single forced re-dial already evades the block.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dynaddr"
+	"dynaddr/internal/core"
+)
+
+func main() {
+	cfg := dynaddr.DefaultConfig()
+	cfg.Seed = 2016
+	world, err := dynaddr.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := dynaddr.Analyze(world.Dataset, dynaddr.Options{})
+	names := dynaddr.Names(world)
+
+	fmt.Println("Prefix escape rates per ISP (share of address changes that leave the old prefix):")
+	fmt.Println()
+	fmt.Printf("  %-24s %8s  %8s  %8s  %8s\n", "ISP", "changes", "BGP", "/16", "/8")
+	rows := report.Table7ByAS
+	sort.Slice(rows, func(i, j int) bool { return rows[i].FracBGP() > rows[j].FracBGP() })
+	for _, r := range rows {
+		if r.Changes < 50 {
+			continue
+		}
+		fmt.Printf("  %-24s %8d  %7.0f%%  %7.0f%%  %7.0f%%\n",
+			names(r.ASN), r.Changes, r.FracBGP()*100, r.FracS16()*100, r.FracS8()*100)
+	}
+
+	all := report.Table7All
+	fmt.Println()
+	fmt.Println("Blocklist evasion by one forced address change (reboot or nightly reset):")
+	fmt.Printf("  block exact address : evaded by %5.1f%% of changes (any change evades unless the same address returns)\n",
+		100*float64(all.Changes-sameAddr(report))/float64(all.Changes))
+	fmt.Printf("  block enclosing BGP : evaded by %5.1f%%\n", all.FracBGP()*100)
+	fmt.Printf("  block enclosing /16 : evaded by %5.1f%%\n", all.FracS16()*100)
+	fmt.Printf("  block enclosing /8  : evaded by %5.1f%%\n", all.FracS8()*100)
+	fmt.Println()
+	fmt.Println("Reading: even /8-wide blocks fail for a third of observed changes (paper §6).")
+}
+
+// sameAddr counts changes where old and new address are identical —
+// impossible by construction of an address change, so zero; kept
+// explicit to make the "exact address" row's meaning visible.
+func sameAddr(rep *core.Report) int { return 0 }

@@ -1,0 +1,3 @@
+module dynaddr
+
+go 1.22

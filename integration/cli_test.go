@@ -1,0 +1,188 @@
+// Package integration drives the built binaries end to end: atlasgen
+// writes a dataset directory, churnctl analyses it (from disk and over
+// HTTP from atlasd), and the outputs carry the paper's artefacts.
+package integration
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildBinaries compiles the three commands once per test run.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dynaddr-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, cmd := range []string{"atlasgen", "churnctl", "atlasd", "experiments"} {
+			out, err := exec.Command("go", "build", "-o",
+				filepath.Join(dir, cmd), "dynaddr/cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", cmd, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestAtlasgenThenChurnctl(t *testing.T) {
+	bins := buildBinaries(t)
+	dataDir := filepath.Join(t.TempDir(), "ds")
+	truthPath := filepath.Join(t.TempDir(), "truth.json")
+
+	out := run(t, filepath.Join(bins, "atlasgen"),
+		"-out", dataDir, "-seed", "11", "-scale", "0.15", "-truth", truthPath)
+	if !strings.Contains(out, "probes") {
+		t.Errorf("atlasgen output: %q", out)
+	}
+	if fi, err := os.Stat(truthPath); err != nil || fi.Size() == 0 {
+		t.Errorf("truth journal missing: %v", err)
+	}
+	for _, f := range []string{"connlogs.tsv", "kroot.tsv", "uptime.tsv", "probes.json", "pfx2as-201501.txt"} {
+		if _, err := os.Stat(filepath.Join(dataDir, f)); err != nil {
+			t.Errorf("dataset file %s missing: %v", f, err)
+		}
+	}
+
+	summary := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "summary")
+	if !strings.Contains(summary, "geo-analyzable") {
+		t.Errorf("summary output: %q", summary)
+	}
+
+	table5 := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "table5")
+	if !strings.Contains(table5, "Table 5") || !strings.Contains(table5, "Harmonic") {
+		t.Errorf("table5 output: %q", table5)
+	}
+
+	all := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "all")
+	for _, artefact := range []string{"Table 2", "Table 5", "Table 6", "Table 7",
+		"Figure 1", "Figure 6", "Figure 9", "link-type", "churn"} {
+		if !strings.Contains(all, artefact) {
+			t.Errorf("'all' output missing %q", artefact)
+		}
+	}
+
+	csv := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "-csv", "table7")
+	if !strings.HasPrefix(csv, "AS,ASN,") {
+		t.Errorf("csv output: %q", csv)
+	}
+
+	probe := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "probe", "1001")
+	for _, want := range []string{"probe 1001", "filtering:", "sessions:"} {
+		if !strings.Contains(probe, want) {
+			t.Errorf("probe drilldown missing %q:\n%s", want, probe)
+		}
+	}
+
+	svgDir := filepath.Join(t.TempDir(), "figs")
+	run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "-svg", svgDir, "summary")
+	entries, err := os.ReadDir(svgDir)
+	if err != nil || len(entries) < 8 {
+		t.Errorf("svg export wrote %d files: %v", len(entries), err)
+	}
+}
+
+func TestChurnctlDeterministicAcrossRuns(t *testing.T) {
+	bins := buildBinaries(t)
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	run(t, filepath.Join(bins, "atlasgen"), "-out", dirA, "-seed", "33", "-scale", "0.1")
+	run(t, filepath.Join(bins, "atlasgen"), "-out", dirB, "-seed", "33", "-scale", "0.1")
+	outA := run(t, filepath.Join(bins, "churnctl"), "-data", dirA, "all")
+	outB := run(t, filepath.Join(bins, "churnctl"), "-data", dirB, "all")
+	if outA != outB {
+		t.Error("same seed produced different analyses across processes")
+	}
+}
+
+func TestAtlasdServeAndScrape(t *testing.T) {
+	bins := buildBinaries(t)
+	dataDir := filepath.Join(t.TempDir(), "ds")
+	run(t, filepath.Join(bins, "atlasgen"), "-out", dataDir, "-seed", "11", "-scale", "0.1")
+
+	addr := pickAddr(t)
+	srv := exec.Command(filepath.Join(bins, "atlasd"), "-data", dataDir, "-addr", addr)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitForListen(t, addr)
+
+	scraped := run(t, filepath.Join(bins, "churnctl"), "-url", "http://"+addr, "summary")
+	local := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "summary")
+	if scraped != local {
+		t.Errorf("scraped summary differs from local:\n%s\nvs\n%s", scraped, local)
+	}
+}
+
+func TestExperimentsBinaryPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiments run")
+	}
+	bins := buildBinaries(t)
+	out := run(t, filepath.Join(bins, "experiments"), "-scale", "1")
+	if !strings.Contains(out, "shape checks pass") {
+		t.Errorf("experiments output: %q", out)
+	}
+	if strings.Contains(out, "DIVERGES") {
+		t.Errorf("experiments reported divergences:\n%s", out)
+	}
+}
+
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitForListen(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("atlasd did not listen on %s", addr)
+}

@@ -1,0 +1,236 @@
+// Package asdb provides an autonomous-system registry and a deterministic
+// IPv4 address-space allocator for synthetic worlds.
+//
+// The paper maps addresses to ASes via CAIDA's pfx2as dataset and treats
+// sibling ASes (same operator, different ASN) as a source of cross-AS
+// address changes. The registry records ASN, holder name, country, and
+// sibling relations; the allocator hands out non-overlapping, non-reserved
+// BGP prefixes so that generated pfx2as snapshots are internally
+// consistent.
+package asdb
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaddr/internal/ip4"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String formats the ASN in the conventional "AS3320" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", a) }
+
+// AS describes one autonomous system.
+type AS struct {
+	ASN     ASN
+	Name    string
+	Country string // ISO 3166-1 alpha-2
+	// Siblings lists other ASNs operated by the same organisation.
+	// Address changes between sibling ASes appear in connection logs as
+	// cross-AS changes (paper §3.3) even though no provider switch
+	// happened.
+	Siblings []ASN
+}
+
+// Registry is a set of ASes. The zero value is empty and usable.
+type Registry struct {
+	byASN map[ASN]AS
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byASN: make(map[ASN]AS)}
+}
+
+// Add inserts an AS. It fails on ASN 0 or a duplicate ASN.
+func (r *Registry) Add(as AS) error {
+	if as.ASN == 0 {
+		return fmt.Errorf("asdb: ASN 0 is reserved")
+	}
+	if r.byASN == nil {
+		r.byASN = make(map[ASN]AS)
+	}
+	if _, dup := r.byASN[as.ASN]; dup {
+		return fmt.Errorf("asdb: duplicate %v", as.ASN)
+	}
+	r.byASN[as.ASN] = as
+	return nil
+}
+
+// Lookup returns the AS with the given number.
+func (r *Registry) Lookup(asn ASN) (AS, bool) {
+	as, ok := r.byASN[asn]
+	return as, ok
+}
+
+// Len returns the number of registered ASes.
+func (r *Registry) Len() int { return len(r.byASN) }
+
+// All returns every AS sorted by ASN.
+func (r *Registry) All() []AS {
+	out := make([]AS, 0, len(r.byASN))
+	for _, as := range r.byASN {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// SameOrg reports whether a and b belong to the same organisation:
+// either equal, or registered as siblings (in either direction).
+func (r *Registry) SameOrg(a, b ASN) bool {
+	if a == b {
+		return true
+	}
+	if as, ok := r.byASN[a]; ok {
+		for _, s := range as.Siblings {
+			if s == b {
+				return true
+			}
+		}
+	}
+	if bs, ok := r.byASN[b]; ok {
+		for _, s := range bs.Siblings {
+			if s == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reserved lists IPv4 ranges the allocator must never hand out: private,
+// loopback, link-local, multicast, documentation, and future-use space.
+var reserved = []ip4.Prefix{
+	ip4.MustParsePrefix("0.0.0.0/8"),
+	ip4.MustParsePrefix("10.0.0.0/8"),
+	ip4.MustParsePrefix("100.64.0.0/10"),
+	ip4.MustParsePrefix("127.0.0.0/8"),
+	ip4.MustParsePrefix("169.254.0.0/16"),
+	ip4.MustParsePrefix("172.16.0.0/12"),
+	ip4.MustParsePrefix("192.0.0.0/24"),
+	ip4.MustParsePrefix("192.0.2.0/24"),
+	ip4.MustParsePrefix("192.88.99.0/24"),
+	ip4.MustParsePrefix("192.168.0.0/16"),
+	ip4.MustParsePrefix("198.18.0.0/15"),
+	ip4.MustParsePrefix("198.51.100.0/24"),
+	ip4.MustParsePrefix("203.0.113.0/24"),
+	ip4.MustParsePrefix("224.0.0.0/3"), // multicast + class E
+}
+
+// IsReserved reports whether p overlaps any reserved IPv4 range.
+func IsReserved(p ip4.Prefix) bool {
+	for _, r := range reserved {
+		if r.Overlaps(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Allocator hands out non-overlapping, non-reserved prefixes in a
+// deterministic left-to-right sweep of the IPv4 space. The zero value
+// starts the sweep at 1.0.0.0.
+type Allocator struct {
+	cursor uint64 // next candidate address, as uint64 to detect exhaustion
+}
+
+// NewAllocator returns an allocator whose sweep starts at start. Use a
+// non-default start to spread synthetic worlds over different /8s.
+func NewAllocator(start ip4.Addr) *Allocator {
+	return &Allocator{cursor: uint64(start)}
+}
+
+// Alloc returns the next free prefix of the given length. Successive
+// calls never overlap, regardless of the mix of lengths requested.
+func (a *Allocator) Alloc(bits int) (ip4.Prefix, error) {
+	if bits < 8 || bits > 24 {
+		return ip4.Prefix{}, fmt.Errorf("asdb: prefix length /%d outside supported range /8../24", bits)
+	}
+	if a.cursor == 0 {
+		a.cursor = uint64(ip4.FromOctets(1, 0, 0, 0))
+	}
+	size := uint64(1) << (32 - uint(bits))
+	for a.cursor < 1<<32 {
+		// Align the cursor up to the block size.
+		base := (a.cursor + size - 1) &^ (size - 1)
+		if base >= 1<<32 {
+			break
+		}
+		p := ip4.PrefixFrom(ip4.Addr(base), bits)
+		if IsReserved(p) {
+			// Skip past the reserved range that collides.
+			a.cursor = base + size
+			continue
+		}
+		a.cursor = base + size
+		return p, nil
+	}
+	return ip4.Prefix{}, fmt.Errorf("asdb: IPv4 space exhausted")
+}
+
+// AllocN returns n prefixes of the given length.
+func (a *Allocator) AllocN(n, bits int) ([]ip4.Prefix, error) {
+	out := make([]ip4.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := a.Alloc(bits)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RegionAllocator spreads allocations over widely separated regions of
+// the IPv4 space. Real ISPs accumulate address blocks over decades from
+// different registry ranges, which is why the paper finds a third of
+// all address changes crossing even /8 boundaries (Table 7); a single
+// left-to-right sweep would put each ISP's whole pool in one /8 and
+// erase that effect.
+type RegionAllocator struct {
+	regions []*Allocator
+	// ceilings[i] is the first address region i must not reach.
+	ceilings []uint64
+}
+
+// NewRegionAllocator splits the unicast space into n equal regions.
+func NewRegionAllocator(n int) (*RegionAllocator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("asdb: need at least one region")
+	}
+	lo := uint64(ip4.FromOctets(2, 0, 0, 0))
+	hi := uint64(ip4.FromOctets(223, 0, 0, 0))
+	span := (hi - lo) / uint64(n)
+	if span < 1<<24 {
+		return nil, fmt.Errorf("asdb: %d regions leave less than a /8 each", n)
+	}
+	ra := &RegionAllocator{}
+	for i := 0; i < n; i++ {
+		start := lo + uint64(i)*span
+		ra.regions = append(ra.regions, NewAllocator(ip4.Addr(start)))
+		ra.ceilings = append(ra.ceilings, start+span)
+	}
+	return ra, nil
+}
+
+// NumRegions returns the region count.
+func (ra *RegionAllocator) NumRegions() int { return len(ra.regions) }
+
+// Alloc allocates a prefix from the given region, failing rather than
+// silently bleeding into the next region.
+func (ra *RegionAllocator) Alloc(region, bits int) (ip4.Prefix, error) {
+	if region < 0 || region >= len(ra.regions) {
+		return ip4.Prefix{}, fmt.Errorf("asdb: region %d out of range", region)
+	}
+	p, err := ra.regions[region].Alloc(bits)
+	if err != nil {
+		return ip4.Prefix{}, err
+	}
+	if uint64(p.Addr())+p.NumAddrs() > ra.ceilings[region] {
+		return ip4.Prefix{}, fmt.Errorf("asdb: region %d exhausted", region)
+	}
+	return p, nil
+}

@@ -1,0 +1,203 @@
+package asdb
+
+import (
+	"testing"
+
+	"dynaddr/internal/ip4"
+)
+
+func TestRegistryAddLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(AS{ASN: 3320, Name: "DTAG", Country: "DE"}); err != nil {
+		t.Fatal(err)
+	}
+	as, ok := r.Lookup(3320)
+	if !ok || as.Name != "DTAG" || as.Country != "DE" {
+		t.Errorf("Lookup(3320) = %+v, %v", as, ok)
+	}
+	if _, ok := r.Lookup(99); ok {
+		t.Error("Lookup of unregistered ASN should fail")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndZero(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(AS{ASN: 0}); err == nil {
+		t.Error("ASN 0 should be rejected")
+	}
+	if err := r.Add(AS{ASN: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(AS{ASN: 7}); err == nil {
+		t.Error("duplicate ASN should be rejected")
+	}
+}
+
+func TestRegistryZeroValueUsable(t *testing.T) {
+	var r Registry
+	if err := r.Add(AS{ASN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Error("zero-value registry should accept Add")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, asn := range []ASN{30, 10, 20} {
+		if err := r.Add(AS{ASN: asn}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].ASN != 10 || all[1].ASN != 20 || all[2].ASN != 30 {
+		t.Errorf("All() = %v, want sorted by ASN", all)
+	}
+}
+
+func TestSameOrg(t *testing.T) {
+	r := NewRegistry()
+	// Telefonica Germany operates two ASNs (paper Table 5).
+	if err := r.Add(AS{ASN: 6805, Name: "Telefonica DE 2", Siblings: []ASN{13184}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(AS{ASN: 13184, Name: "Telefonica DE 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(AS{ASN: 3320, Name: "DTAG"}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SameOrg(6805, 6805) {
+		t.Error("an AS is its own org")
+	}
+	if !r.SameOrg(6805, 13184) || !r.SameOrg(13184, 6805) {
+		t.Error("sibling relation must hold in both directions")
+	}
+	if r.SameOrg(6805, 3320) {
+		t.Error("unrelated ASes must not be same org")
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if got := ASN(3320).String(); got != "AS3320" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIsReserved(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"10.0.0.0/8", true},
+		{"10.1.0.0/16", true},
+		{"9.0.0.0/8", false},
+		{"192.168.1.0/24", true},
+		{"192.0.2.0/24", true},
+		{"193.0.0.0/16", false},
+		{"224.0.0.0/8", true},
+		{"240.0.0.0/8", true},
+		{"8.0.0.0/8", false},
+		{"172.16.0.0/16", true},
+		{"172.32.0.0/16", false},
+	}
+	for _, c := range cases {
+		if got := IsReserved(ip4.MustParsePrefix(c.in)); got != c.want {
+			t.Errorf("IsReserved(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllocatorNoOverlapNoReserved(t *testing.T) {
+	a := NewAllocator(0)
+	var got []ip4.Prefix
+	// Mixed lengths, enough to cross several /8s including reserved ones.
+	for i := 0; i < 400; i++ {
+		bits := []int{16, 20, 24, 12}[i%4]
+		p, err := a.Alloc(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsReserved(p) {
+			t.Fatalf("allocated reserved prefix %v", p)
+		}
+		got = append(got, p)
+	}
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if got[i].Overlaps(got[j]) {
+				t.Fatalf("allocations overlap: %v and %v", got[i], got[j])
+			}
+		}
+	}
+}
+
+func TestAllocatorSkipsPrivateSpace(t *testing.T) {
+	// Start right before 10/8; the very next /8 must skip to 11/8 or later.
+	a := NewAllocator(ip4.MustParseAddr("9.255.255.255"))
+	p, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Overlaps(ip4.MustParsePrefix("10.0.0.0/8")) {
+		t.Errorf("allocator handed out %v inside private space", p)
+	}
+}
+
+func TestAllocatorDeterministic(t *testing.T) {
+	a, b := NewAllocator(0), NewAllocator(0)
+	for i := 0; i < 100; i++ {
+		pa, errA := a.Alloc(18)
+		pb, errB := b.Alloc(18)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if pa != pb {
+			t.Fatalf("allocators diverged at %d: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestAllocatorRejectsBadLength(t *testing.T) {
+	a := NewAllocator(0)
+	for _, bits := range []int{0, 7, 25, 33, -1} {
+		if _, err := a.Alloc(bits); err == nil {
+			t.Errorf("Alloc(%d) should fail", bits)
+		}
+	}
+}
+
+func TestAllocN(t *testing.T) {
+	a := NewAllocator(0)
+	ps, err := a.AllocN(5, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 5 {
+		t.Fatalf("AllocN returned %d prefixes", len(ps))
+	}
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[i].Overlaps(ps[j]) {
+				t.Errorf("AllocN prefixes overlap: %v %v", ps[i], ps[j])
+			}
+		}
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	// Start near the top of unicast space; after the remaining blocks are
+	// gone the allocator must report exhaustion, not loop.
+	a := NewAllocator(ip4.MustParseAddr("223.255.0.0"))
+	var err error
+	for i := 0; i < 10; i++ {
+		_, err = a.Alloc(16)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("allocator should exhaust above 224.0.0.0/3")
+	}
+}

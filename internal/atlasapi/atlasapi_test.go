@@ -1,0 +1,206 @@
+package atlasapi
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+func sampleEntries() []atlasdata.ConnLogEntry {
+	return []atlasdata.ConnLogEntry{
+		{
+			Probe:  206,
+			Start:  simclock.Date(2015, 1, 1, 3, 22, 16),
+			End:    simclock.Date(2015, 1, 1, 17, 34, 11),
+			Family: atlasdata.V4, Addr: ip4.MustParseAddr("91.55.169.37"),
+		},
+		{
+			Probe:  206,
+			Start:  simclock.Date(2015, 1, 1, 18, 0, 54),
+			End:    simclock.Date(2015, 1, 2, 2, 19, 16),
+			Family: atlasdata.V6, V6Addr: "2001:db8:ce::2",
+		},
+	}
+}
+
+func TestConnectionHistoryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConnectionHistory(&buf, 206, sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.HasPrefix(page, "# RIPE Atlas connection history for probe 206") {
+		t.Errorf("page header missing: %q", page)
+	}
+	if !strings.Contains(page, "Jan  1 03:22:16 2015\tJan  1 17:34:11 2015\t91.55.169.37") {
+		t.Errorf("Table 1-style row missing:\n%s", page)
+	}
+	got, err := ParseConnectionHistory(strings.NewReader(page), 206)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleEntries()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, sampleEntries())
+	}
+}
+
+func TestConnectionHistoryRejectsWrongProbe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConnectionHistory(&buf, 999, sampleEntries()); err == nil {
+		t.Error("entries for probe 206 on page 999 should fail")
+	}
+}
+
+func TestConnectionHistoryParseErrors(t *testing.T) {
+	bad := []string{
+		"only\ttwo",
+		"not a time\tJan  1 17:34:11 2015\t1.2.3.4",
+		"Jan  1 03:22:16 2015\tbad\t1.2.3.4",
+		"Jan  1 03:22:16 2015\tJan  1 17:34:11 2015\t1.2.3.999",
+		"Jan  2 03:22:16 2015\tJan  1 17:34:11 2015\t1.2.3.4", // ends before start
+	}
+	for _, line := range bad {
+		if _, err := ParseConnectionHistory(strings.NewReader(line), 1); err == nil {
+			t.Errorf("ParseConnectionHistory(%q) should fail", line)
+		}
+	}
+}
+
+func TestProbeArchiveRoundTrip(t *testing.T) {
+	in := []atlasdata.ProbeMeta{
+		{ID: 206, Country: "DE", Version: atlasdata.V3, ConnectedDays: 300},
+		{ID: 207, Country: "FR", Version: atlasdata.V1,
+			Tags: []string{atlasdata.TagMultihomed, "home"}, ConnectedDays: 45.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteProbeArchive(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"slug": "multihomed"`) {
+		t.Errorf("tags not in archive-object shape:\n%s", buf.String())
+	}
+	got, err := ParseProbeArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 206 || got[1].Tags[0] != atlasdata.TagMultihomed {
+		t.Errorf("parsed archive = %+v", got)
+	}
+	if got[1].ConnectedDays < 45.4 || got[1].ConnectedDays > 45.6 {
+		t.Errorf("ConnectedDays = %v", got[1].ConnectedDays)
+	}
+}
+
+func TestKRootResultsRoundTrip(t *testing.T) {
+	in := []atlasdata.KRootRound{
+		{Probe: 16893, Timestamp: 1422349302, Sent: 3, Success: 3, LTS: 86},
+		{Probe: 16893, Timestamp: 1422349548, Sent: 3, Success: 0, LTS: 151},
+	}
+	var buf bytes.Buffer
+	if err := WriteKRootResults(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Loss shows as "*" items, like real Atlas results.
+	if !strings.Contains(buf.String(), `"x":"*"`) {
+		t.Errorf("loss markers missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"msm_id":1001`) {
+		t.Error("k-root measurement id missing")
+	}
+	got, err := ParseKRootResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUptimeResultsRoundTrip(t *testing.T) {
+	in := []atlasdata.UptimeRecord{
+		{Probe: 206, Timestamp: 1420082118, Uptime: 262531},
+		{Probe: 206, Timestamp: 1420134655, Uptime: 19},
+	}
+	var buf bytes.Buffer
+	if err := WriteUptimeResults(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseUptimeResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ds := atlasdata.NewDataset()
+	ds.Probes[206] = atlasdata.ProbeMeta{ID: 206, Country: "DE", Version: atlasdata.V3, ConnectedDays: 300}
+	ds.ConnLogs[206] = sampleEntries()
+	ds.KRoot[206] = []atlasdata.KRootRound{{Probe: 206, Timestamp: 1420082118, Sent: 3, Success: 3, LTS: 60}}
+	ds.Uptime[206] = []atlasdata.UptimeRecord{{Probe: 206, Timestamp: 1420082118, Uptime: 5}}
+
+	srv := httptest.NewServer(NewServer(ds))
+	defer srv.Close()
+
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := fetch("/api/v1/probe-archive/"); code != 200 || !strings.Contains(body, `"id": 206`) {
+		t.Errorf("archive endpoint: %d %q", code, body)
+	}
+	if code, body := fetch("/probes/206/connection-history/"); code != 200 || !strings.Contains(body, "91.55.169.37") {
+		t.Errorf("history endpoint: %d %q", code, body)
+	}
+	if code, _ := fetch("/probes/999/connection-history/"); code != 404 {
+		t.Errorf("missing probe should 404, got %d", code)
+	}
+	if code, _ := fetch("/probes/abc/connection-history/"); code != 400 {
+		t.Errorf("bad probe id should 400, got %d", code)
+	}
+	if code, body := fetch("/api/v1/measurements/kroot/206/"); code != 200 || !strings.Contains(body, `"msm_id":1001`) {
+		t.Errorf("kroot endpoint: %d %q", code, body)
+	}
+	if code, _ := fetch("/api/v1/measurements/uptime/206/"); code != 200 {
+		t.Errorf("uptime endpoint: %d", code)
+	}
+	if code, _ := fetch("/caida/pfx2as/209999.txt"); code != 404 {
+		t.Errorf("missing snapshot should 404, got %d", code)
+	}
+	if code, _ := fetch("/caida/pfx2as/bogus"); code != 400 {
+		t.Errorf("bad snapshot name should 400, got %d", code)
+	}
+}
+
+func BenchmarkConnectionHistoryRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteConnectionHistory(&buf, 206, sampleEntries()); err != nil {
+		b.Fatal(err)
+	}
+	page := buf.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseConnectionHistory(strings.NewReader(page), 206); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

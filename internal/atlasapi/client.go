@@ -1,0 +1,212 @@
+package atlasapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/pfx2as"
+)
+
+func jsonDecode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }
+
+// Client scrapes a Server's endpoints and reassembles a dataset — the
+// paper's collection step (§3.1: "we scraped each active probe's
+// connection logs directly from the probe's webpage").
+type Client struct {
+	// BaseURL is the server root, e.g. "http://atlas.example.org".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30-second timeout.
+	HTTPClient *http.Client
+	// Months lists the pfx2as snapshot months to fetch; empty skips
+	// routing data (the analyzer then cannot map addresses to ASes).
+	Months []pfx2as.Month
+	// Concurrency is the number of probes fetched in parallel during
+	// ScrapeAll; zero means 8. The paper scraped 10,977 probe pages —
+	// sequential fetching does not survive that scale.
+	Concurrency int
+	// Retries is how many times a failed fetch is retried before giving
+	// up; zero means 2. Long scrapes hit transient failures; a parse
+	// error is retried too, since truncated responses parse badly.
+	Retries int
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// get fetches a URL and hands the body to parse, converting HTTP errors
+// into Go errors with the response text attached. Transient failures
+// (transport errors, 5xx) are retried; 4xx are permanent.
+func get[T any](c *Client, path string, parse func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		v, retriable, err := getOnce(c, path, parse)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !retriable {
+			break
+		}
+	}
+	return zero, lastErr
+}
+
+func getOnce[T any](c *Client, path string, parse func(io.Reader) (T, error)) (v T, retriable bool, err error) {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return v, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("atlasapi: GET %s: %s: %s", path, resp.Status, msg)
+		return v, resp.StatusCode >= 500, err
+	}
+	v, err = parse(resp.Body)
+	return v, err != nil, err
+}
+
+// FetchProbeArchive retrieves all probe metadata.
+func (c *Client) FetchProbeArchive() ([]atlasdata.ProbeMeta, error) {
+	return get(c, "/api/v1/probe-archive/", ParseProbeArchive)
+}
+
+// FetchConnectionHistory retrieves one probe's sessions.
+func (c *Client) FetchConnectionHistory(id atlasdata.ProbeID) ([]atlasdata.ConnLogEntry, error) {
+	return get(c, fmt.Sprintf("/probes/%d/connection-history/", id),
+		func(r io.Reader) ([]atlasdata.ConnLogEntry, error) {
+			return ParseConnectionHistory(r, id)
+		})
+}
+
+// FetchKRoot retrieves one probe's k-root ping rounds.
+func (c *Client) FetchKRoot(id atlasdata.ProbeID) ([]atlasdata.KRootRound, error) {
+	return get(c, fmt.Sprintf("/api/v1/measurements/kroot/%d/", id), ParseKRootResults)
+}
+
+// FetchUptime retrieves one probe's uptime reports.
+func (c *Client) FetchUptime(id atlasdata.ProbeID) ([]atlasdata.UptimeRecord, error) {
+	return get(c, fmt.Sprintf("/api/v1/measurements/uptime/%d/", id), ParseUptimeResults)
+}
+
+// FetchMonths discovers which pfx2as snapshot months the server offers.
+func (c *Client) FetchMonths() ([]pfx2as.Month, error) {
+	return get(c, "/caida/pfx2as/", func(r io.Reader) ([]pfx2as.Month, error) {
+		var raw []int
+		if err := jsonDecode(r, &raw); err != nil {
+			return nil, err
+		}
+		out := make([]pfx2as.Month, len(raw))
+		for i, m := range raw {
+			out[i] = pfx2as.Month(m)
+		}
+		return out, nil
+	})
+}
+
+// FetchPfx2AS retrieves one monthly routing snapshot.
+func (c *Client) FetchPfx2AS(m pfx2as.Month) (*pfx2as.Table, error) {
+	entries, err := get(c, fmt.Sprintf("/caida/pfx2as/%d.txt", int(m)), pfx2as.ParseText)
+	if err != nil {
+		return nil, err
+	}
+	return pfx2as.NewTable(entries)
+}
+
+// ScrapeAll reassembles a complete dataset: the probe archive, then all
+// three record streams per probe (fetched Concurrency probes at a
+// time), then the configured pfx2as months. The result validates before
+// returning; the assembled dataset is independent of fetch order.
+func (c *Client) ScrapeAll() (*atlasdata.Dataset, error) {
+	probes, err := c.FetchProbeArchive()
+	if err != nil {
+		return nil, err
+	}
+	ds := atlasdata.NewDataset()
+	for _, p := range probes {
+		ds.Probes[p.ID] = p
+	}
+
+	workers := c.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, p := range probes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p atlasdata.ProbeMeta) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			conns, err := c.FetchConnectionHistory(p.ID)
+			if err != nil {
+				fail(fmt.Errorf("probe %d history: %w", p.ID, err))
+				return
+			}
+			kroot, err := c.FetchKRoot(p.ID)
+			if err != nil {
+				fail(fmt.Errorf("probe %d k-root: %w", p.ID, err))
+				return
+			}
+			uptime, err := c.FetchUptime(p.ID)
+			if err != nil {
+				fail(fmt.Errorf("probe %d uptime: %w", p.ID, err))
+				return
+			}
+			mu.Lock()
+			if len(conns) > 0 {
+				ds.ConnLogs[p.ID] = conns
+			}
+			if len(kroot) > 0 {
+				ds.KRoot[p.ID] = kroot
+			}
+			if len(uptime) > 0 {
+				ds.Uptime[p.ID] = uptime
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, m := range c.Months {
+		tbl, err := c.FetchPfx2AS(m)
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as %v: %w", m, err)
+		}
+		ds.Pfx2AS.Put(m, tbl)
+	}
+	ds.SortRecords()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

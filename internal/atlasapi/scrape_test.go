@@ -1,0 +1,184 @@
+package atlasapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dynaddr/internal/core"
+	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/sim"
+)
+
+// TestScrapeReproducesAnalysis is the collection-boundary end-to-end
+// test: generate a world, publish it through the HTTP endpoints, scrape
+// it back through the wire formats, and require the analysis pipeline to
+// produce identical results on both copies — the property the paper's
+// §3 methodology depends on.
+func TestScrapeReproducesAnalysis(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 4242
+	cfg.Scale = 0.08
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	client := &Client{
+		BaseURL:     srv.URL,
+		Months:      world.Dataset.Pfx2AS.Months(),
+		Concurrency: 8,
+	}
+	scraped, err := client.ScrapeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second scrape at different concurrency must assemble the exact
+	// same dataset: order independence.
+	sequential := &Client{BaseURL: srv.URL, Months: client.Months, Concurrency: 1}
+	scraped2, err := sequential.ScrapeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scraped.ConnLogs, scraped2.ConnLogs) {
+		t.Error("scrape results depend on concurrency")
+	}
+
+	if len(scraped.Probes) != len(world.Dataset.Probes) {
+		t.Fatalf("scraped %d probes, generated %d", len(scraped.Probes), len(world.Dataset.Probes))
+	}
+	// Connection logs must survive the page format byte-for-byte in
+	// meaning (second-resolution timestamps round-trip exactly).
+	if !reflect.DeepEqual(scraped.ConnLogs, world.Dataset.ConnLogs) {
+		t.Error("connection logs differ after scrape")
+	}
+	if !reflect.DeepEqual(scraped.KRoot, world.Dataset.KRoot) {
+		t.Error("k-root rounds differ after scrape")
+	}
+	if !reflect.DeepEqual(scraped.Uptime, world.Dataset.Uptime) {
+		t.Error("uptime records differ after scrape")
+	}
+
+	repLocal := core.Run(world.Dataset, core.Options{})
+	repWire := core.Run(scraped, core.Options{})
+	if repLocal.Table7All != repWire.Table7All {
+		t.Errorf("Table 7 differs over the wire: %+v vs %+v", repLocal.Table7All, repWire.Table7All)
+	}
+	if len(repLocal.Table5) != len(repWire.Table5) {
+		t.Errorf("Table 5 differs over the wire: %d vs %d rows", len(repLocal.Table5), len(repWire.Table5))
+	}
+	for i := range repLocal.Table5 {
+		if repLocal.Table5[i] != repWire.Table5[i] {
+			t.Errorf("Table 5 row %d differs: %+v vs %+v", i, repLocal.Table5[i], repWire.Table5[i])
+		}
+	}
+	for _, c := range core.Categories {
+		if repLocal.Table2[c] != repWire.Table2[c] {
+			t.Errorf("Table 2 %v differs: %d vs %d", c, repLocal.Table2[c], repWire.Table2[c])
+		}
+	}
+}
+
+// TestClientErrorPropagation exercises the failure paths: missing
+// server, missing months.
+func TestClientErrorPropagation(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"} // nothing listens here
+	if _, err := c.FetchProbeArchive(); err == nil {
+		t.Error("unreachable server should fail")
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Scale = 0.02
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(w.Dataset))
+	defer srv.Close()
+	c2 := &Client{BaseURL: srv.URL, Months: []pfx2as.Month{209901}}
+	if _, err := c2.ScrapeAll(); err == nil {
+		t.Error("missing pfx2as month should fail the scrape")
+	}
+}
+
+// flakyHandler fails the first n requests per path with a 503, then
+// delegates to the real server.
+type flakyHandler struct {
+	inner    http.Handler
+	mu       sync.Mutex
+	failures map[string]int
+	failN    int
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	n := f.failures[r.URL.Path]
+	f.failures[r.URL.Path] = n + 1
+	f.mu.Unlock()
+	if n < f.failN {
+		http.Error(w, "transient", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestScrapeRetriesTransientFailures(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 3
+	cfg.Scale = 0.02
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{
+		inner:    NewServer(world.Dataset),
+		failures: make(map[string]int),
+		failN:    2,
+	}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(), Retries: 3}
+	scraped, err := c.ScrapeAll()
+	if err != nil {
+		t.Fatalf("scrape with retries failed: %v", err)
+	}
+	if len(scraped.Probes) != len(world.Dataset.Probes) {
+		t.Errorf("scraped %d probes, want %d", len(scraped.Probes), len(world.Dataset.Probes))
+	}
+
+	// With retries below the failure count, the scrape must fail.
+	flaky2 := &flakyHandler{inner: NewServer(world.Dataset), failures: make(map[string]int), failN: 5}
+	srv2 := httptest.NewServer(flaky2)
+	defer srv2.Close()
+	c2 := &Client{BaseURL: srv2.URL, Retries: 1}
+	if _, err := c2.ScrapeAll(); err == nil {
+		t.Error("persistent failures should defeat limited retries")
+	}
+}
+
+func TestClientDoesNotRetry404(t *testing.T) {
+	hits := 0
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Retries: 5}
+	if _, err := c.FetchProbeArchive(); err == nil {
+		t.Fatal("404 should fail")
+	}
+	if hits != 1 {
+		t.Errorf("404 fetched %d times; 4xx must not be retried", hits)
+	}
+}

@@ -1,0 +1,228 @@
+package atlasdata
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// Text formats, one record per line, tab-separated:
+//
+//	connection logs: probe <TAB> start-unix <TAB> end-unix <TAB> address
+//	k-root rounds:   probe <TAB> unix-time <TAB> sent <TAB> success <TAB> lts
+//	uptime records:  probe <TAB> unix-time <TAB> uptime-seconds
+//
+// IPv6 addresses are recognised by containing ':'.
+
+// WriteConnLogs serialises connection-log entries.
+func WriteConnLogs(w io.Writer, entries []ConnLogEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		addr := e.V6Addr
+		if e.Family == V4 {
+			addr = e.Addr.String()
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%s\n", e.Probe, int64(e.Start), int64(e.End), addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseConnLogs parses connection-log entries in the text format.
+func ParseConnLogs(r io.Reader) ([]ConnLogEntry, error) {
+	var out []ConnLogEntry
+	err := scanLines(r, 4, func(lineno int, f []string) error {
+		probe, start, end, err := parseCommonHead(f)
+		if err != nil {
+			return err
+		}
+		e := ConnLogEntry{Probe: probe, Start: start, End: end}
+		if strings.Contains(f[3], ":") {
+			e.Family = V6
+			e.V6Addr = f[3]
+		} else {
+			addr, err := ip4.ParseAddr(f[3])
+			if err != nil {
+				return err
+			}
+			e.Family = V4
+			e.Addr = addr
+		}
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// WriteKRoot serialises k-root rounds.
+func WriteKRoot(w io.Writer, rounds []KRootRound) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range rounds {
+		if err := k.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n", k.Probe, int64(k.Timestamp), k.Sent, k.Success, k.LTS); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseKRoot parses k-root rounds in the text format.
+func ParseKRoot(r io.Reader) ([]KRootRound, error) {
+	var out []KRootRound
+	err := scanLines(r, 5, func(lineno int, f []string) error {
+		probe, err := parseProbeID(f[0])
+		if err != nil {
+			return err
+		}
+		ts, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q", f[1])
+		}
+		sent, err1 := strconv.Atoi(f[2])
+		success, err2 := strconv.Atoi(f[3])
+		lts, err3 := strconv.ParseInt(f[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad numeric field in %v", f)
+		}
+		k := KRootRound{Probe: probe, Timestamp: simclock.Time(ts), Sent: sent, Success: success, LTS: lts}
+		if err := k.Validate(); err != nil {
+			return err
+		}
+		out = append(out, k)
+		return nil
+	})
+	return out, err
+}
+
+// WriteUptime serialises uptime records.
+func WriteUptime(w io.Writer, recs []UptimeRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range recs {
+		if err := u.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", u.Probe, int64(u.Timestamp), u.Uptime); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseUptime parses uptime records in the text format.
+func ParseUptime(r io.Reader) ([]UptimeRecord, error) {
+	var out []UptimeRecord
+	err := scanLines(r, 3, func(lineno int, f []string) error {
+		probe, err := parseProbeID(f[0])
+		if err != nil {
+			return err
+		}
+		ts, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q", f[1])
+		}
+		up, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad uptime %q", f[2])
+		}
+		u := UptimeRecord{Probe: probe, Timestamp: simclock.Time(ts), Uptime: up}
+		if err := u.Validate(); err != nil {
+			return err
+		}
+		out = append(out, u)
+		return nil
+	})
+	return out, err
+}
+
+// WriteProbeArchive serialises probe metadata as a JSON array, sorted by
+// probe ID, mirroring the RIPE probe-archive API shape the paper scraped.
+func WriteProbeArchive(w io.Writer, probes []ProbeMeta) error {
+	sorted := make([]ProbeMeta, len(probes))
+	copy(sorted, probes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, p := range sorted {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(sorted)
+}
+
+// ParseProbeArchive parses probe metadata written by WriteProbeArchive.
+func ParseProbeArchive(r io.Reader) ([]ProbeMeta, error) {
+	var probes []ProbeMeta
+	if err := json.NewDecoder(r).Decode(&probes); err != nil {
+		return nil, fmt.Errorf("atlasdata: probe archive: %v", err)
+	}
+	for _, p := range probes {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return probes, nil
+}
+
+func parseProbeID(s string) (ProbeID, error) {
+	id, err := strconv.Atoi(s)
+	if err != nil || id <= 0 {
+		return 0, fmt.Errorf("bad probe ID %q", s)
+	}
+	return ProbeID(id), nil
+}
+
+func parseCommonHead(f []string) (ProbeID, simclock.Time, simclock.Time, error) {
+	probe, err := parseProbeID(f[0])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad start time %q", f[1])
+	}
+	end, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad end time %q", f[2])
+	}
+	return probe, simclock.Time(start), simclock.Time(end), nil
+}
+
+// scanLines runs fn over every non-blank, non-comment line split into
+// exactly nFields tab-or-space separated fields.
+func scanLines(r io.Reader, nFields int, fn func(lineno int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != nFields {
+			return fmt.Errorf("atlasdata: line %d: want %d fields, got %d", lineno, nFields, len(fields))
+		}
+		if err := fn(lineno, fields); err != nil {
+			return fmt.Errorf("atlasdata: line %d: %v", lineno, err)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,229 @@
+package atlasdata
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+func TestConnLogRoundTrip(t *testing.T) {
+	in := []ConnLogEntry{
+		{Probe: 206, Start: 1420082494, End: 1420167457, Family: V4, Addr: ip4.MustParseAddr("91.55.174.103")},
+		{Probe: 206, Start: 1420168936, End: 1420220051, Family: V4, Addr: ip4.MustParseAddr("91.55.169.37")},
+		{Probe: 207, Start: 1420082494, End: 1420082500, Family: V6, V6Addr: "2001:db8::1"},
+	}
+	var buf bytes.Buffer
+	if err := WriteConnLogs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConnLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestConnLogRejectsInvalid(t *testing.T) {
+	bad := []ConnLogEntry{
+		{Probe: 1, Start: 100, End: 50, Family: V4, Addr: 1},       // ends before start
+		{Probe: 1, Start: 100, End: 200, Family: V4},               // no address
+		{Probe: 1, Start: 100, End: 200, Family: V6, V6Addr: "no"}, // bad v6
+	}
+	for i, e := range bad {
+		var buf bytes.Buffer
+		if err := WriteConnLogs(&buf, []ConnLogEntry{e}); err == nil {
+			t.Errorf("case %d: WriteConnLogs accepted invalid entry", i)
+		}
+	}
+}
+
+func TestParseConnLogsErrors(t *testing.T) {
+	bad := []string{
+		"206\t100\t200",            // too few fields
+		"0\t100\t200\t1.2.3.4",     // probe 0
+		"206\tabc\t200\t1.2.3.4",   // bad start
+		"206\t100\txyz\t1.2.3.4",   // bad end
+		"206\t100\t200\t1.2.3.999", // bad address
+		"206\t200\t100\t1.2.3.4",   // end before start
+	}
+	for _, src := range bad {
+		if _, err := ParseConnLogs(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseConnLogs(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseConnLogsSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n206\t100\t200\t1.2.3.4\n"
+	got, err := ParseConnLogs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("parsed %d entries, want 1", len(got))
+	}
+}
+
+func TestAddrKeyFamilies(t *testing.T) {
+	v4 := ConnLogEntry{Family: V4, Addr: ip4.MustParseAddr("1.2.3.4")}
+	v6 := ConnLogEntry{Family: V6, V6Addr: "2001:db8::1"}
+	if v4.AddrKey() == v6.AddrKey() {
+		t.Error("different families must never share address keys")
+	}
+	if !v4.IsV4() || v6.IsV4() {
+		t.Error("IsV4 wrong")
+	}
+	if got := v4.AddrKey(); got != "v4:1.2.3.4" {
+		t.Errorf("AddrKey = %q", got)
+	}
+}
+
+func TestKRootRoundTrip(t *testing.T) {
+	in := []KRootRound{
+		{Probe: 16893, Timestamp: 1422349302, Sent: 3, Success: 3, LTS: 86},
+		{Probe: 16893, Timestamp: 1422349548, Sent: 3, Success: 0, LTS: 151},
+	}
+	var buf bytes.Buffer
+	if err := WriteKRoot(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseKRoot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestKRootValidate(t *testing.T) {
+	bad := []KRootRound{
+		{Probe: 1, Sent: 3, Success: 4},  // more successes than sent
+		{Probe: 1, Sent: -1, Success: 0}, // negative sent
+		{Probe: 1, Sent: 3, Success: 0, LTS: -5},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	good := KRootRound{Probe: 1, Sent: 3, Success: 0, LTS: 100}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !good.AllLost() {
+		t.Error("AllLost should be true for 0/3")
+	}
+	if (KRootRound{Sent: 0, Success: 0}).AllLost() {
+		t.Error("AllLost must be false when nothing was sent")
+	}
+}
+
+func TestUptimeRoundTrip(t *testing.T) {
+	in := []UptimeRecord{
+		{Probe: 206, Timestamp: 1420082118, Uptime: 262531},
+		{Probe: 206, Timestamp: 1420134626, Uptime: 315038},
+		{Probe: 206, Timestamp: 1420134655, Uptime: 19},
+	}
+	var buf bytes.Buffer
+	if err := WriteUptime(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseUptime(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestProbeArchiveRoundTrip(t *testing.T) {
+	in := []ProbeMeta{
+		{ID: 206, Country: "DE", Version: V3, ConnectedDays: 360},
+		{ID: 101, Country: "FR", Version: V1, Tags: []string{TagMultihomed, "home"}, ConnectedDays: 45.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteProbeArchive(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProbeArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WriteProbeArchive sorts by ID.
+	if len(got) != 2 || got[0].ID != 101 || got[1].ID != 206 {
+		t.Fatalf("got %+v", got)
+	}
+	if !got[0].HasTag(TagMultihomed) || got[0].HasTag(TagCore) {
+		t.Error("HasTag wrong")
+	}
+	if got[1].Country != "DE" || got[1].Version != V3 {
+		t.Errorf("probe 206 = %+v", got[1])
+	}
+}
+
+func TestProbeMetaValidate(t *testing.T) {
+	bad := []ProbeMeta{
+		{ID: 0, Version: V3},
+		{ID: 1, Version: 7},
+		{ID: 1, Version: V3, ConnectedDays: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestProbeArchiveParseRejectsInvalid(t *testing.T) {
+	src := `[{"id": 0, "version": 3}]`
+	if _, err := ParseProbeArchive(strings.NewReader(src)); err == nil {
+		t.Error("archive with probe ID 0 should fail")
+	}
+	if _, err := ParseProbeArchive(strings.NewReader("not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestConnLogTable1Shape(t *testing.T) {
+	// Reconstruct the paper's Table 1 rows for probe 206 and verify the
+	// codec carries them faithfully (timestamps from Table 1, Jan 2015).
+	mk := func(startDay, sh, sm, ss, endDay, eh, em, es int, addr string) ConnLogEntry {
+		return ConnLogEntry{
+			Probe:  206,
+			Start:  simclock.Date(2015, 1, startDay, sh, sm, ss),
+			End:    simclock.Date(2015, 1, endDay, eh, em, es),
+			Family: V4,
+			Addr:   ip4.MustParseAddr(addr),
+		}
+	}
+	rows := []ConnLogEntry{
+		mk(1, 3, 22, 16, 1, 17, 34, 11, "91.55.169.37"),
+		mk(1, 18, 0, 54, 1, 18, 42, 31, "91.55.132.252"),
+		mk(1, 19, 6, 46, 2, 2, 19, 16, "91.55.155.115"),
+		mk(2, 2, 41, 55, 3, 2, 18, 0, "91.55.141.95"),
+	}
+	var buf bytes.Buffer
+	if err := WriteConnLogs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConnLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Error("Table 1 rows did not survive the codec")
+	}
+	// The third row's duration is ~7.2 hours per the paper.
+	d := rows[2].End.Sub(rows[2].Start).Hours()
+	if d < 7.1 || d > 7.3 {
+		t.Errorf("row 3 duration = %.2fh, want ~7.2h", d)
+	}
+}

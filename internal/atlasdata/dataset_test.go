@@ -1,0 +1,143 @@
+package atlasdata
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dynaddr/internal/asdb"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/pfx2as"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset()
+	d.Probes[206] = ProbeMeta{ID: 206, Country: "DE", Version: V3, ConnectedDays: 300}
+	d.Probes[207] = ProbeMeta{ID: 207, Country: "FR", Version: V1, Tags: []string{TagCore}, ConnectedDays: 100}
+	d.ConnLogs[206] = []ConnLogEntry{
+		{Probe: 206, Start: 100, End: 200, Family: V4, Addr: ip4.MustParseAddr("91.55.1.1")},
+		{Probe: 206, Start: 300, End: 400, Family: V4, Addr: ip4.MustParseAddr("91.55.2.2")},
+	}
+	d.ConnLogs[207] = []ConnLogEntry{
+		{Probe: 207, Start: 150, End: 250, Family: V6, V6Addr: "2001:db8::2"},
+	}
+	d.KRoot[206] = []KRootRound{
+		{Probe: 206, Timestamp: 120, Sent: 3, Success: 3, LTS: 60},
+		{Probe: 206, Timestamp: 360, Sent: 3, Success: 0, LTS: 300},
+	}
+	d.Uptime[206] = []UptimeRecord{
+		{Probe: 206, Timestamp: 100, Uptime: 5000},
+		{Probe: 206, Timestamp: 300, Uptime: 20},
+	}
+	tbl, err := pfx2as.NewTable([]pfx2as.Entry{
+		{Prefix: ip4.MustParsePrefix("91.55.0.0/16"), ASN: asdb.ASN(3320)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Pfx2AS.Put(201501, tbl)
+	return d
+}
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Probes, d.Probes) {
+		t.Errorf("probes mismatch:\n got %+v\nwant %+v", got.Probes, d.Probes)
+	}
+	if !reflect.DeepEqual(got.ConnLogs, d.ConnLogs) {
+		t.Errorf("connlogs mismatch:\n got %+v\nwant %+v", got.ConnLogs, d.ConnLogs)
+	}
+	if !reflect.DeepEqual(got.KRoot, d.KRoot) {
+		t.Errorf("kroot mismatch")
+	}
+	if !reflect.DeepEqual(got.Uptime, d.Uptime) {
+		t.Errorf("uptime mismatch")
+	}
+	asn, pfx, ok := got.Pfx2AS.Lookup(ip4.MustParseAddr("91.55.9.9"), 1420100000)
+	if !ok || asn != 3320 || pfx.String() != "91.55.0.0/16" {
+		t.Errorf("pfx2as lookup after load = %v %v %v", asn, pfx, ok)
+	}
+}
+
+func TestDatasetValidateCatchesOverlap(t *testing.T) {
+	d := sampleDataset(t)
+	d.ConnLogs[206] = append(d.ConnLogs[206], ConnLogEntry{
+		Probe: 206, Start: 350, End: 500, Family: V4, Addr: ip4.MustParseAddr("91.55.3.3"),
+	})
+	d.SortRecords()
+	if err := d.Validate(); err == nil {
+		t.Error("overlapping connections should fail validation")
+	}
+}
+
+func TestDatasetValidateCatchesOrphans(t *testing.T) {
+	d := NewDataset()
+	d.ConnLogs[999] = []ConnLogEntry{
+		{Probe: 999, Start: 1, End: 2, Family: V4, Addr: 1},
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("records without probe metadata should fail validation")
+	}
+}
+
+func TestDatasetValidateCatchesWrongProbeID(t *testing.T) {
+	d := NewDataset()
+	d.Probes[1] = ProbeMeta{ID: 1, Version: V3}
+	d.ConnLogs[1] = []ConnLogEntry{
+		{Probe: 2, Start: 1, End: 2, Family: V4, Addr: 1},
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("entry filed under wrong probe should fail validation")
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	d := NewDataset()
+	d.Probes[1] = ProbeMeta{ID: 1, Version: V3}
+	d.ConnLogs[1] = []ConnLogEntry{
+		{Probe: 1, Start: 300, End: 400, Family: V4, Addr: 1},
+		{Probe: 1, Start: 100, End: 200, Family: V4, Addr: 2},
+	}
+	d.KRoot[1] = []KRootRound{
+		{Probe: 1, Timestamp: 50, Sent: 3, Success: 3},
+		{Probe: 1, Timestamp: 10, Sent: 3, Success: 3},
+	}
+	d.Uptime[1] = []UptimeRecord{
+		{Probe: 1, Timestamp: 9, Uptime: 100},
+		{Probe: 1, Timestamp: 3, Uptime: 50},
+	}
+	d.SortRecords()
+	if d.ConnLogs[1][0].Start != 100 || d.KRoot[1][0].Timestamp != 10 || d.Uptime[1][0].Timestamp != 3 {
+		t.Error("SortRecords did not sort all streams")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("sorted dataset should validate: %v", err)
+	}
+}
+
+func TestProbeIDsSorted(t *testing.T) {
+	d := NewDataset()
+	for _, id := range []ProbeID{30, 10, 20} {
+		d.Probes[id] = ProbeMeta{ID: id, Version: V3}
+	}
+	got := d.ProbeIDs()
+	want := []ProbeID{10, 20, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ProbeIDs = %v, want %v", got, want)
+	}
+}
+
+func TestLoadMissingDirFails(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("loading a missing directory should fail")
+	}
+}

@@ -1,0 +1,198 @@
+// Package atlasdata defines the three RIPE Atlas datasets the paper
+// repurposes — connection logs, k-root ping rounds, and SOS-uptime
+// records — plus probe metadata, with line-oriented text codecs and a
+// directory-based dataset bundle.
+//
+// Record shapes follow the paper's Tables 1, 3 and 4. The text formats
+// are tab-separated, one record per line, so that generated datasets are
+// inspectable with standard Unix tools and stable across runs.
+package atlasdata
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// ProbeID identifies a RIPE Atlas probe.
+type ProbeID int
+
+// Family distinguishes the IP family a connection used. Dual-stack
+// probes alternate families, which is one of the paper's filtering
+// criteria (§3.2).
+type Family uint8
+
+// Address families observed in connection logs.
+const (
+	V4 Family = iota
+	V6
+)
+
+// String names the family ("v4" or "v6").
+func (f Family) String() string {
+	if f == V6 {
+		return "v6"
+	}
+	return "v4"
+}
+
+// ConnLogEntry is one controller TCP session from the connection-logs
+// dataset (paper Table 1): who connected, from which public address, and
+// when the session started and ended.
+type ConnLogEntry struct {
+	Probe ProbeID
+	Start simclock.Time
+	End   simclock.Time
+
+	// Family selects which address field is meaningful.
+	Family Family
+	// Addr is the publicly visible IPv4 address (the CPE's address) when
+	// Family is V4.
+	Addr ip4.Addr
+	// V6Addr is an opaque IPv6 address literal when Family is V6. The
+	// analysis only needs IPv6 connections to be recognisable and
+	// comparable, so the simulator emits well-formed but unmodeled
+	// literals.
+	V6Addr string
+}
+
+// IsV4 reports whether the session ran over IPv4.
+func (e ConnLogEntry) IsV4() bool { return e.Family == V4 }
+
+// AddrKey returns a family-qualified string key for the session's
+// address, usable for equality across families.
+func (e ConnLogEntry) AddrKey() string {
+	if e.Family == V6 {
+		return "v6:" + e.V6Addr
+	}
+	return "v4:" + e.Addr.String()
+}
+
+// Validate checks internal consistency.
+func (e ConnLogEntry) Validate() error {
+	if e.End < e.Start {
+		return fmt.Errorf("atlasdata: connection for probe %d ends (%v) before it starts (%v)", e.Probe, e.End, e.Start)
+	}
+	switch e.Family {
+	case V4:
+		if !e.Addr.IsValid() {
+			return fmt.Errorf("atlasdata: v4 connection for probe %d has no address", e.Probe)
+		}
+	case V6:
+		if !strings.Contains(e.V6Addr, ":") {
+			return fmt.Errorf("atlasdata: v6 connection for probe %d has malformed address %q", e.Probe, e.V6Addr)
+		}
+	default:
+		return fmt.Errorf("atlasdata: unknown family %d", e.Family)
+	}
+	return nil
+}
+
+// KRootRound is one built-in measurement round from the k-root ping
+// dataset (paper Table 3): three pings to k-root every ~4 minutes plus
+// the probe's LTS ("last time synchronised") value in seconds.
+type KRootRound struct {
+	Probe     ProbeID
+	Timestamp simclock.Time
+	Sent      int
+	Success   int
+	// LTS is the number of seconds since the probe last synchronised its
+	// clock with the controller. In normal operation it stays below ~240;
+	// it grows across a network outage.
+	LTS int64
+}
+
+// AllLost reports whether every ping in the round was lost — the paper's
+// per-round outage signal.
+func (k KRootRound) AllLost() bool { return k.Sent > 0 && k.Success == 0 }
+
+// Validate checks internal consistency.
+func (k KRootRound) Validate() error {
+	if k.Sent < 0 || k.Success < 0 || k.Success > k.Sent {
+		return fmt.Errorf("atlasdata: k-root round for probe %d has %d/%d successes", k.Probe, k.Success, k.Sent)
+	}
+	if k.LTS < 0 {
+		return fmt.Errorf("atlasdata: k-root round for probe %d has negative LTS", k.Probe)
+	}
+	return nil
+}
+
+// UptimeRecord is one SOS-uptime report (paper Table 4): the probe's
+// seconds-since-boot counter, reported when the probe (re)connects.
+type UptimeRecord struct {
+	Probe     ProbeID
+	Timestamp simclock.Time
+	// Uptime is the value of the probe's boot counter at Timestamp. A
+	// value smaller than the previous report implies the probe rebooted
+	// Uptime seconds before Timestamp.
+	Uptime int64
+}
+
+// Validate checks internal consistency.
+func (u UptimeRecord) Validate() error {
+	if u.Uptime < 0 {
+		return fmt.Errorf("atlasdata: negative uptime for probe %d", u.Probe)
+	}
+	return nil
+}
+
+// ProbeVersion is the probe hardware generation. Versions 1 and 2 can
+// reboot spontaneously when establishing new TCP connections (memory
+// fragmentation, paper §5.1), so the power-outage analysis uses only v3.
+type ProbeVersion int
+
+// Probe hardware versions deployed during the study year.
+const (
+	V1 ProbeVersion = 1
+	V2 ProbeVersion = 2
+	V3 ProbeVersion = 3
+)
+
+// Well-known user-provided probe tags the filtering pipeline consumes
+// (paper §3.2).
+const (
+	TagMultihomed = "multihomed"
+	TagDatacentre = "datacentre"
+	TagCore       = "core"
+)
+
+// ProbeMeta is the probe-archive record for one probe: the fields of the
+// RIPE Atlas probe API the analysis consumes.
+type ProbeMeta struct {
+	ID      ProbeID      `json:"id"`
+	Country string       `json:"country_code"`
+	Version ProbeVersion `json:"version"`
+	Tags    []string     `json:"tags,omitempty"`
+	// ConnectedDays is the aggregate number of days the probe was
+	// connected during the study year; the paper keeps probes with more
+	// than 30 days.
+	ConnectedDays float64 `json:"connected_days"`
+}
+
+// HasTag reports whether the probe carries the given user tag.
+func (p ProbeMeta) HasTag(tag string) bool {
+	for _, t := range p.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks internal consistency.
+func (p ProbeMeta) Validate() error {
+	if p.ID <= 0 {
+		return fmt.Errorf("atlasdata: probe ID %d out of range", p.ID)
+	}
+	switch p.Version {
+	case V1, V2, V3:
+	default:
+		return fmt.Errorf("atlasdata: probe %d has unknown version %d", p.ID, p.Version)
+	}
+	if p.ConnectedDays < 0 {
+		return fmt.Errorf("atlasdata: probe %d has negative connected days", p.ID)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+)
+
+// The paper's §2.3 names administrative renumbering — an ISP moving
+// customers en masse to new address space — and §8 reports finding only
+// one instance, deferring systematic detection to future work. This
+// detector is that future work: it flags (AS, day) pairs where an
+// anomalously large share of the AS's probes changed address on the
+// same day, against the AS's own daily baseline so that periodic
+// renumberers (where most probes change every day) never trigger.
+
+// AdminEvent is one detected en-masse renumbering.
+type AdminEvent struct {
+	ASN uint32
+	// Day is the zero-based study day of the event.
+	Day int
+	// Probes is how many of the AS's probes changed address that day;
+	// FracOfAS is that count over the AS's analyzable probes.
+	Probes   int
+	FracOfAS float64
+}
+
+// Admin-detection thresholds: at least three probes and half the AS
+// changing on one day, on a day at least four times the AS's median
+// daily change count (so daily/weekly schedules never qualify).
+const (
+	adminMinProbes = 3
+	adminMinFrac   = 0.5
+	adminSpikeMult = 4
+)
+
+// DetectAdminRenumbering scans every AS with enough probes for en-masse
+// renumbering days. Results sort by day then ASN.
+func DetectAdminRenumbering(res *FilterResult) []AdminEvent {
+	var out []AdminEvent
+	for asn, ids := range ByAS(res) {
+		if len(ids) < Table5MinProbes {
+			continue
+		}
+		// perDay[d] = set size of probes with >=1 change on day d.
+		perDay := map[int]map[atlasdata.ProbeID]bool{}
+		for _, id := range ids {
+			for _, ch := range res.Views[id].Changes {
+				d := ch.NextStart.DayWithinStudy()
+				if d < 0 {
+					continue
+				}
+				if perDay[d] == nil {
+					perDay[d] = make(map[atlasdata.ProbeID]bool)
+				}
+				perDay[d][id] = true
+			}
+		}
+		// Median daily count across the whole study year (days without
+		// changes count as zero).
+		const studyDays = 365
+		counts := make([]int, 0, studyDays)
+		for d := 0; d < studyDays; d++ {
+			counts = append(counts, len(perDay[d]))
+		}
+		sorted := append([]int(nil), counts...)
+		sort.Ints(sorted)
+		median := sorted[len(sorted)/2]
+
+		for d := 0; d < studyDays; d++ {
+			n := len(perDay[d])
+			if n < adminMinProbes {
+				continue
+			}
+			if float64(n) < adminMinFrac*float64(len(ids)) {
+				continue
+			}
+			if n < adminSpikeMult*(median+1) {
+				continue
+			}
+			out = append(out, AdminEvent{
+				ASN: asn, Day: d, Probes: n,
+				FracOfAS: float64(n) / float64(len(ids)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Day != out[j].Day {
+			return out[i].Day < out[j].Day
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/simclock"
+)
+
+// Cause classifies what happened during an inter-connection gap,
+// following the paper's priority ordering (§3.6): a network outage
+// indicated by k-root wins; otherwise a reboot coincident with missing
+// pings means a power outage; otherwise the gap had no outage.
+type Cause int
+
+// Gap causes.
+const (
+	NoOutage Cause = iota
+	NetworkCause
+	PowerCause
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case NetworkCause:
+		return "network"
+	case PowerCause:
+		return "power"
+	default:
+		return "no-outage"
+	}
+}
+
+// Gap is one inter-connection gap annotated with its outage cause and
+// whether the probe's IPv4 address changed across it.
+type Gap struct {
+	Probe     atlasdata.ProbeID
+	PrevEnd   simclock.Time
+	NextStart simclock.Time
+	Changed   bool
+	Cause     Cause
+	// OutageDuration is the detected outage length: the loss-run span
+	// for network outages (first to last all-lost round, which the paper
+	// notes under-estimates by up to eight minutes but does not
+	// correct), the ping gap for power outages, zero otherwise.
+	OutageDuration simclock.Duration
+}
+
+// gapSlack tolerates detector timestamps leaking slightly outside the
+// literal gap (pre-outage rounds are up to one interval before the
+// connection actually broke).
+const gapSlack = 5 * simclock.Minute
+
+// AssociateGaps walks a probe's IPv4-visible connection entries and
+// classifies every inter-connection gap. entries must be time-sorted;
+// outages and powers must be time-sorted per their detection order.
+func AssociateGaps(entries []atlasdata.ConnLogEntry, networks []NetworkOutage, powers []PowerOutage) []Gap {
+	var out []Gap
+	ni, pi := 0, 0
+	for i := 1; i < len(entries); i++ {
+		prev, cur := entries[i-1], entries[i]
+		g := Gap{
+			Probe:     cur.Probe,
+			PrevEnd:   prev.End,
+			NextStart: cur.Start,
+		}
+		if prev.IsV4() && cur.IsV4() {
+			g.Changed = prev.Addr != cur.Addr
+		}
+		lo, hi := g.PrevEnd.Add(-gapSlack), g.NextStart.Add(gapSlack)
+
+		// Advance cursors past outages that ended before this gap.
+		for ni < len(networks) && networks[ni].End.Before(lo) {
+			ni++
+		}
+		for pi < len(powers) && powers[pi].RebootAt.Before(lo) {
+			pi++
+		}
+
+		switch {
+		case ni < len(networks) && !networks[ni].Start.After(hi):
+			g.Cause = NetworkCause
+			g.OutageDuration = networks[ni].Duration()
+		case pi < len(powers) && !powers[pi].RebootAt.After(hi):
+			g.Cause = PowerCause
+			g.OutageDuration = powers[pi].Duration()
+		default:
+			g.Cause = NoOutage
+		}
+		out = append(out, g)
+	}
+	return out
+}

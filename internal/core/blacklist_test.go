@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"dynaddr/internal/simclock"
+)
+
+func TestAdviseBlacklistShapes(t *testing.T) {
+	_, rep := paperWorld(t)
+	advice := AdviseBlacklist(rep, 5)
+	if len(advice) < 5 {
+		t.Fatalf("advice for only %d ASes", len(advice))
+	}
+	byASN := map[uint32]BlacklistAdvice{}
+	for _, a := range advice {
+		byASN[a.ASN] = a
+	}
+
+	dtag, okD := byASN[3320]
+	lgi, okL := byASN[6830]
+	if !okD || !okL {
+		t.Fatal("DTAG or LGI missing from advice")
+	}
+	// DTAG renumbers daily and on any reconnect: short TTL, evadable.
+	if dtag.MedianHoldHours > 30 {
+		t.Errorf("DTAG median hold = %.0fh, want ~24h", dtag.MedianHoldHours)
+	}
+	if !dtag.EvadableByReboot {
+		t.Error("DTAG entries should be evadable by reboot")
+	}
+	if dtag.SuggestedTTL > 26*simclock.Hour {
+		t.Errorf("DTAG suggested TTL = %v, want about a day", dtag.SuggestedTTL)
+	}
+	// LGI holds addresses for days-to-weeks and does not renumber on
+	// short reconnects.
+	if lgi.MedianHoldHours < dtag.MedianHoldHours {
+		t.Error("LGI should hold addresses longer than DTAG")
+	}
+	if lgi.EvadableByReboot {
+		t.Error("LGI entries should not be evadable by reboot")
+	}
+	if lgi.SuggestedTTL <= dtag.SuggestedTTL {
+		t.Error("LGI TTL should exceed DTAG TTL")
+	}
+	// Percentiles are ordered.
+	for _, a := range advice {
+		if a.P90HoldHours < a.MedianHoldHours {
+			t.Errorf("AS%d: P90 %.0f < median %.0f", a.ASN, a.P90HoldHours, a.MedianHoldHours)
+		}
+		if a.PrefixEscapeShare < 0 || a.PrefixEscapeShare > 1 {
+			t.Errorf("AS%d: escape share %v", a.ASN, a.PrefixEscapeShare)
+		}
+	}
+}
+
+func TestAdviseBlacklistMinProbes(t *testing.T) {
+	_, rep := paperWorld(t)
+	all := AdviseBlacklist(rep, 1)
+	few := AdviseBlacklist(rep, 50)
+	if len(few) >= len(all) {
+		t.Error("raising the probe floor must shrink the advice list")
+	}
+	for _, a := range few {
+		if a.Probes < 50 {
+			t.Errorf("AS%d with %d probes passed the floor", a.ASN, a.Probes)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// The paper's §8 points at Richter et al. (IMC 2016): the set of active
+// IPv4 addresses a large vantage sees changes by ~8% day over day, and
+// asks how much of that churn dynamic renumbering explains. This file
+// computes exactly that series over a dataset: the day-over-day
+// turnover of the active address set.
+
+// ChurnPoint is one day's address-set turnover relative to the previous
+// day.
+type ChurnPoint struct {
+	// Day is the zero-based study day (the later of the two compared).
+	Day int
+	// PrevActive and Active are the sizes of the two daily address sets.
+	PrevActive int
+	Active     int
+	// Appeared counts addresses active today but not yesterday; Gone
+	// counts addresses active yesterday but not today.
+	Appeared int
+	Gone     int
+}
+
+// Turnover returns the symmetric-difference ratio: |Δ| / |union|, the
+// day-over-day churn share.
+func (c ChurnPoint) Turnover() float64 {
+	union := c.PrevActive + c.Appeared
+	if union == 0 {
+		return 0
+	}
+	return float64(c.Appeared+c.Gone) / float64(union)
+}
+
+// DailyActiveSets computes, for each study day, the set of IPv4
+// addresses with at least one connection overlapping that day, across
+// the given probes.
+func DailyActiveSets(ds *atlasdata.Dataset, ids []atlasdata.ProbeID) []map[ip4.Addr]bool {
+	days := int(simclock.StudyEnd.Sub(simclock.StudyStart) / simclock.Day)
+	sets := make([]map[ip4.Addr]bool, days)
+	for i := range sets {
+		sets[i] = make(map[ip4.Addr]bool)
+	}
+	for _, id := range ids {
+		for _, e := range ds.ConnLogs[id] {
+			if !e.IsV4() {
+				continue
+			}
+			first := e.Start.DayWithinStudy()
+			last := e.End.DayWithinStudy()
+			if first < 0 && e.Start.Before(simclock.StudyStart) {
+				first = 0
+			}
+			if last < 0 && e.End.After(simclock.StudyStart) {
+				last = days - 1
+			}
+			for d := first; d <= last && d >= 0 && d < days; d++ {
+				sets[d][e.Addr] = true
+			}
+		}
+	}
+	return sets
+}
+
+// DailyChurn computes the day-over-day churn series over the given
+// probes (pass a FilterResult's GeoProbes for the paper-aligned
+// population, or all probe IDs for the raw vantage view).
+func DailyChurn(ds *atlasdata.Dataset, ids []atlasdata.ProbeID) []ChurnPoint {
+	sets := DailyActiveSets(ds, ids)
+	var out []ChurnPoint
+	for d := 1; d < len(sets); d++ {
+		prev, cur := sets[d-1], sets[d]
+		p := ChurnPoint{Day: d, PrevActive: len(prev), Active: len(cur)}
+		for a := range cur {
+			if !prev[a] {
+				p.Appeared++
+			}
+		}
+		for a := range prev {
+			if !cur[a] {
+				p.Gone++
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MeanTurnover averages the turnover across days with activity on both
+// sides; days where either set is empty are skipped.
+func MeanTurnover(points []ChurnPoint) float64 {
+	var sum float64
+	n := 0
+	for _, p := range points {
+		if p.PrevActive == 0 || p.Active == 0 {
+			continue
+		}
+		sum += p.Turnover()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

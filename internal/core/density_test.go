@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"dynaddr/internal/sim"
+	"dynaddr/internal/simclock"
+)
+
+// TestSparseVsDenseKRootEquivalence validates the sparse k-root
+// emission documented in DESIGN.md: because the detectors are anchored
+// (network outages at all-lost runs, power outages at reboots), the
+// analysis must produce identical outage detections whether background
+// rounds arrive every 4 minutes (the real probes' cadence) or every 6
+// hours (the default sparse heartbeat).
+func TestSparseVsDenseKRootEquivalence(t *testing.T) {
+	build := func(heartbeat simclock.Duration) (*sim.World, *FilterResult, *OutageAnalysis) {
+		cfg := sim.DefaultConfig()
+		cfg.Seed = 31337
+		cfg.Scale = 0.06
+		// Two simulated months keep the dense (4-minute) run cheap.
+		cfg.Start = simclock.StudyStart
+		cfg.End = simclock.StudyStart.Add(61 * simclock.Day)
+		cfg.FirmwareDays = []int{24}
+		cfg.KRootHeartbeat = heartbeat
+		w, err := sim.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Filter(w.Dataset)
+		return w, res, AnalyzeOutages(w.Dataset, res)
+	}
+
+	wS, resS, oaS := build(6 * simclock.Hour)
+	wD, resD, oaD := build(4 * simclock.Minute)
+
+	// Same world modulo round density.
+	denseRounds, sparseRounds := 0, 0
+	for id := range wD.Dataset.KRoot {
+		denseRounds += len(wD.Dataset.KRoot[id])
+		sparseRounds += len(wS.Dataset.KRoot[id])
+	}
+	if denseRounds <= 2*sparseRounds {
+		t.Fatalf("dense mode not denser: %d vs %d rounds", denseRounds, sparseRounds)
+	}
+	if len(resS.GeoProbes) != len(resD.GeoProbes) {
+		t.Fatalf("filtering diverged: %d vs %d analyzable", len(resS.GeoProbes), len(resD.GeoProbes))
+	}
+
+	for id, stS := range oaS.Stats {
+		stD, ok := oaD.Stats[id]
+		if !ok {
+			t.Fatalf("probe %d missing from dense analysis", id)
+		}
+		if stS.NetworkGaps != stD.NetworkGaps || stS.NetworkChanged != stD.NetworkChanged {
+			t.Errorf("probe %d network stats diverge: sparse %+v dense %+v", id, stS, stD)
+		}
+		if stS.PowerGaps != stD.PowerGaps || stS.PowerChanged != stD.PowerChanged {
+			t.Errorf("probe %d power stats diverge: sparse %+v dense %+v", id, stS, stD)
+		}
+	}
+
+	// Power-outage duration estimates tighten with density but stay
+	// within one heartbeat of each other; gap causes stay identical.
+	for id, gapsS := range oaS.Gaps {
+		gapsD := oaD.Gaps[id]
+		if len(gapsS) != len(gapsD) {
+			t.Fatalf("probe %d gap counts diverge: %d vs %d", id, len(gapsS), len(gapsD))
+		}
+		for i := range gapsS {
+			if gapsS[i].Cause != gapsD[i].Cause || gapsS[i].Changed != gapsD[i].Changed {
+				t.Errorf("probe %d gap %d classification diverges: %+v vs %+v",
+					id, i, gapsS[i], gapsD[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynaddr/internal/svgplot"
+)
+
+// WriteFigureSVGs renders every figure of the report as an SVG file in
+// dir (created if needed) and returns the written paths, in figure
+// order. Figures whose data is empty are skipped.
+func WriteFigureSVGs(rep *Report, names NameFunc, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name, svg string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	cdfSeries := func(curves []ASCDF) []svgplot.Series {
+		var out []svgplot.Series
+		for _, c := range curves {
+			label := c.Label
+			if label == "" {
+				label = displayName(names, c.ASN)
+			}
+			s := svgplot.Series{Label: fmt.Sprintf("%s (%.1fy)", label, c.TotalYears)}
+			for _, p := range c.CDF {
+				s.Points = append(s.Points, svgplot.Point{X: p.X, Y: p.Y})
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+
+	if len(rep.Figure1) > 0 {
+		if err := write("fig1.svg", svgplot.DurationCDF(
+			"Figure 1: total time fraction CDF by continent", cdfSeries(rep.Figure1))); err != nil {
+			return nil, err
+		}
+	}
+	if len(rep.Figure2) > 0 {
+		if err := write("fig2.svg", svgplot.DurationCDF(
+			"Figure 2: total time fraction CDF, top ASes", cdfSeries(rep.Figure2))); err != nil {
+			return nil, err
+		}
+	}
+	if len(rep.Figure3) > 0 {
+		if err := write("fig3.svg", svgplot.DurationCDF(
+			"Figure 3: total time fraction CDF, German ASes", cdfSeries(rep.Figure3))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figures 4/5: one histogram per AS in the hour-of-day analysis.
+	for i, h := range rep.HourHists {
+		labels := make([]string, 24)
+		values := make([]float64, 24)
+		for hr, c := range h.Hours {
+			labels[hr] = fmt.Sprintf("%d", hr+1)
+			values[hr] = float64(c)
+		}
+		title := fmt.Sprintf("Figure %d: hour of day of %s's d=%.0fh address changes",
+			4+i, displayName(names, h.ASN), h.D)
+		if err := write(fmt.Sprintf("fig%d.svg", 4+i), svgplot.Histogram(
+			title, "Hour of the day (GMT)", "Address changes", labels, values, nil)); err != nil {
+			return nil, err
+		}
+		if i == 1 {
+			break
+		}
+	}
+
+	if len(rep.Figure6RebootsPerDay) > 0 {
+		// Daily series as a dense histogram, one bar per week to stay
+		// legible; firmware days called out in the title.
+		weeks := (len(rep.Figure6RebootsPerDay) + 6) / 7
+		labels := make([]string, weeks)
+		values := make([]float64, weeks)
+		for d, c := range rep.Figure6RebootsPerDay {
+			values[d/7] += float64(c)
+			if d%7 == 0 && (d/7)%4 == 0 {
+				labels[d/7] = fmt.Sprintf("w%d", d/7+1)
+			}
+		}
+		title := fmt.Sprintf("Figure 6: probe reboots per week (firmware pushes at days %v)",
+			rep.Figure6FirmwareDays)
+		if err := write("fig6.svg", svgplot.Histogram(
+			title, "Week of the year", "Rebooted probes", labels, values, nil)); err != nil {
+			return nil, err
+		}
+	}
+
+	pacSeries := func(curves []PacECDF) []svgplot.Series {
+		var out []svgplot.Series
+		for _, c := range curves {
+			s := svgplot.Series{Label: fmt.Sprintf("%s (%d)", displayName(names, c.ASN), c.Probes)}
+			for _, p := range c.Points {
+				s.Points = append(s.Points, svgplot.Point{X: p.X, Y: p.Y})
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	if len(rep.Figure7) > 0 {
+		if err := write("fig7.svg", svgplot.ProbabilityECDF(
+			"Figure 7: P(address change | network outage) per probe",
+			"Probability of an address change given a network outage",
+			pacSeries(rep.Figure7))); err != nil {
+			return nil, err
+		}
+	}
+	if len(rep.Figure8) > 0 {
+		if err := write("fig8.svg", svgplot.ProbabilityECDF(
+			"Figure 8: P(address change | power outage) per probe (v3)",
+			"Probability of an address change given a power outage",
+			pacSeries(rep.Figure8))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 9: one overlay histogram per contrast AS.
+	for i, f := range rep.Figure9 {
+		labels := make([]string, len(f.Bins))
+		totals := make([]float64, len(f.Bins))
+		renum := make([]float64, len(f.Bins))
+		for j, bin := range f.Bins {
+			labels[j] = bin.Label
+			totals[j] = float64(bin.Total)
+			renum[j] = float64(bin.Renumbered)
+		}
+		title := fmt.Sprintf("Figure 9 (%s): renumbering by outage duration", displayName(names, f.ASN))
+		if err := write(fmt.Sprintf("fig9-%d.svg", i+1), svgplot.Histogram(
+			title, "Outage duration", "Outages", labels, totals, renum)); err != nil {
+			return nil, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigureSVGs(t *testing.T) {
+	_, rep := paperWorld(t)
+	dir := filepath.Join(t.TempDir(), "figs")
+	written, err := WriteFigureSVGs(rep, nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) < 9 {
+		t.Fatalf("only %d figures written: %v", len(written), written)
+	}
+	wantFiles := []string{"fig1.svg", "fig2.svg", "fig3.svg", "fig4.svg", "fig5.svg",
+		"fig6.svg", "fig7.svg", "fig8.svg", "fig9-1.svg", "fig9-2.svg"}
+	for _, f := range wantFiles {
+		path := filepath.Join(dir, f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s missing: %v", f, err)
+			continue
+		}
+		svg := string(data)
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+			t.Errorf("%s is not a standalone SVG", f)
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() != "EOF" {
+					t.Errorf("%s not well-formed: %v", f, err)
+				}
+				break
+			}
+		}
+	}
+	// Figure 1's legend carries the continent codes.
+	fig1, err := os.ReadFile(filepath.Join(dir, "fig1.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fig1), "EU") || !strings.Contains(string(fig1), "NA") {
+		t.Error("fig1.svg legend missing continents")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"dynaddr/internal/simclock"
+)
+
+// The paper's §8 records a negative result: "we anticipated that the
+// rich dataset ... would enable us to infer the configured duration of
+// DHCP leases. It turns out that address reassignment was substantially
+// more complex than we expected." This file implements the naive
+// estimator the authors anticipated — and makes its failure modes
+// explicit, so the negative result is reproducible too.
+//
+// The estimator's logic: a DHCP client renews at half-lease, so an
+// outage shorter than lease/2 can never lapse the lease. The shortest
+// outage-duration bin that shows meaningful renumbering therefore
+// brackets lease/2 from above. For PPP plants the premise is false —
+// any reconnect renumbers — and the estimator must refuse.
+
+// LeaseEstimate is the naive estimator's output for one AS. Only the
+// upper bound is sound: an outage shorter than lease/2 can never
+// renumber (the client renewed at half-lease before it), so the first
+// bin showing *any* renumbering upper-bounds the lease at twice its
+// upper edge. No lower bound exists — bins without renumbering are
+// equally consistent with "lease intact" and with "lease lapsed but the
+// pool had not reclaimed yet". That asymmetry is the complexity the
+// paper's §8 ran into.
+type LeaseEstimate struct {
+	ASN uint32
+	// UpperBound is the sound bound: lease <= UpperBound.
+	UpperBound simclock.Duration
+	// Meaningful reports whether the estimator's premise held. PPP-style
+	// plants renumber from the very first populated bin at high rate and
+	// yield Meaningful == false — there is no lease to estimate.
+	Meaningful bool
+}
+
+// pppRefuseRate is the first-bin renumbering share above which the
+// estimator concludes the plant does not lease at all.
+const pppRefuseRate = 0.2
+
+// leaseMinBinSamples is the per-bin sample floor.
+const leaseMinBinSamples = 5
+
+// EstimateLease applies the naive estimator to one AS's outage-duration
+// profile (Figure 9's bins).
+func EstimateLease(bins []DurationBinRow) LeaseEstimate {
+	var est LeaseEstimate
+	firstPopulated, onset := -1, -1
+	for i, b := range bins {
+		if b.Total < leaseMinBinSamples {
+			continue
+		}
+		if firstPopulated < 0 {
+			firstPopulated = i
+		}
+		if b.Renumbered > 0 && onset < 0 {
+			onset = i
+		}
+	}
+	if onset < 0 {
+		return est // never renumbers: nothing to estimate
+	}
+	if onset == firstPopulated && bins[onset].Pct() >= pppRefuseRate {
+		return est // PPP plant: renumbers immediately, no lease
+	}
+	var hi float64
+	if onset < len(OutageDurationBins) {
+		hi = OutageDurationBins[onset]
+	} else {
+		hi = 2 * OutageDurationBins[len(OutageDurationBins)-1]
+	}
+	est.UpperBound = simclock.Duration(2 * hi)
+	est.Meaningful = true
+	return est
+}
+
+// EstimateLeases runs the estimator over every AS with outage evidence.
+func EstimateLeases(oa *OutageAnalysis, res *FilterResult) map[uint32]LeaseEstimate {
+	out := make(map[uint32]LeaseEstimate)
+	for asn, ids := range ByAS(res) {
+		bins := oa.DurationBins(res, ids)
+		total := 0
+		for _, b := range bins {
+			total += b.Total
+		}
+		if total < 20 {
+			continue
+		}
+		est := EstimateLease(bins)
+		est.ASN = asn
+		out[asn] = est
+	}
+	return out
+}

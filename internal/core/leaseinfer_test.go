@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"dynaddr/internal/isp"
+	"dynaddr/internal/simclock"
+)
+
+func TestEstimateLeaseUnits(t *testing.T) {
+	// DHCP-like: silent below 3-6h, renumbering from the 6-12h bin.
+	bins := make([]DurationBinRow, len(OutageDurationBinLabels))
+	for i := range bins {
+		bins[i].Label = OutageDurationBinLabels[i]
+		bins[i].Total = 50
+	}
+	bins[7].Renumbered = 20 // 6-12h bin at 40%
+	bins[8].Renumbered = 40
+	est := EstimateLease(bins)
+	if !est.Meaningful {
+		t.Fatal("DHCP-shaped profile should yield a meaningful estimate")
+	}
+	// Lease upper-bounded by twice the onset bin's upper edge: 24h.
+	if est.UpperBound != 24*simclock.Hour {
+		t.Errorf("upper bound = %v, want 24h (2x onset bin edge)", est.UpperBound)
+	}
+
+	// PPP-like: first populated bin renumbers.
+	ppp := make([]DurationBinRow, len(OutageDurationBinLabels))
+	for i := range ppp {
+		ppp[i].Total = 50
+		ppp[i].Renumbered = 45
+	}
+	if got := EstimateLease(ppp); got.Meaningful {
+		t.Error("PPP-shaped profile must refuse a lease estimate")
+	}
+
+	// No renumbering anywhere: nothing to estimate.
+	quiet := make([]DurationBinRow, len(OutageDurationBinLabels))
+	for i := range quiet {
+		quiet[i].Total = 50
+	}
+	if got := EstimateLease(quiet); got.Meaningful {
+		t.Error("never-renumbering profile must refuse")
+	}
+}
+
+func TestEstimateLeasesRecoversGroundTruthAndNegativeResult(t *testing.T) {
+	w, rep := paperWorld(t)
+	_ = w
+	ests := EstimateLeases(rep.Outage, rep.Filter)
+	if len(ests) == 0 {
+		t.Fatal("no estimates")
+	}
+
+	// LGI: lease 3h; the estimator must bracket it.
+	lgi, ok := ests[6830]
+	if !ok {
+		t.Fatal("no estimate for LGI")
+	}
+	if !lgi.Meaningful {
+		t.Fatal("LGI estimate should be meaningful (DHCP)")
+	}
+	truth := 3 * simclock.Hour
+	if truth > lgi.UpperBound {
+		t.Errorf("LGI lease %v exceeds estimated upper bound %v (bound unsound)", truth, lgi.UpperBound)
+	}
+	if lgi.UpperBound > 16*truth {
+		t.Errorf("LGI upper bound %v uselessly loose for lease %v", lgi.UpperBound, truth)
+	}
+
+	// Orange (PPP): the paper's §8 negative result — no meaningful
+	// lease exists.
+	if orange, ok := ests[3215]; ok && orange.Meaningful {
+		t.Errorf("Orange should refuse a lease estimate, got upper bound %v", orange.UpperBound)
+	}
+
+	// Across the whole world, every meaningful estimate must belong to a
+	// DHCP profile; PPP ISPs must refuse.
+	kinds := map[uint32]isp.AssignKind{}
+	renumFrac := map[uint32]float64{}
+	for _, p := range isp.PaperProfiles() {
+		kinds[uint32(p.ASN)] = p.Kind
+		renumFrac[uint32(p.ASN)] = p.OutageRenumberFrac
+	}
+	for asn, est := range ests {
+		kind, known := kinds[asn]
+		if !known || !est.Meaningful {
+			continue
+		}
+		if kind == isp.PPP && renumFrac[asn] >= 0.6 {
+			t.Errorf("AS%d is a renumber-on-reconnect PPP plant but got lease bound %v",
+				asn, est.UpperBound)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"dynaddr/internal/isp"
+)
+
+func mkBins(shortTotal, shortRen, longTotal, longRen int) []DurationBinRow {
+	bins := make([]DurationBinRow, len(OutageDurationBinLabels))
+	for i := range bins {
+		bins[i].Label = OutageDurationBinLabels[i]
+	}
+	bins[0] = DurationBinRow{Label: "<5m", Total: shortTotal, Renumbered: shortRen}
+	bins[9] = DurationBinRow{Label: "1-3d", Total: longTotal, Renumbered: longRen}
+	return bins
+}
+
+func TestInferLinkTypeUnits(t *testing.T) {
+	cases := []struct {
+		name string
+		bins []DurationBinRow
+		want LinkType
+	}{
+		{"ppp", mkBins(100, 95, 10, 10), LinkPPP},
+		{"dhcp", mkBins(100, 1, 10, 6), LinkDHCP},
+		{"stable", mkBins(100, 0, 10, 1), LinkStable},
+		{"too-few-short", mkBins(4, 4, 10, 10), LinkUnknown},
+		{"no-long-evidence", mkBins(100, 2, 1, 1), LinkUnknown},
+	}
+	for _, c := range cases {
+		got, ev := InferLinkType(c.bins)
+		if got != c.want {
+			t.Errorf("%s: inferred %v (%v), want %v", c.name, got, ev, c.want)
+		}
+	}
+}
+
+func TestLinkTypesRecoverGroundTruth(t *testing.T) {
+	w, rep := paperWorld(t)
+	_ = w
+	rows := LinkTypesByAS(rep.Outage, rep.Filter)
+	if len(rows) < 5 {
+		t.Fatalf("only %d ASes classified", len(rows))
+	}
+	byASN := map[uint32]LinkTypeRow{}
+	for _, r := range rows {
+		byASN[r.ASN] = r
+	}
+
+	profiles := isp.PaperProfiles()
+	correct, wrong := 0, 0
+	for _, p := range profiles {
+		row, ok := byASN[uint32(p.ASN)]
+		if !ok {
+			continue
+		}
+		var want LinkType
+		switch {
+		case p.Kind == isp.PPP && p.OutageRenumberFrac >= 0.6:
+			want = LinkPPP
+		case p.Kind == isp.DHCP:
+			// Short-reclaim plants look DHCP; very long reclaim means
+			// even day-long outages rarely renumber (stable).
+			if p.ReclaimMean <= 7*24*3600 {
+				want = LinkDHCP
+			} else {
+				want = LinkStable
+			}
+		default:
+			continue // mixed-technology PPP and static: either verdict defensible
+		}
+		if row.Type == want {
+			correct++
+		} else {
+			wrong++
+			t.Logf("AS%d (%s): inferred %v, want %v [%v]", p.ASN, p.Name, row.Type, want, row.Evidence)
+		}
+	}
+	if correct < 5 {
+		t.Fatalf("too few ground-truth comparisons: %d", correct)
+	}
+	if frac := float64(correct) / float64(correct+wrong); frac < 0.8 {
+		t.Errorf("link-type inference accuracy %.2f (correct=%d wrong=%d)", frac, correct, wrong)
+	}
+}
+
+func TestLinkTypeStrings(t *testing.T) {
+	if LinkPPP.String() != "ppp" || LinkDHCP.String() != "dhcp" ||
+		LinkStable.String() != "stable" || LinkUnknown.String() != "unknown" {
+		t.Error("LinkType.String wrong")
+	}
+	ev := LinkEvidence{ShortRate: 0.5, ShortN: 10, LongRate: 0.9, LongN: 4}
+	if ev.String() == "" {
+		t.Error("evidence must format")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dynaddr/internal/radius"
+)
+
+// TestMethodologyCrossValidation runs the two measurement methodologies
+// the paper's §7 contrasts against the same world and requires them to
+// agree:
+//
+//   - the Atlas-side view (this repository's pipeline): address
+//     durations bounded by observed changes, weighted by total time;
+//   - the ISP-side view of Maier et al.: Radius accounting sessions,
+//     one per address assignment, analysed by session length.
+//
+// For a heavily periodic ISP the Radius session-length mode must equal
+// the Atlas-side total-time-fraction mode — 24 hours for DTAG.
+func TestMethodologyCrossValidation(t *testing.T) {
+	_, rep := paperWorld(t)
+	byAS := ByAS(rep.Filter)
+
+	for _, tc := range []struct {
+		asn  uint32
+		mode float64
+	}{
+		{3320, 24},  // DTAG
+		{3215, 168}, // Orange
+	} {
+		ids := byAS[tc.asn]
+		if len(ids) == 0 {
+			t.Fatalf("no probes for AS%d", tc.asn)
+		}
+
+		// ISP side: replay every probe's connection log through the
+		// Radius accountant and analyse session lengths.
+		acct := radius.NewAccountant()
+		for _, id := range ids {
+			user := fmt.Sprintf("probe-%d", id)
+			if err := radius.AccountConnLog(acct, user, rep.Filter.Views[id].Entries); err != nil {
+				t.Fatal(err)
+			}
+		}
+		radiusTTF := radius.SessionDurationTTF(acct.Completed())
+		radiusMass := radiusTTF.MassAt(tc.mode)
+
+		// Atlas side: bounded address durations.
+		ttfs := ProbeTTFs(rep.Filter)
+		atlasTTF := GroupTTF(ttfs, ids)
+		atlasMass := atlasTTF.MassAt(tc.mode)
+
+		if radiusMass < 0.3 {
+			t.Errorf("AS%d: Radius-side mass at %vh = %.2f, want a dominant mode", tc.asn, tc.mode, radiusMass)
+		}
+		if atlasMass < 0.3 {
+			t.Errorf("AS%d: Atlas-side mass at %vh = %.2f, want a dominant mode", tc.asn, tc.mode, atlasMass)
+		}
+		// The two views agree within a modest tolerance. They are not
+		// identical by construction: Radius sees first/last sessions the
+		// Atlas analysis must discard as unbounded (paper Table 1), so
+		// the ISP view has slightly more mass overall.
+		if math.Abs(radiusMass-atlasMass) > 0.15 {
+			t.Errorf("AS%d: methodologies disagree at %vh: radius %.2f vs atlas %.2f",
+				tc.asn, tc.mode, radiusMass, atlasMass)
+		}
+	}
+}
+
+// TestMethodologySessionCounts sanity-checks the ledger volume: every
+// analyzable probe's address runs become sessions, so the total session
+// count must exceed the total change count (changes = sessions - 1 per
+// probe, minus v6 interruptions).
+func TestMethodologySessionCounts(t *testing.T) {
+	_, rep := paperWorld(t)
+	acct := radius.NewAccountant()
+	changes := 0
+	for id, view := range rep.Filter.Views {
+		if err := radius.AccountConnLog(acct, fmt.Sprintf("p%d", id), view.Entries); err != nil {
+			t.Fatal(err)
+		}
+		changes += len(view.Changes)
+	}
+	sessions := len(acct.Completed())
+	if sessions <= changes {
+		t.Errorf("sessions = %d, changes = %d; ledger lost sessions", sessions, changes)
+	}
+	if acct.Open() != 0 {
+		t.Errorf("%d sessions left open", acct.Open())
+	}
+}

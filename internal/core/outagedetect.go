@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/simclock"
+)
+
+// NetworkOutage is a detected loss-of-connectivity episode during which
+// the probe stayed up: a run of k-root rounds with every ping lost and a
+// growing LTS (paper §3.4, Table 3). Start and End are the first and
+// last all-lost rounds, which under-estimates the true outage by up to
+// two round intervals — exactly the paper's stated error bound.
+type NetworkOutage struct {
+	Probe atlasdata.ProbeID
+	Start simclock.Time
+	End   simclock.Time
+}
+
+// Duration returns the detected outage span. A single-round outage has
+// zero span; callers treat it as "under one round interval".
+func (n NetworkOutage) Duration() simclock.Duration { return n.End.Sub(n.Start) }
+
+// ltsSyncBound is the LTS value above which a probe has clearly missed
+// its controller sync (normal reporting keeps LTS under ~240 s).
+const ltsSyncBound = 240
+
+// DetectNetworkOutages finds loss runs in a probe's (time-sorted) k-root
+// rounds. A run qualifies when the LTS grows across it (multi-round
+// runs) or exceeds the sync bound (single-round runs) — the paper's
+// requirement that two independent signals agree.
+func DetectNetworkOutages(rounds []atlasdata.KRootRound) []NetworkOutage {
+	var out []NetworkOutage
+	i := 0
+	for i < len(rounds) {
+		if !rounds[i].AllLost() {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(rounds) && rounds[j+1].AllLost() {
+			j++
+		}
+		ltsOK := false
+		if j > i {
+			ltsOK = rounds[j].LTS > rounds[i].LTS
+		} else {
+			ltsOK = rounds[i].LTS > ltsSyncBound
+		}
+		if ltsOK {
+			out = append(out, NetworkOutage{
+				Probe: rounds[i].Probe,
+				Start: rounds[i].Timestamp,
+				End:   rounds[j].Timestamp,
+			})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Reboot is a detected probe reboot from the SOS-uptime dataset: the
+// uptime counter reset, implying the probe booted at At (paper §3.5,
+// Table 4).
+type Reboot struct {
+	Probe atlasdata.ProbeID
+	// At is the inferred boot instant: report timestamp minus counter.
+	At simclock.Time
+}
+
+// bootSlack absorbs clock skew between the probe's uptime counter and
+// the controller's record timestamps when comparing boot instants.
+const bootSlack = 90 * simclock.Second
+
+// DetectReboots finds counter resets in a probe's (time-sorted) uptime
+// records. Each record implies a boot instant (timestamp - uptime); a
+// boot instant later than the previous one by more than the slack is a
+// reboot.
+func DetectReboots(recs []atlasdata.UptimeRecord) []Reboot {
+	var out []Reboot
+	var prevBoot simclock.Time
+	for i, r := range recs {
+		boot := r.Timestamp.Add(-simclock.Duration(r.Uptime))
+		if i > 0 && boot.Sub(prevBoot) > bootSlack {
+			out = append(out, Reboot{Probe: r.Probe, At: boot})
+		}
+		if i == 0 || boot.After(prevBoot) {
+			prevBoot = boot
+		}
+	}
+	return out
+}
+
+// RebootsPerDay counts, for each study day, how many distinct probes
+// rebooted — the paper's Figure 6 series.
+func RebootsPerDay(reboots map[atlasdata.ProbeID][]Reboot) []int {
+	days := int(simclock.StudyEnd.Sub(simclock.StudyStart) / simclock.Day)
+	counts := make([]int, days)
+	for _, rs := range reboots {
+		seen := make(map[int]bool)
+		for _, r := range rs {
+			d := r.At.DayWithinStudy()
+			if d >= 0 && !seen[d] {
+				seen[d] = true
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}
+
+// DetectFirmwareDays finds the days on which firmware updates were
+// distributed: the paper flags periods where daily unique-probe reboots
+// exceed twice the median for at least two consecutive days, and takes
+// the first day of each period (§5.2, Figure 6).
+func DetectFirmwareDays(perDay []int) []int {
+	if len(perDay) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), perDay...)
+	sort.Ints(sorted)
+	median := float64(sorted[len(sorted)/2])
+	if len(sorted)%2 == 0 {
+		median = (float64(sorted[len(sorted)/2-1]) + float64(sorted[len(sorted)/2])) / 2
+	}
+	threshold := 2 * median
+	var out []int
+	for d := 0; d < len(perDay); {
+		if float64(perDay[d]) > threshold {
+			j := d
+			for j+1 < len(perDay) && float64(perDay[j+1]) > threshold {
+				j++
+			}
+			if j > d { // at least two consecutive days
+				out = append(out, d)
+			}
+			d = j + 1
+			continue
+		}
+		d++
+	}
+	return out
+}
+
+// firmwareWindow is how long after a push a probe's first reboot is
+// attributed to the firmware install.
+const firmwareWindow = 2 * simclock.Day
+
+// FilterFirmwareReboots drops, for each probe, the first reboot that
+// falls within the window after each firmware day (§5.2) — those reboots
+// are effects of dropped connections, not causes.
+func FilterFirmwareReboots(reboots []Reboot, firmwareDays []int) []Reboot {
+	if len(firmwareDays) == 0 {
+		return reboots
+	}
+	consumed := make([]bool, len(firmwareDays))
+	out := reboots[:0:0]
+	for _, r := range reboots {
+		dropped := false
+		for i, d := range firmwareDays {
+			if consumed[i] {
+				continue
+			}
+			pushAt := simclock.StudyStart.Add(simclock.Duration(d) * simclock.Day)
+			if !r.At.Before(pushAt) && r.At.Sub(pushAt) <= firmwareWindow {
+				consumed[i] = true
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pingGapThreshold is the minimum silence in the k-root stream around a
+// reboot for the reboot to count as a power outage: at the 4-minute
+// round cadence, a powered-off probe misses at least one round, so the
+// surrounding gap spans at least two intervals.
+const pingGapThreshold = 6 * simclock.Minute
+
+// PowerOutage is a detected loss of power at the CPE/probe: a reboot
+// coincident with missing k-root rounds (paper §3.5, §5.1). The outage
+// duration is estimated from the gap between the last round before and
+// the first round after the reboot, the paper's §3.5 estimator.
+type PowerOutage struct {
+	Probe    atlasdata.ProbeID
+	RebootAt simclock.Time
+	// GapStart and GapEnd bound the k-root silence around the reboot.
+	GapStart simclock.Time
+	GapEnd   simclock.Time
+}
+
+// Duration returns the estimated outage duration (the ping gap).
+func (p PowerOutage) Duration() simclock.Duration { return p.GapEnd.Sub(p.GapStart) }
+
+// DetectPowerOutages pairs reboots with k-root silence. rounds must be
+// time-sorted. Reboots without a qualifying silence gap (e.g. a clean
+// probe restart between two rounds) are not power outages.
+func DetectPowerOutages(reboots []Reboot, rounds []atlasdata.KRootRound) []PowerOutage {
+	var out []PowerOutage
+	for _, r := range reboots {
+		// Last round at or before the boot instant, first round after.
+		i := sort.Search(len(rounds), func(k int) bool {
+			return rounds[k].Timestamp.After(r.At)
+		})
+		var gapStart, gapEnd simclock.Time
+		if i > 0 {
+			gapStart = rounds[i-1].Timestamp
+		} else {
+			gapStart = r.At.Add(-pingGapThreshold) // no earlier round: assume tight
+		}
+		if i < len(rounds) {
+			gapEnd = rounds[i].Timestamp
+		} else {
+			continue // no evidence after the reboot
+		}
+		if gapEnd.Sub(gapStart) > pingGapThreshold {
+			out = append(out, PowerOutage{
+				Probe:    r.Probe,
+				RebootAt: r.At,
+				GapStart: gapStart,
+				GapEnd:   gapEnd,
+			})
+		}
+	}
+	return out
+}

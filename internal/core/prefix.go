@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+)
+
+// PrefixChangeRow is one row of the paper's Table 7: for a set of
+// address changes, how many crossed a BGP prefix, a /16, and a /8
+// boundary.
+type PrefixChangeRow struct {
+	ASN uint32 // 0 for the all-probes summary row
+
+	Changes  int // total address changes considered
+	DiffBGP  int
+	DiffS16  int
+	DiffS8   int
+	Unrouted int // changes whose endpoints had no pfx2as mapping
+}
+
+// Fractions of total changes; zero when no changes.
+func frac(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// FracBGP returns the share of changes that crossed BGP prefixes.
+func (r PrefixChangeRow) FracBGP() float64 { return frac(r.DiffBGP, r.Changes) }
+
+// FracS16 returns the share of changes that crossed /16s.
+func (r PrefixChangeRow) FracS16() float64 { return frac(r.DiffS16, r.Changes) }
+
+// FracS8 returns the share of changes that crossed /8s.
+func (r PrefixChangeRow) FracS8() float64 { return frac(r.DiffS8, r.Changes) }
+
+// analyzePrefixChanges accumulates Table 7 counters over one probe's
+// changes. The BGP prefix of each endpoint comes from the month-matched
+// pfx2as snapshot, the paper's §6 procedure.
+func analyzePrefixChanges(ds *atlasdata.Dataset, view *ProbeView, row *PrefixChangeRow) {
+	for _, ch := range view.Changes {
+		_, fromPfx, okFrom := ds.Pfx2AS.Lookup(ch.From, ch.PrevEnd)
+		_, toPfx, okTo := ds.Pfx2AS.Lookup(ch.To, ch.NextStart)
+		row.Changes++
+		if !okFrom || !okTo {
+			row.Unrouted++
+			continue
+		}
+		if fromPfx != toPfx {
+			row.DiffBGP++
+		}
+		if ch.From.Slash16() != ch.To.Slash16() {
+			row.DiffS16++
+		}
+		if ch.From.Slash8() != ch.To.Slash8() {
+			row.DiffS8++
+		}
+	}
+}
+
+// PrefixChangesAll computes the Table 7 summary row over every
+// AS-analyzable probe.
+func PrefixChangesAll(ds *atlasdata.Dataset, res *FilterResult) PrefixChangeRow {
+	var row PrefixChangeRow
+	for _, id := range res.ASProbes {
+		analyzePrefixChanges(ds, res.Views[id], &row)
+	}
+	return row
+}
+
+// PrefixChangesByAS computes per-AS Table 7 rows for ASes with at least
+// one change, sorted by change count descending then ASN.
+func PrefixChangesByAS(ds *atlasdata.Dataset, res *FilterResult) []PrefixChangeRow {
+	groups := ByAS(res)
+	var rows []PrefixChangeRow
+	for asn, ids := range groups {
+		row := PrefixChangeRow{ASN: asn}
+		for _, id := range ids {
+			analyzePrefixChanges(ds, res.Views[id], &row)
+		}
+		if row.Changes > 0 {
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Changes != rows[j].Changes {
+			return rows[i].Changes > rows[j].Changes
+		}
+		return rows[i].ASN < rows[j].ASN
+	})
+	return rows
+}

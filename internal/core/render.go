@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynaddr/internal/stats"
+	"dynaddr/internal/tables"
+)
+
+// NameFunc resolves an ASN to a display name; nil and unknown ASNs fall
+// back to "AS<number>".
+type NameFunc func(asn uint32) string
+
+func displayName(names NameFunc, asn uint32) string {
+	if names != nil {
+		if n := names(asn); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("AS%d", asn)
+}
+
+// RenderTable2 formats the probe-filtering summary.
+func (r *Report) RenderTable2() *tables.Table {
+	t := tables.New("Table 2: probe filtering", "Category", "Probes")
+	total := 0
+	for _, c := range Categories {
+		total += r.Table2[c]
+	}
+	t.AddRow("Total Probes", tables.I(total))
+	for _, c := range Categories {
+		if c == CatAnalyzable {
+			continue
+		}
+		t.AddRow(c.String(), tables.I(r.Table2[c]))
+	}
+	t.AddRow("Analyzable (geography)", tables.I(len(r.Filter.GeoProbes)))
+	t.AddRow("Multiple ASes", tables.I(len(r.Filter.GeoProbes)-len(r.Filter.ASProbes)))
+	t.AddRow("Analyzable (AS-level)", tables.I(len(r.Filter.ASProbes)))
+	return t
+}
+
+// RenderTable5 formats the periodic-AS table.
+func (r *Report) RenderTable5(names NameFunc) *tables.Table {
+	t := tables.New("Table 5: periodically renumbering ASes",
+		"AS", "ASN", "d(h)", "N", "f>0.25", "f>0.5", "f>0.75", "MAX<=d", "Harmonic")
+	for _, row := range r.Table5All {
+		t.AddRow("All", "", tables.F(row.D, 0), tables.I(row.N), tables.I(row.NPeriodic),
+			tables.Pct(row.FracOver50), tables.Pct(row.FracOver75),
+			tables.Pct(row.FracMaxLeD), tables.Pct(row.FracHarmonic))
+	}
+	for _, row := range r.Table5 {
+		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.F(row.D, 0),
+			tables.I(row.N), tables.I(row.NPeriodic),
+			tables.Pct(row.FracOver50), tables.Pct(row.FracOver75),
+			tables.Pct(row.FracMaxLeD), tables.Pct(row.FracHarmonic))
+	}
+	return t
+}
+
+// RenderTable6 formats the outage-renumbering table.
+func (r *Report) RenderTable6(names NameFunc) *tables.Table {
+	t := tables.New("Table 6: ASes renumbering upon outages",
+		"AS", "ASN", "N", "P(ac|nw)>0.8", "P(ac|nw)=1", "P(ac|pw)>0.8", "P(ac|pw)=1")
+	for _, row := range r.Table6 {
+		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.I(row.N),
+			tables.Pct(row.NwOver80), tables.Pct(row.NwEq1),
+			tables.Pct(row.PwOver80), tables.Pct(row.PwEq1))
+	}
+	return t
+}
+
+// RenderTable7 formats the prefix-change table.
+func (r *Report) RenderTable7(names NameFunc) *tables.Table {
+	t := tables.New("Table 7: address changes across prefixes",
+		"AS", "ASN", "Changes", "DiffBGP", "%", "Diff/16", "%", "Diff/8", "%")
+	all := r.Table7All
+	t.AddRow("All", "", tables.I(all.Changes),
+		tables.I(all.DiffBGP), tables.Pct(all.FracBGP()),
+		tables.I(all.DiffS16), tables.Pct(all.FracS16()),
+		tables.I(all.DiffS8), tables.Pct(all.FracS8()))
+	for _, row := range r.Table7ByAS {
+		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.I(row.Changes),
+			tables.I(row.DiffBGP), tables.Pct(row.FracBGP()),
+			tables.I(row.DiffS16), tables.Pct(row.FracS16()),
+			tables.I(row.DiffS8), tables.Pct(row.FracS8()))
+	}
+	return t
+}
+
+// cdfMilestones are the duration marks (hours) at which CDF tables are
+// sampled, mirroring the paper's x-axis ticks.
+var cdfMilestones = []struct {
+	label string
+	hours float64
+}{
+	{"1h", 1}, {"6h", 6}, {"12h", 12}, {"1d", 24}, {"3d", 72},
+	{"1w", 168}, {"2w", 336}, {"1mo", 720}, {"2mo", 1440},
+}
+
+func cdfValueAt(cdf []stats.Point, hours float64) float64 {
+	var y float64
+	for _, p := range cdf {
+		if p.X <= hours {
+			y = p.Y
+		} else {
+			break
+		}
+	}
+	return y
+}
+
+// renderCDFs formats a family of CDFs sampled at the milestone marks.
+func renderCDFs(title string, curves []ASCDF, names NameFunc) *tables.Table {
+	headers := []string{"Series", "Probes", "Years"}
+	for _, m := range cdfMilestones {
+		headers = append(headers, m.label)
+	}
+	t := tables.New(title, headers...)
+	for _, c := range curves {
+		label := c.Label
+		if label == "" {
+			label = displayName(names, c.ASN)
+		}
+		row := []string{label, tables.I(c.Probes), tables.F(c.TotalYears, 2)}
+		for _, m := range cdfMilestones {
+			row = append(row, tables.F(cdfValueAt(c.CDF, m.hours), 2))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderFigure1 formats the per-continent TTF CDFs.
+func (r *Report) RenderFigure1() *tables.Table {
+	return renderCDFs("Figure 1: total time fraction CDF by continent", r.Figure1, nil)
+}
+
+// RenderFigure2 formats the top-AS TTF CDFs.
+func (r *Report) RenderFigure2(names NameFunc) *tables.Table {
+	return renderCDFs("Figure 2: total time fraction CDF, top ASes", r.Figure2, names)
+}
+
+// RenderFigure3 formats the German-AS TTF CDFs.
+func (r *Report) RenderFigure3(names NameFunc) *tables.Table {
+	return renderCDFs("Figure 3: total time fraction CDF, German ASes", r.Figure3, names)
+}
+
+// RenderHourHists formats Figures 4 and 5: the hour-of-day histograms of
+// periodic changes for the two most-periodic ASes.
+func (r *Report) RenderHourHists(names NameFunc) *tables.Table {
+	t := tables.New("Figures 4/5: hour of day of periodic address changes (GMT)",
+		"AS", "d(h)", "Hours 0-5", "6-11", "12-17", "18-23", "NightShare")
+	for _, h := range r.HourHists {
+		var q [4]int
+		total := 0
+		for hr, c := range h.Hours {
+			q[hr/6] += c
+			total += c
+		}
+		night := 0.0
+		if total > 0 {
+			night = float64(q[0]) / float64(total)
+		}
+		t.AddRow(displayName(names, h.ASN), tables.F(h.D, 0),
+			tables.I(q[0]), tables.I(q[1]), tables.I(q[2]), tables.I(q[3]),
+			tables.Pct(night))
+	}
+	return t
+}
+
+// RenderFigure6 summarises the reboot-per-day series: quartiles plus the
+// detected firmware days.
+func (r *Report) RenderFigure6() *tables.Table {
+	t := tables.New("Figure 6: probes rebooting per day", "Metric", "Value")
+	var s stats.Sample
+	for _, c := range r.Figure6RebootsPerDay {
+		s.Add(float64(c))
+	}
+	t.AddRow("Days", tables.I(len(r.Figure6RebootsPerDay)))
+	t.AddRow("Median reboots/day", tables.F(s.Median(), 1))
+	t.AddRow("P95 reboots/day", tables.F(s.Quantile(0.95), 1))
+	t.AddRow("Max reboots/day", tables.F(s.Quantile(1), 0))
+	days := make([]string, len(r.Figure6FirmwareDays))
+	for i, d := range r.Figure6FirmwareDays {
+		days[i] = fmt.Sprintf("%d", d)
+	}
+	t.AddRow("Firmware days", strings.Join(days, " "))
+	return t
+}
+
+// renderPacECDFs formats Figures 7/8 sampled at probability milestones.
+func renderPacECDFs(title string, curves []PacECDF, names NameFunc) *tables.Table {
+	t := tables.New(title, "AS", "Probes", "P=0", "P<=0.5", "P<0.999", "P(ac)=1 share")
+	for _, c := range curves {
+		at := func(x float64) float64 { return cdfValueAt(c.Points, x) }
+		t.AddRow(displayName(names, c.ASN), tables.I(c.Probes),
+			tables.F(at(0), 2), tables.F(at(0.5), 2), tables.F(at(0.999), 2),
+			tables.F(1-at(0.999), 2))
+	}
+	return t
+}
+
+// RenderFigure7 formats the P(ac|nw) ECDFs.
+func (r *Report) RenderFigure7(names NameFunc) *tables.Table {
+	return renderPacECDFs("Figure 7: P(address change | network outage) per probe", r.Figure7, names)
+}
+
+// RenderFigure8 formats the P(ac|pw) ECDFs.
+func (r *Report) RenderFigure8(names NameFunc) *tables.Table {
+	return renderPacECDFs("Figure 8: P(address change | power outage) per probe, v3 only", r.Figure8, names)
+}
+
+// RenderLinkTypes formats the per-AS access-technology inferences.
+func (r *Report) RenderLinkTypes(names NameFunc) *tables.Table {
+	t := tables.New("Extension: link-type inference from outage response",
+		"AS", "ASN", "Probes", "Type", "ShortRate", "LongRate")
+	for _, row := range r.LinkTypes {
+		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)),
+			tables.I(row.Probes), row.Type.String(),
+			tables.F(row.Evidence.ShortRate, 2), tables.F(row.Evidence.LongRate, 2))
+	}
+	return t
+}
+
+// RenderAdminEvents formats detected administrative renumberings.
+func (r *Report) RenderAdminEvents(names NameFunc) *tables.Table {
+	t := tables.New("Extension: administrative (en-masse) renumbering events",
+		"AS", "ASN", "StudyDay", "Probes", "FracOfAS")
+	for _, e := range r.AdminEvents {
+		t.AddRow(displayName(names, e.ASN), tables.I(int(e.ASN)),
+			tables.I(e.Day), tables.I(e.Probes), tables.Pct(e.FracOfAS))
+	}
+	return t
+}
+
+// RenderChurnAndV6 formats the churn and IPv6 extension summaries.
+func (r *Report) RenderChurnAndV6() *tables.Table {
+	t := tables.New("Extension: address-space churn and IPv6 ephemerality",
+		"Metric", "Value")
+	t.AddRow("Mean daily active-set turnover", tables.Pct(r.ChurnMean))
+	if r.V6 != nil {
+		t.AddRow("IPv6 probes observed", tables.I(len(r.V6.Probes)))
+		t.AddRow("IPv6 ephemeral address share", tables.Pct(r.V6.EphemeralShare))
+		t.AddRow("IPv6 daily-rotating probes", tables.I(r.V6.RotatingProbes))
+	}
+	return t
+}
+
+// RenderByCountry formats the per-country total-time-fraction summary —
+// the paper's §4.2 intermediate aggregation between probes and
+// continents. Countries sort by probe count descending.
+func (r *Report) RenderByCountry(minProbes int) *tables.Table {
+	t := tables.New("Per-country address durations (geographic analysis)",
+		"Country", "Probes", "Years", "f@12h", "f@24h", "f@168h", "Mass<=1w")
+	ttfs := ProbeTTFs(r.Filter)
+	byCountry := ByCountry(r.Filter)
+	type row struct {
+		country string
+		n       int
+	}
+	var rows []row
+	for c, ids := range byCountry {
+		if len(ids) >= minProbes {
+			rows = append(rows, row{c, len(ids)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].country < rows[j].country
+	})
+	for _, rw := range rows {
+		g := GroupTTF(ttfs, byCountry[rw.country])
+		t.AddRow(rw.country, tables.I(rw.n), tables.F(g.Total()/(24*365), 2),
+			tables.F(g.MassAt(12), 2), tables.F(g.MassAt(24), 2),
+			tables.F(g.MassAt(168), 2), tables.F(g.FractionAtMost(168), 2))
+	}
+	return t
+}
+
+// RenderBlacklist formats per-AS blocklist guidance.
+func RenderBlacklist(advice []BlacklistAdvice, names NameFunc) *tables.Table {
+	t := tables.New("Extension: blocklist entry guidance",
+		"AS", "ASN", "Probes", "MedianHold", "P90Hold", "RebootEvade", "SuggestedTTL", "PrefixEscape")
+	for _, a := range advice {
+		evade := "no"
+		if a.EvadableByReboot {
+			evade = "yes"
+		}
+		t.AddRow(displayName(names, a.ASN), tables.I(int(a.ASN)), tables.I(a.Probes),
+			tables.F(a.MedianHoldHours, 0)+"h", tables.F(a.P90HoldHours, 0)+"h",
+			evade, a.SuggestedTTL.String(), tables.Pct(a.PrefixEscapeShare))
+	}
+	return t
+}
+
+// RenderLeaseEstimates formats the naive lease estimator's output,
+// including its refusals — the reproducible form of the paper's §8
+// negative result.
+func RenderLeaseEstimates(ests map[uint32]LeaseEstimate, names NameFunc) *tables.Table {
+	t := tables.New("Extension: naive DHCP lease inference (upper bounds only)",
+		"AS", "ASN", "Lease<=", "Verdict")
+	asns := make([]uint32, 0, len(ests))
+	for asn := range ests {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		est := ests[asn]
+		bound, verdict := "-", "refused: renumbers on any reconnect (PPP) or never"
+		if est.Meaningful {
+			bound = est.UpperBound.String()
+			verdict = "lease-like behaviour"
+		}
+		t.AddRow(displayName(names, asn), tables.I(int(asn)), bound, verdict)
+	}
+	return t
+}
+
+// RenderFigure9 formats the outage-duration renumbering histograms.
+func (r *Report) RenderFigure9(names NameFunc) *tables.Table {
+	t := tables.New("Figure 9: renumbering by outage duration",
+		"AS", "Bin", "Outages", "Renumbered", "%")
+	for _, f := range r.Figure9 {
+		for _, b := range f.Bins {
+			t.AddRow(displayName(names, f.ASN), b.Label,
+				tables.I(b.Total), tables.I(b.Renumbered), tables.Pct(b.Pct()))
+		}
+	}
+	return t
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderReport(t *testing.T) *Report {
+	t.Helper()
+	_, rep := paperWorld(t)
+	return rep
+}
+
+func nameFor(asn uint32) string {
+	if asn == 3320 {
+		return "DTAG"
+	}
+	return ""
+}
+
+func TestRenderTable2(t *testing.T) {
+	rep := renderReport(t)
+	out := rep.RenderTable2().String()
+	for _, want := range []string{"Total Probes", "Never changed", "Dual Stack",
+		"Analyzable (geography)", "Multiple ASes", "Analyzable (AS-level)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable5(t *testing.T) {
+	rep := renderReport(t)
+	out := rep.RenderTable5(nameFor).String()
+	if !strings.Contains(out, "All") {
+		t.Error("Table 5 render missing the All rows")
+	}
+	if !strings.Contains(out, "DTAG") {
+		t.Error("Table 5 render should use the name resolver")
+	}
+	if !strings.Contains(out, "AS3215") {
+		t.Error("unresolved ASNs should fall back to ASnnnn form")
+	}
+}
+
+func TestRenderTable6And7(t *testing.T) {
+	rep := renderReport(t)
+	if out := rep.RenderTable6(nil).String(); !strings.Contains(out, "P(ac|nw)>0.8") {
+		t.Errorf("Table 6 header missing:\n%s", out)
+	}
+	out := rep.RenderTable7(nil).String()
+	if !strings.Contains(out, "All") || !strings.Contains(out, "DiffBGP") {
+		t.Errorf("Table 7 render malformed:\n%s", out)
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	rep := renderReport(t)
+	cases := map[string]string{
+		"fig1": rep.RenderFigure1().String(),
+		"fig2": rep.RenderFigure2(nil).String(),
+		"fig3": rep.RenderFigure3(nil).String(),
+		"hh":   rep.RenderHourHists(nil).String(),
+		"fig6": rep.RenderFigure6().String(),
+		"fig7": rep.RenderFigure7(nil).String(),
+		"fig8": rep.RenderFigure8(nil).String(),
+		"fig9": rep.RenderFigure9(nil).String(),
+	}
+	for name, out := range cases {
+		if strings.Contains(out, "tables:") {
+			t.Errorf("%s render errored: %s", name, out)
+		}
+		if len(strings.Split(out, "\n")) < 3 {
+			t.Errorf("%s render suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(cases["fig1"], "EU") {
+		t.Error("Figure 1 should list EU")
+	}
+	if !strings.Contains(cases["fig6"], "Firmware days") {
+		t.Error("Figure 6 should list firmware days")
+	}
+	if !strings.Contains(cases["fig9"], "<5m") {
+		t.Error("Figure 9 should include the paper's first duration bin")
+	}
+}
+
+func TestCDFValueAt(t *testing.T) {
+	rep := renderReport(t)
+	for _, c := range rep.Figure1 {
+		prev := 0.0
+		for _, m := range cdfMilestones {
+			v := cdfValueAt(c.CDF, m.hours)
+			if v < prev {
+				t.Fatalf("%s: CDF sample not monotone at %s", c.Label, m.label)
+			}
+			prev = v
+		}
+		if cdfValueAt(c.CDF, 1e12) < cdfValueAt(c.CDF, 1) {
+			t.Fatal("tail sample below head sample")
+		}
+	}
+}
+
+func TestRenderByCountry(t *testing.T) {
+	rep := renderReport(t)
+	out := rep.RenderByCountry(3).String()
+	for _, want := range []string{"DE", "FR", "f@24h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("country render missing %q:\n%s", want, out)
+		}
+	}
+}

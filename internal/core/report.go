@@ -1,0 +1,326 @@
+package core
+
+import (
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/geo"
+	"dynaddr/internal/stats"
+)
+
+// ASCDF is a labelled cumulative distribution for one aggregation group
+// (an AS, country, or continent), with the group's total address time —
+// the number the paper prints in figure legends (in years).
+type ASCDF struct {
+	ASN        uint32
+	Label      string
+	Probes     int
+	TotalYears float64
+	CDF        []stats.Point
+}
+
+// HourHist is an hour-of-day histogram for one AS's periodic changes
+// (Figures 4 and 5).
+type HourHist struct {
+	ASN   uint32
+	D     float64
+	Hours [24]int
+}
+
+// PacECDF is the per-probe conditional-probability ECDF for one AS
+// (Figures 7 and 8).
+type PacECDF struct {
+	ASN    uint32
+	Probes int
+	Points []stats.Point
+}
+
+// Figure9AS is the outage-duration renumbering profile for one AS.
+type Figure9AS struct {
+	ASN  uint32
+	Bins []DurationBinRow
+}
+
+// Report bundles every table and figure of the paper's evaluation,
+// computed from one dataset.
+type Report struct {
+	Filter *FilterResult
+	Outage *OutageAnalysis
+
+	// Table2 counts per filtering category, in Table 2 order.
+	Table2 map[Category]int
+
+	// Figure1: total-time-fraction CDFs per continent.
+	Figure1 []ASCDF
+	// Figure2: TTF CDFs for the ASes with the most duration-yielding
+	// probes.
+	Figure2 []ASCDF
+	// Figure3: TTF CDFs for German ASes with enough total time.
+	Figure3 []ASCDF
+
+	// Table5 rows plus the "All" summary rows at 24h and 168h.
+	Table5    []ASPeriodicRow
+	Table5All []ASPeriodicRow
+
+	// Figures 4 and 5: hour-of-day change histograms for the two ASes
+	// with the most periodic probes.
+	HourHists []HourHist
+
+	// Figure6: reboots per day and detected firmware days.
+	Figure6RebootsPerDay []int
+	Figure6FirmwareDays  []int
+
+	// Figure7/8: P(ac|nw) and P(ac|pw) ECDFs for the top outage ASes.
+	Figure7 []PacECDF
+	Figure8 []PacECDF
+
+	// Table6 rows.
+	Table6 []ASOutageRow
+
+	// Figure9: duration-binned renumbering for contrast ASes (a DHCP-
+	// style AS and a PPP-style AS when available).
+	Figure9 []Figure9AS
+
+	// Table7: the all-probes row plus per-AS rows.
+	Table7All  PrefixChangeRow
+	Table7ByAS []PrefixChangeRow
+
+	// Extensions beyond the paper's evaluation (its §8 future work):
+
+	// LinkTypes are per-AS access-technology inferences from outage
+	// response (§5.3's closing remark made an algorithm).
+	LinkTypes []LinkTypeRow
+	// AdminEvents are detected en-masse administrative renumberings.
+	AdminEvents []AdminEvent
+	// ChurnMean is the mean day-over-day turnover of the active address
+	// set across geo-analyzable probes (the Richter et al. series).
+	ChurnMean float64
+	// V6 is the IPv6 ephemerality analysis over the probes the IPv4
+	// pipeline filters out.
+	V6 *V6Report
+}
+
+// Options tune report generation.
+type Options struct {
+	// TopASes is how many ASes Figures 2, 7 and 8 include (default 5).
+	TopASes int
+	// Figure3Country selects Figure 3's country (default "DE").
+	Figure3Country string
+	// Figure3MinYears is the minimum total address time for a Figure 3
+	// AS, in years (the paper uses 3).
+	Figure3MinYears float64
+	// Figure9ASNs pins Figure 9's contrast ASes; empty picks the
+	// highest- and lowest-renumbering ASes from Table 6 automatically.
+	Figure9ASNs []uint32
+}
+
+func (o *Options) setDefaults() {
+	if o.TopASes == 0 {
+		o.TopASes = 5
+	}
+	if o.Figure3Country == "" {
+		o.Figure3Country = "DE"
+	}
+	if o.Figure3MinYears == 0 {
+		o.Figure3MinYears = 3
+	}
+}
+
+// Run executes the complete analysis pipeline.
+func Run(ds *atlasdata.Dataset, opts Options) *Report {
+	opts.setDefaults()
+	rep := &Report{}
+	rep.Filter = Filter(ds)
+	res := rep.Filter
+
+	rep.Table2 = make(map[Category]int)
+	for _, c := range Categories {
+		rep.Table2[c] = res.Count(c)
+	}
+
+	ttfs := ProbeTTFs(res)
+
+	// Figure 1: continents in the paper's legend order.
+	byCont := ByContinent(res)
+	for _, cont := range geo.Continents {
+		ids := byCont[cont]
+		if len(ids) == 0 {
+			continue
+		}
+		g := GroupTTF(ttfs, ids)
+		rep.Figure1 = append(rep.Figure1, ASCDF{
+			Label:      string(cont),
+			Probes:     len(ids),
+			TotalYears: g.Total() / (24 * 365),
+			CDF:        g.CDF(),
+		})
+	}
+
+	// Figure 2: top ASes by probes yielding at least one duration.
+	byAS := ByAS(res)
+	type asSize struct {
+		asn      uint32
+		yielding int
+	}
+	var sizes []asSize
+	for asn, ids := range byAS {
+		y := 0
+		for _, id := range ids {
+			if ttfs[id].Len() > 0 {
+				y++
+			}
+		}
+		if y > 0 {
+			sizes = append(sizes, asSize{asn, y})
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool {
+		if sizes[i].yielding != sizes[j].yielding {
+			return sizes[i].yielding > sizes[j].yielding
+		}
+		return sizes[i].asn < sizes[j].asn
+	})
+	for i := 0; i < len(sizes) && i < opts.TopASes; i++ {
+		asn := sizes[i].asn
+		g := GroupTTF(ttfs, byAS[asn])
+		rep.Figure2 = append(rep.Figure2, ASCDF{
+			ASN:        asn,
+			Probes:     sizes[i].yielding,
+			TotalYears: g.Total() / (24 * 365),
+			CDF:        g.CDF(),
+		})
+	}
+
+	// Figure 3: ASes of the chosen country with enough total time.
+	countryAS := make(map[uint32][]atlasdata.ProbeID)
+	for asn, ids := range byAS {
+		var in []atlasdata.ProbeID
+		for _, id := range ids {
+			if res.Views[id].Meta.Country == opts.Figure3Country {
+				in = append(in, id)
+			}
+		}
+		if len(in) > 0 {
+			countryAS[asn] = in
+		}
+	}
+	var f3ASNs []uint32
+	for asn, ids := range countryAS {
+		g := GroupTTF(ttfs, ids)
+		if g.Total()/(24*365) >= opts.Figure3MinYears {
+			f3ASNs = append(f3ASNs, asn)
+			_ = g
+		}
+	}
+	sort.Slice(f3ASNs, func(i, j int) bool { return f3ASNs[i] < f3ASNs[j] })
+	for _, asn := range f3ASNs {
+		g := GroupTTF(ttfs, countryAS[asn])
+		rep.Figure3 = append(rep.Figure3, ASCDF{
+			ASN:        asn,
+			Probes:     len(countryAS[asn]),
+			TotalYears: g.Total() / (24 * 365),
+			CDF:        g.CDF(),
+		})
+	}
+
+	// Table 5 and the All rows.
+	rep.Table5 = PeriodicByAS(res)
+	rep.Table5All = []ASPeriodicRow{
+		PeriodicAll(res, 24),
+		PeriodicAll(res, 168),
+	}
+
+	// Figures 4/5: hour histograms for the two rows with most periodic
+	// probes.
+	for i := 0; i < len(rep.Table5) && i < 2; i++ {
+		row := rep.Table5[i]
+		rep.HourHists = append(rep.HourHists, HourHist{
+			ASN:   row.ASN,
+			D:     row.D,
+			Hours: HourHistogram(res, byAS[row.ASN], row.D),
+		})
+	}
+
+	// Outage pipeline: Table 6, Figures 6-9.
+	rep.Outage = AnalyzeOutages(ds, res)
+	rep.Figure6RebootsPerDay = rep.Outage.RebootsPerDay
+	rep.Figure6FirmwareDays = rep.Outage.FirmwareDays
+
+	// Figures 7/8 for the top ASes by qualifying probes.
+	type pacSize struct {
+		asn uint32
+		n   int
+	}
+	var pacSizes []pacSize
+	for asn, ids := range byAS {
+		n := 0
+		for _, id := range ids {
+			st := rep.Outage.Stats[id]
+			if len(res.Views[id].Changes) > 0 && st.NetworkGaps >= MinOutagesForPac {
+				n++
+			}
+		}
+		if n > 0 {
+			pacSizes = append(pacSizes, pacSize{asn, n})
+		}
+	}
+	sort.Slice(pacSizes, func(i, j int) bool {
+		if pacSizes[i].n != pacSizes[j].n {
+			return pacSizes[i].n > pacSizes[j].n
+		}
+		return pacSizes[i].asn < pacSizes[j].asn
+	})
+	for i := 0; i < len(pacSizes) && i < opts.TopASes; i++ {
+		asn := pacSizes[i].asn
+		nw := rep.Outage.PacSample(byAS[asn], false)
+		pw := rep.Outage.PacSample(byAS[asn], true)
+		rep.Figure7 = append(rep.Figure7, PacECDF{ASN: asn, Probes: nw.Len(), Points: nw.ECDF()})
+		rep.Figure8 = append(rep.Figure8, PacECDF{ASN: asn, Probes: pw.Len(), Points: pw.ECDF()})
+	}
+
+	rep.Table6 = OutagesByAS(rep.Outage, res)
+
+	// Figure 9 contrast ASes: the paper pins LGI (AS6830, DHCP) against
+	// Orange (AS3215, PPP). Use that pair when both exist in the data;
+	// otherwise fall back to the Table 6 extremes.
+	f9 := opts.Figure9ASNs
+	if len(f9) == 0 {
+		if _, okL := byAS[6830]; okL {
+			if _, okO := byAS[3215]; okO {
+				f9 = []uint32{6830, 3215}
+			}
+		}
+	}
+	if len(f9) == 0 && len(rep.Table6) > 0 {
+		hi, lo := rep.Table6[0], rep.Table6[0]
+		for _, r := range rep.Table6 {
+			if r.NwOver80 > hi.NwOver80 {
+				hi = r
+			}
+			if r.NwOver80 < lo.NwOver80 {
+				lo = r
+			}
+		}
+		f9 = []uint32{lo.ASN, hi.ASN}
+	}
+	for _, asn := range f9 {
+		if ids, ok := byAS[asn]; ok {
+			rep.Figure9 = append(rep.Figure9, Figure9AS{
+				ASN:  asn,
+				Bins: rep.Outage.DurationBins(res, ids),
+			})
+		}
+	}
+
+	// Table 7.
+	rep.Table7All = PrefixChangesAll(ds, res)
+	rep.Table7ByAS = PrefixChangesByAS(ds, res)
+
+	// Extensions.
+	rep.LinkTypes = LinkTypesByAS(rep.Outage, res)
+	rep.AdminEvents = DetectAdminRenumbering(res)
+	rep.ChurnMean = MeanTurnover(DailyChurn(ds, res.GeoProbes))
+	rep.V6 = AnalyzeV6(ds)
+
+	return rep
+}

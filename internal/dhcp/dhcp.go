@@ -1,0 +1,157 @@
+// Package dhcp models RFC 2131-flavoured dynamic address assignment from
+// the perspective of one customer session.
+//
+// The paper's reading of DHCP (§2.1, §5.4): a connected client renews
+// its lease half-way through and keeps its address indefinitely; only an
+// interruption long enough to let the lease lapse — combined with enough
+// pool pressure that the address is handed to someone else — produces an
+// address change. That is exactly the state machine here: Connect,
+// Disconnect, Reconnect, with the lease clock and a reclaim model in
+// between.
+package dhcp
+
+import (
+	"fmt"
+	"math"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+// Pool abstracts the ISP's address pool. Implementations decide which
+// prefix a new address comes from (which is what the paper's Table 7
+// measures); this package only decides *whether* a new address is needed.
+// The session holds its address in the pool across disconnects — RFC
+// 2131 §4.3.1 servers remember bindings — and the reclaim model below
+// decides when pool pressure overrides that memory.
+type Pool interface {
+	// Acquire returns a fresh address, avoiding exclude when valid.
+	Acquire(exclude ip4.Addr) ip4.Addr
+	// Release returns addr to the pool.
+	Release(addr ip4.Addr)
+}
+
+// Config parameterises lease behaviour.
+type Config struct {
+	// LeaseDuration is the DHCP lease length. Clients renew at half the
+	// lease, so a connected client's lease never lapses.
+	LeaseDuration simclock.Duration
+	// ReclaimMean is the mean time after lease expiry until the pool
+	// hands the address to another customer. Small values model heavy
+	// pool pressure (scarce IPv4 space); large values model idle pools
+	// where even day-long outages keep the address.
+	ReclaimMean simclock.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LeaseDuration <= 0 {
+		return fmt.Errorf("dhcp: lease duration must be positive, got %v", c.LeaseDuration)
+	}
+	if c.ReclaimMean <= 0 {
+		return fmt.Errorf("dhcp: reclaim mean must be positive, got %v", c.ReclaimMean)
+	}
+	return nil
+}
+
+// Session is the DHCP client state for one CPE. Create with NewSession.
+type Session struct {
+	cfg  Config
+	pool Pool
+	rnd  *rng.RNG
+
+	addr      ip4.Addr
+	connected bool
+	// leaseEnd is when the current lease lapses if not renewed. While
+	// connected the client renews at half-lease, so leaseEnd is only
+	// meaningful after Disconnect.
+	leaseEnd simclock.Time
+}
+
+// NewSession returns a session using the given pool and randomness.
+func NewSession(cfg Config, pool Pool, rnd *rng.RNG) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil || rnd == nil {
+		return nil, fmt.Errorf("dhcp: nil pool or rng")
+	}
+	return &Session{cfg: cfg, pool: pool, rnd: rnd}, nil
+}
+
+// Addr returns the currently assigned address (invalid before Connect).
+func (s *Session) Addr() ip4.Addr { return s.addr }
+
+// Connected reports whether the client currently holds a live session.
+func (s *Session) Connected() bool { return s.connected }
+
+// Connect performs the initial DHCPDISCOVER/OFFER exchange and returns
+// the assigned address.
+func (s *Session) Connect(t simclock.Time) ip4.Addr {
+	if s.connected {
+		return s.addr
+	}
+	if !s.addr.IsValid() {
+		s.addr = s.pool.Acquire(0)
+	}
+	s.connected = true
+	return s.addr
+}
+
+// Disconnect records loss of connectivity (power or network) at t. The
+// client stops renewing; the lease will lapse between half a lease and a
+// full lease after t depending on where in the renewal cycle the outage
+// struck. We draw that residual uniformly.
+func (s *Session) Disconnect(t simclock.Time) {
+	if !s.connected {
+		return
+	}
+	s.connected = false
+	residual := simclock.Duration(s.cfg.LeaseDuration/2) +
+		simclock.Duration(s.rnd.Int63n(int64(s.cfg.LeaseDuration/2)+1))
+	s.leaseEnd = t.Add(residual)
+}
+
+// Reconnect re-establishes connectivity at t and returns the address plus
+// whether it changed. Per RFC 2131 §4.3.1 the server prefers to return
+// the client's previous address: if the lease is still valid, or the
+// address was not yet reclaimed, the client keeps it.
+func (s *Session) Reconnect(t simclock.Time) (addr ip4.Addr, changed bool) {
+	if s.connected {
+		return s.addr, false
+	}
+	defer func() { s.connected = true }()
+	if !s.addr.IsValid() {
+		s.addr = s.pool.Acquire(0)
+		return s.addr, false
+	}
+	if !t.After(s.leaseEnd) {
+		// Lease still valid: same address, guaranteed.
+		return s.addr, false
+	}
+	// Lease lapsed. The address survives unless the pool reassigned it in
+	// the (t - leaseEnd) window; reclaim is memoryless with the
+	// configured mean.
+	lapsed := t.Sub(s.leaseEnd)
+	pReclaimed := 1 - math.Exp(-float64(lapsed)/float64(s.cfg.ReclaimMean))
+	if s.rnd.Bool(pReclaimed) {
+		old := s.addr
+		s.pool.Release(old)
+		s.addr = s.pool.Acquire(old)
+		return s.addr, s.addr != old
+	}
+	return s.addr, false
+}
+
+// ForceRenumber discards the client's binding and assigns a fresh
+// address, modelling a server-side reconfiguration: the paper's
+// administrative renumbering (§2.3). The session stays connected.
+func (s *Session) ForceRenumber(t simclock.Time) (addr ip4.Addr, changed bool) {
+	old := s.addr
+	if old.IsValid() {
+		s.pool.Release(old)
+	}
+	s.addr = s.pool.Acquire(old)
+	return s.addr, old.IsValid() && s.addr != old
+}

@@ -1,0 +1,224 @@
+package dhcp
+
+import (
+	"testing"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+// fakePool hands out sequential addresses and tracks which are held.
+type fakePool struct {
+	next uint32
+	held map[ip4.Addr]bool
+}
+
+func newFakePool() *fakePool {
+	return &fakePool{next: 0x0A000001, held: map[ip4.Addr]bool{}}
+}
+
+func (p *fakePool) Acquire(exclude ip4.Addr) ip4.Addr {
+	for {
+		a := ip4.Addr(p.next)
+		p.next++
+		if a == exclude || p.held[a] {
+			continue
+		}
+		p.held[a] = true
+		return a
+	}
+}
+
+func (p *fakePool) Release(a ip4.Addr) { delete(p.held, a) }
+
+func newSession(t *testing.T, cfg Config, pool Pool) *Session {
+	t.Helper()
+	s, err := NewSession(cfg, pool, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var defaultCfg = Config{LeaseDuration: 4 * simclock.Hour, ReclaimMean: 6 * simclock.Hour}
+
+func TestConfigValidate(t *testing.T) {
+	if err := defaultCfg.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{LeaseDuration: 0, ReclaimMean: 1},
+		{LeaseDuration: 1, ReclaimMean: 0},
+		{LeaseDuration: -1, ReclaimMean: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewSessionRejectsNil(t *testing.T) {
+	if _, err := NewSession(defaultCfg, nil, rng.New(1)); err == nil {
+		t.Error("nil pool should fail")
+	}
+	if _, err := NewSession(defaultCfg, newFakePool(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestConnectAssignsOnce(t *testing.T) {
+	s := newSession(t, defaultCfg, newFakePool())
+	a1 := s.Connect(simclock.StudyStart)
+	if !a1.IsValid() {
+		t.Fatal("Connect returned invalid address")
+	}
+	if !s.Connected() {
+		t.Error("session should be connected")
+	}
+	if a2 := s.Connect(simclock.StudyStart.Add(simclock.Hour)); a2 != a1 {
+		t.Error("double Connect must not change the address")
+	}
+}
+
+func TestShortOutageKeepsAddress(t *testing.T) {
+	// An outage shorter than half the lease can never lapse the lease, so
+	// the address must survive, deterministically.
+	s := newSession(t, defaultCfg, newFakePool())
+	a1 := s.Connect(simclock.StudyStart)
+	at := simclock.StudyStart.Add(10 * simclock.Hour)
+	s.Disconnect(at)
+	a2, changed := s.Reconnect(at.Add(30 * simclock.Minute))
+	if changed || a2 != a1 {
+		t.Errorf("30m outage changed address: %v -> %v", a1, a2)
+	}
+	if !s.Connected() {
+		t.Error("should be reconnected")
+	}
+}
+
+func TestManyShortOutagesNeverChange(t *testing.T) {
+	s := newSession(t, defaultCfg, newFakePool())
+	a := s.Connect(simclock.StudyStart)
+	at := simclock.StudyStart
+	for i := 0; i < 500; i++ {
+		at = at.Add(6 * simclock.Hour)
+		s.Disconnect(at)
+		got, changed := s.Reconnect(at.Add(simclock.Minute))
+		if changed || got != a {
+			t.Fatalf("short outage %d changed address", i)
+		}
+	}
+}
+
+func TestLongOutagesEventuallyChange(t *testing.T) {
+	// Far beyond lease + reclaim mean, reclaim probability approaches 1.
+	changes := 0
+	for trial := 0; trial < 50; trial++ {
+		pool := newFakePool()
+		s, err := NewSession(defaultCfg, pool, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1 := s.Connect(simclock.StudyStart)
+		at := simclock.StudyStart.Add(24 * simclock.Hour)
+		s.Disconnect(at)
+		a2, changed := s.Reconnect(at.Add(7 * simclock.Day))
+		if changed != (a1 != a2) {
+			t.Fatal("changed flag inconsistent with addresses")
+		}
+		if changed {
+			changes++
+		}
+	}
+	if changes < 45 {
+		t.Errorf("week-long outages changed address only %d/50 times", changes)
+	}
+}
+
+func TestChangeProbabilityGrowsWithOutageDuration(t *testing.T) {
+	// The paper's Figure 9 (LGI): renumbering likelihood increases with
+	// outage duration. Sample many sessions at two durations.
+	changeFrac := func(outage simclock.Duration) float64 {
+		changes := 0
+		const n = 400
+		for trial := 0; trial < n; trial++ {
+			s, err := NewSession(defaultCfg, newFakePool(), rng.New(uint64(1000+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Connect(simclock.StudyStart)
+			at := simclock.StudyStart.Add(48 * simclock.Hour)
+			s.Disconnect(at)
+			if _, changed := s.Reconnect(at.Add(outage)); changed {
+				changes++
+			}
+		}
+		return float64(changes) / n
+	}
+	short := changeFrac(1 * simclock.Hour)
+	medium := changeFrac(12 * simclock.Hour)
+	long := changeFrac(3 * simclock.Day)
+	if short > 0.05 {
+		t.Errorf("1h outage change fraction = %v, want ~0 (lease is 4h)", short)
+	}
+	if medium <= short {
+		t.Errorf("12h change fraction (%v) should exceed 1h (%v)", medium, short)
+	}
+	if long <= medium {
+		t.Errorf("3d change fraction (%v) should exceed 12h (%v)", long, medium)
+	}
+	if long < 0.9 {
+		t.Errorf("3d outage change fraction = %v, want > 0.9", long)
+	}
+}
+
+func TestReconnectWithoutDisconnectIsNoop(t *testing.T) {
+	s := newSession(t, defaultCfg, newFakePool())
+	a := s.Connect(simclock.StudyStart)
+	got, changed := s.Reconnect(simclock.StudyStart.Add(simclock.Hour))
+	if changed || got != a {
+		t.Error("Reconnect while connected must be a no-op")
+	}
+}
+
+func TestReconnectBeforeConnect(t *testing.T) {
+	s := newSession(t, defaultCfg, newFakePool())
+	got, changed := s.Reconnect(simclock.StudyStart)
+	if changed || !got.IsValid() {
+		t.Error("Reconnect before Connect should assign an initial address")
+	}
+}
+
+func TestDisconnectTwiceKeepsFirstLease(t *testing.T) {
+	s := newSession(t, defaultCfg, newFakePool())
+	s.Connect(simclock.StudyStart)
+	at := simclock.StudyStart.Add(simclock.Hour)
+	s.Disconnect(at)
+	first := s.leaseEnd
+	s.Disconnect(at.Add(simclock.Hour)) // no-op while disconnected
+	if s.leaseEnd != first {
+		t.Error("second Disconnect must not extend the lease")
+	}
+}
+
+func TestReclaimReleasesOldAddress(t *testing.T) {
+	// When the address changes, the old one must be returned to the pool
+	// so the held set does not grow without bound.
+	pool := newFakePool()
+	s := newSession(t, Config{LeaseDuration: simclock.Hour, ReclaimMean: simclock.Minute}, pool)
+	a1 := s.Connect(simclock.StudyStart)
+	at := simclock.StudyStart.Add(2 * simclock.Hour)
+	s.Disconnect(at)
+	a2, changed := s.Reconnect(at.Add(10 * simclock.Day))
+	if !changed || a2 == a1 {
+		t.Fatal("a 10-day outage with minute-scale reclaim must change the address")
+	}
+	if pool.held[a1] {
+		t.Error("old address still held after reclaim")
+	}
+	if !pool.held[a2] {
+		t.Error("new address not held")
+	}
+}

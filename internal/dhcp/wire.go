@@ -1,0 +1,232 @@
+package dhcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynaddr/internal/ip4"
+)
+
+// This file implements the RFC 2131 wire format: the fixed-format BOOTP
+// header, the options area behind the magic cookie, and the DHCP message
+// types of the DISCOVER/OFFER/REQUEST/ACK exchange. The behavioural
+// lease model in dhcp.go describes *when* addresses change; the wire
+// layer pins down *what the packets carrying those decisions look like*,
+// and wireserver.go drives the same policy through actual messages.
+
+// Op codes (RFC 2131 §2).
+const (
+	OpBootRequest byte = 1
+	OpBootReply   byte = 2
+)
+
+// MessageType is DHCP option 53's value.
+type MessageType byte
+
+// DHCP message types (RFC 2132 §9.6).
+const (
+	Discover MessageType = 1
+	Offer    MessageType = 2
+	Request  MessageType = 3
+	Decline  MessageType = 4
+	Ack      MessageType = 5
+	Nak      MessageType = 6
+	Release  MessageType = 7
+	Inform   MessageType = 8
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	switch t {
+	case Discover:
+		return "DHCPDISCOVER"
+	case Offer:
+		return "DHCPOFFER"
+	case Request:
+		return "DHCPREQUEST"
+	case Decline:
+		return "DHCPDECLINE"
+	case Ack:
+		return "DHCPACK"
+	case Nak:
+		return "DHCPNAK"
+	case Release:
+		return "DHCPRELEASE"
+	case Inform:
+		return "DHCPINFORM"
+	default:
+		return fmt.Sprintf("DHCP(%d)", byte(t))
+	}
+}
+
+// Well-known option codes used by the exchange (RFC 2132).
+const (
+	OptPad           byte = 0
+	OptSubnetMask    byte = 1
+	OptRequestedIP   byte = 50
+	OptLeaseTime     byte = 51
+	OptMessageType   byte = 53
+	OptServerID      byte = 54
+	OptRenewalTime   byte = 58
+	OptRebindingTime byte = 59
+	OptEnd           byte = 255
+)
+
+// Option is one TLV in the options area.
+type Option struct {
+	Code byte
+	Data []byte
+}
+
+// Message is a DHCP packet.
+type Message struct {
+	Op     byte
+	HType  byte // hardware type; 1 = Ethernet
+	HLen   byte // hardware address length
+	Hops   byte
+	XID    uint32
+	Secs   uint16
+	Flags  uint16
+	CIAddr ip4.Addr // client's current address, when renewing
+	YIAddr ip4.Addr // "your" address, assigned by the server
+	SIAddr ip4.Addr
+	GIAddr ip4.Addr
+	CHAddr [16]byte // client hardware address
+	// SName and File are carried zero-filled; the exchange does not use
+	// them.
+	Options []Option
+}
+
+// headerLen is the fixed BOOTP header length: through the file field.
+const headerLen = 236
+
+// magicCookie introduces the options area (RFC 2131 §3).
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// Marshal serialises the message.
+func (m *Message) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen, headerLen+64)
+	buf[0], buf[1], buf[2], buf[3] = m.Op, m.HType, m.HLen, m.Hops
+	binary.BigEndian.PutUint32(buf[4:], m.XID)
+	binary.BigEndian.PutUint16(buf[8:], m.Secs)
+	binary.BigEndian.PutUint16(buf[10:], m.Flags)
+	binary.BigEndian.PutUint32(buf[12:], uint32(m.CIAddr))
+	binary.BigEndian.PutUint32(buf[16:], uint32(m.YIAddr))
+	binary.BigEndian.PutUint32(buf[20:], uint32(m.SIAddr))
+	binary.BigEndian.PutUint32(buf[24:], uint32(m.GIAddr))
+	copy(buf[28:44], m.CHAddr[:])
+	// 44..108 sname, 108..236 file: zero.
+	buf = append(buf, magicCookie[:]...)
+	for _, opt := range m.Options {
+		if opt.Code == OptPad || opt.Code == OptEnd {
+			return nil, fmt.Errorf("dhcp: explicit pad/end options are not allowed")
+		}
+		if len(opt.Data) > 255 {
+			return nil, fmt.Errorf("dhcp: option %d data too long (%d)", opt.Code, len(opt.Data))
+		}
+		buf = append(buf, opt.Code, byte(len(opt.Data)))
+		buf = append(buf, opt.Data...)
+	}
+	buf = append(buf, OptEnd)
+	return buf, nil
+}
+
+// Unmarshal parses a DHCP packet. It is safe on arbitrary input.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < headerLen+4 {
+		return nil, fmt.Errorf("dhcp: packet too short (%d bytes)", len(b))
+	}
+	var m Message
+	m.Op, m.HType, m.HLen, m.Hops = b[0], b[1], b[2], b[3]
+	m.XID = binary.BigEndian.Uint32(b[4:])
+	m.Secs = binary.BigEndian.Uint16(b[8:])
+	m.Flags = binary.BigEndian.Uint16(b[10:])
+	m.CIAddr = ip4.Addr(binary.BigEndian.Uint32(b[12:]))
+	m.YIAddr = ip4.Addr(binary.BigEndian.Uint32(b[16:]))
+	m.SIAddr = ip4.Addr(binary.BigEndian.Uint32(b[20:]))
+	m.GIAddr = ip4.Addr(binary.BigEndian.Uint32(b[24:]))
+	copy(m.CHAddr[:], b[28:44])
+	if [4]byte(b[headerLen:headerLen+4]) != magicCookie {
+		return nil, fmt.Errorf("dhcp: bad magic cookie")
+	}
+	opts := b[headerLen+4:]
+	for i := 0; i < len(opts); {
+		code := opts[i]
+		switch code {
+		case OptEnd:
+			return &m, nil
+		case OptPad:
+			i++
+			continue
+		}
+		if i+2 > len(opts) {
+			return nil, fmt.Errorf("dhcp: truncated option header at %d", i)
+		}
+		length := int(opts[i+1])
+		if i+2+length > len(opts) {
+			return nil, fmt.Errorf("dhcp: truncated option %d", code)
+		}
+		data := make([]byte, length)
+		copy(data, opts[i+2:i+2+length])
+		m.Options = append(m.Options, Option{Code: code, Data: data})
+		i += 2 + length
+	}
+	return nil, fmt.Errorf("dhcp: options not terminated")
+}
+
+// Option returns the first option with the given code.
+func (m *Message) Option(code byte) ([]byte, bool) {
+	for _, opt := range m.Options {
+		if opt.Code == code {
+			return opt.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Type returns the DHCP message type from option 53.
+func (m *Message) Type() (MessageType, bool) {
+	data, ok := m.Option(OptMessageType)
+	if !ok || len(data) != 1 {
+		return 0, false
+	}
+	return MessageType(data[0]), true
+}
+
+// SetType appends option 53.
+func (m *Message) SetType(t MessageType) {
+	m.Options = append(m.Options, Option{Code: OptMessageType, Data: []byte{byte(t)}})
+}
+
+// AddrOption returns an option's payload as an IPv4 address.
+func (m *Message) AddrOption(code byte) (ip4.Addr, bool) {
+	data, ok := m.Option(code)
+	if !ok || len(data) != 4 {
+		return 0, false
+	}
+	return ip4.Addr(binary.BigEndian.Uint32(data)), true
+}
+
+// SetAddrOption appends an address-valued option.
+func (m *Message) SetAddrOption(code byte, a ip4.Addr) {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, uint32(a))
+	m.Options = append(m.Options, Option{Code: code, Data: data})
+}
+
+// U32Option returns an option's payload as a big-endian uint32 (lease
+// and timer options).
+func (m *Message) U32Option(code byte) (uint32, bool) {
+	data, ok := m.Option(code)
+	if !ok || len(data) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(data), true
+}
+
+// SetU32Option appends a uint32-valued option.
+func (m *Message) SetU32Option(code byte, v uint32) {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, v)
+	m.Options = append(m.Options, Option{Code: code, Data: data})
+}

@@ -1,0 +1,328 @@
+package dhcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/isp"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Op: OpBootRequest, HType: 1, HLen: 6,
+		XID: 0xDEADBEEF, Secs: 7, Flags: 0x8000,
+		CIAddr: ip4.MustParseAddr("10.0.0.1"),
+		YIAddr: ip4.MustParseAddr("10.0.0.2"),
+		SIAddr: ip4.MustParseAddr("10.0.0.3"),
+		GIAddr: ip4.MustParseAddr("10.0.0.4"),
+	}
+	m.CHAddr = [16]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}
+	m.SetType(Discover)
+	m.SetAddrOption(OptRequestedIP, ip4.MustParseAddr("10.0.0.9"))
+	m.SetU32Option(OptLeaseTime, 3600)
+
+	packet, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != m.XID || got.CIAddr != m.CIAddr || got.CHAddr != m.CHAddr {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if mt, ok := got.Type(); !ok || mt != Discover {
+		t.Errorf("type = %v %v", mt, ok)
+	}
+	if addr, ok := got.AddrOption(OptRequestedIP); !ok || addr.String() != "10.0.0.9" {
+		t.Errorf("requested IP = %v %v", addr, ok)
+	}
+	if lease, ok := got.U32Option(OptLeaseTime); !ok || lease != 3600 {
+		t.Errorf("lease = %v %v", lease, ok)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil packet should fail")
+	}
+	if _, err := Unmarshal(make([]byte, 100)); err == nil {
+		t.Error("short packet should fail")
+	}
+	// Valid length, bad cookie.
+	b := make([]byte, headerLen+8)
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("bad cookie should fail")
+	}
+	// Good cookie, unterminated options.
+	copy(b[headerLen:], magicCookie[:])
+	b[headerLen+4] = OptMessageType
+	b[headerLen+5] = 1
+	b[headerLen+6] = byte(Discover)
+	b[headerLen+7] = OptPad
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("unterminated options should fail")
+	}
+	// Truncated option.
+	b2 := make([]byte, headerLen+6)
+	copy(b2[headerLen:], magicCookie[:])
+	b2[headerLen+4] = OptLeaseTime
+	b2[headerLen+5] = 200 // claims 200 bytes that are not there
+	if _, err := Unmarshal(b2); err == nil {
+		t.Error("truncated option should fail")
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRejectsBadOptions(t *testing.T) {
+	m := &Message{}
+	m.Options = append(m.Options, Option{Code: OptEnd})
+	if _, err := m.Marshal(); err == nil {
+		t.Error("explicit end option should fail")
+	}
+	m2 := &Message{}
+	m2.Options = append(m2.Options, Option{Code: 10, Data: make([]byte, 300)})
+	if _, err := m2.Marshal(); err == nil {
+		t.Error("oversized option should fail")
+	}
+}
+
+func TestMessageTypeStrings(t *testing.T) {
+	for mt, want := range map[MessageType]string{
+		Discover: "DHCPDISCOVER", Offer: "DHCPOFFER", Request: "DHCPREQUEST",
+		Ack: "DHCPACK", Nak: "DHCPNAK", Release: "DHCPRELEASE",
+	} {
+		if got := mt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mt, got, want)
+		}
+	}
+}
+
+// --- wire server/client ---
+
+func newWire(t *testing.T) (*WireServer, *fakePool) {
+	t.Helper()
+	pool := newFakePool()
+	srv, err := NewWireServer(pool, ip4.MustParseAddr("10.0.0.254"), 4*simclock.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, pool
+}
+
+func TestWireDORA(t *testing.T) {
+	srv, _ := newWire(t)
+	c := NewWireClient(srv, []byte{1, 2, 3, 4, 5, 6})
+	now := simclock.StudyStart
+	addr, err := c.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !addr.IsValid() || c.Addr() != addr {
+		t.Fatalf("acquired %v", addr)
+	}
+	if c.LeaseExpires() != now.Add(4*simclock.Hour) {
+		t.Errorf("lease expires %v", c.LeaseExpires())
+	}
+	if srv.Bindings() != 1 {
+		t.Errorf("bindings = %d", srv.Bindings())
+	}
+}
+
+func TestWireRenewKeepsAddress(t *testing.T) {
+	srv, _ := newWire(t)
+	c := NewWireClient(srv, []byte{1})
+	now := simclock.StudyStart
+	addr, err := c.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		now = now.Add(2 * simclock.Hour)
+		got, err := c.Renew(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != addr {
+			t.Fatalf("renewal %d changed address: %v -> %v", i, addr, got)
+		}
+	}
+}
+
+func TestWireReacquireAfterShortOutage(t *testing.T) {
+	// The §4.3.1 behaviour at the message level: a client that went
+	// silent and came back before any sweep gets its old address.
+	srv, _ := newWire(t)
+	c := NewWireClient(srv, []byte{2})
+	now := simclock.StudyStart
+	addr, err := c.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * simclock.Minute) // outage, no release
+	got, err := c.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != addr {
+		t.Errorf("reacquire changed address: %v -> %v", addr, got)
+	}
+}
+
+func TestWireSweepChangesAddress(t *testing.T) {
+	// After expiry + sweep, another client takes the address; the
+	// returning client gets a different one. Uses the production
+	// AddressPool, whose TryReacquire honours requested addresses.
+	pool, err := isp.NewAddressPool(
+		[]ip4.Prefix{ip4.MustParsePrefix("10.0.0.0/24")}, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWireServer(pool, ip4.MustParseAddr("10.0.0.254"), 4*simclock.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewWireClient(srv, []byte{3})
+	now := simclock.StudyStart
+	addrA, err := a.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lease lapses; the operator sweeps.
+	now = now.Add(10 * simclock.Hour)
+	if n := srv.ExpireBefore(now); n != 1 {
+		t.Fatalf("swept %d bindings, want 1", n)
+	}
+	// Another client explicitly requests the freed address and gets it.
+	b := NewWireClient(srv, []byte{4})
+	b.addr = addrA // INIT-REBOOT: B claims the address A used to hold
+	addrB, err := b.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrB != addrA {
+		t.Fatalf("requested swept address not honoured: got %v, want %v", addrB, addrA)
+	}
+	// The original client returns and must get something else.
+	got, err := a.Acquire(now.Add(simclock.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == addrA {
+		t.Error("swept client got its old address back while another client holds it")
+	}
+}
+
+func TestWireReleaseFreesAddress(t *testing.T) {
+	srv, pool := newWire(t)
+	c := NewWireClient(srv, []byte{5})
+	now := simclock.StudyStart
+	addr, err := c.Acquire(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(now.Add(simclock.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr().IsValid() {
+		t.Error("client still holds an address after release")
+	}
+	if srv.Bindings() != 0 {
+		t.Error("binding survived release")
+	}
+	if pool.held[addr] {
+		t.Error("pool still holds the released address")
+	}
+}
+
+func TestWireRenewUnknownClientNAKs(t *testing.T) {
+	srv, _ := newWire(t)
+	c := NewWireClient(srv, []byte{6})
+	c.addr = ip4.MustParseAddr("10.9.9.9") // believes it has a lease
+	if _, err := c.Renew(simclock.StudyStart); err == nil {
+		t.Error("renewal without a binding should NAK")
+	}
+}
+
+func TestWireServerValidation(t *testing.T) {
+	if _, err := NewWireServer(nil, 1, simclock.Hour); err == nil {
+		t.Error("nil pool should fail")
+	}
+	if _, err := NewWireServer(newFakePool(), 1, 0); err == nil {
+		t.Error("zero lease should fail")
+	}
+	if _, err := NewWireServer(newFakePool(), 0, simclock.Hour); err == nil {
+		t.Error("unset server ID should fail")
+	}
+}
+
+func TestWireServerRejectsMalformed(t *testing.T) {
+	srv, _ := newWire(t)
+	if _, err := srv.Handle([]byte{1, 2, 3}, simclock.StudyStart); err == nil {
+		t.Error("garbage packet should fail")
+	}
+	// A reply packet sent to the server.
+	m := &Message{Op: OpBootReply}
+	m.SetType(Offer)
+	packet, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(packet, simclock.StudyStart); err == nil {
+		t.Error("server must reject replies")
+	}
+	// A request without a message type.
+	m2 := &Message{Op: OpBootRequest}
+	packet2, err := m2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(packet2, simclock.StudyStart); err == nil {
+		t.Error("typeless request should fail")
+	}
+}
+
+func BenchmarkMessageMarshalUnmarshal(b *testing.B) {
+	m := &Message{Op: OpBootRequest, HType: 1, HLen: 6, XID: 7}
+	m.SetType(Request)
+	m.SetAddrOption(OptRequestedIP, ip4.MustParseAddr("91.55.1.2"))
+	m.SetU32Option(OptLeaseTime, 14400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packet, err := m.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(packet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDORA(b *testing.B) {
+	pool := newFakePool()
+	srv, err := NewWireServer(pool, ip4.MustParseAddr("10.0.0.254"), 4*simclock.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewWireClient(srv, []byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		if _, err := c.Acquire(simclock.StudyStart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

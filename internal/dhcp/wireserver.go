@@ -1,0 +1,288 @@
+package dhcp
+
+import (
+	"fmt"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// WireServer is a message-level DHCP server: it speaks the RFC 2131
+// packet exchange over marshalled bytes, maintains per-client bindings
+// keyed by hardware address, and implements the §4.3.1 design goal the
+// paper leans on — a returning client is offered its previous address
+// whenever possible. Address changes therefore happen only when a
+// binding has been expired *and* swept (the pool-pressure event the
+// behavioural model draws probabilistically).
+type WireServer struct {
+	pool     Pool
+	serverID ip4.Addr
+	lease    simclock.Duration
+
+	bindings map[[16]byte]*binding
+}
+
+type binding struct {
+	addr    ip4.Addr
+	expires simclock.Time
+	offered bool // true between OFFER and REQUEST
+}
+
+// NewWireServer builds a server over a pool. serverID is the server's
+// own address, included as option 54.
+func NewWireServer(pool Pool, serverID ip4.Addr, lease simclock.Duration) (*WireServer, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("dhcp: nil pool")
+	}
+	if lease <= 0 {
+		return nil, fmt.Errorf("dhcp: non-positive lease")
+	}
+	if !serverID.IsValid() {
+		return nil, fmt.Errorf("dhcp: server needs an address")
+	}
+	return &WireServer{
+		pool: pool, serverID: serverID, lease: lease,
+		bindings: make(map[[16]byte]*binding),
+	}, nil
+}
+
+// Bindings returns the number of live bindings.
+func (s *WireServer) Bindings() int { return len(s.bindings) }
+
+// ExpireBefore releases every binding whose lease lapsed before t —
+// the reclaim agent. How aggressively an operator runs this is exactly
+// the pool-pressure knob of the behavioural model's ReclaimMean.
+func (s *WireServer) ExpireBefore(t simclock.Time) int {
+	n := 0
+	for ch, b := range s.bindings {
+		if b.expires.Before(t) {
+			s.pool.Release(b.addr)
+			delete(s.bindings, ch)
+			n++
+		}
+	}
+	return n
+}
+
+// Handle processes one marshalled DHCP message at simulated time now
+// and returns the marshalled reply, or nil when the message needs no
+// reply (e.g. RELEASE).
+func (s *WireServer) Handle(packet []byte, now simclock.Time) ([]byte, error) {
+	msg, err := Unmarshal(packet)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Op != OpBootRequest {
+		return nil, fmt.Errorf("dhcp: server got op %d", msg.Op)
+	}
+	t, ok := msg.Type()
+	if !ok {
+		return nil, fmt.Errorf("dhcp: request without message type")
+	}
+	var reply *Message
+	switch t {
+	case Discover:
+		reply = s.handleDiscover(msg, now)
+	case Request:
+		reply = s.handleRequest(msg, now)
+	case Release:
+		s.handleRelease(msg)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("dhcp: server cannot handle %v", t)
+	}
+	return reply.Marshal()
+}
+
+func (s *WireServer) reply(req *Message, t MessageType, yiaddr ip4.Addr) *Message {
+	m := &Message{
+		Op: OpBootReply, HType: req.HType, HLen: req.HLen,
+		XID: req.XID, CHAddr: req.CHAddr,
+		YIAddr: yiaddr, SIAddr: s.serverID,
+	}
+	m.SetType(t)
+	m.SetAddrOption(OptServerID, s.serverID)
+	if t != Nak {
+		m.SetU32Option(OptLeaseTime, uint32(s.lease))
+		m.SetU32Option(OptRenewalTime, uint32(s.lease/2))
+	}
+	return m
+}
+
+func (s *WireServer) handleDiscover(req *Message, now simclock.Time) *Message {
+	b, ok := s.bindings[req.CHAddr]
+	if !ok {
+		// §4.3.1: prefer the address the client asks for, else a fresh
+		// one.
+		var addr ip4.Addr
+		if wanted, has := req.AddrOption(OptRequestedIP); has && s.tryWanted(wanted) {
+			addr = wanted
+		} else {
+			addr = s.pool.Acquire(0)
+		}
+		b = &binding{addr: addr}
+		s.bindings[req.CHAddr] = b
+	}
+	b.offered = true
+	return s.reply(req, Offer, b.addr)
+}
+
+// tryWanted attempts to reserve the client's requested address, which
+// only concrete pools supporting reacquisition can honour.
+func (s *WireServer) tryWanted(addr ip4.Addr) bool {
+	type reacquirer interface{ TryReacquire(ip4.Addr) bool }
+	if r, ok := s.pool.(reacquirer); ok {
+		return r.TryReacquire(addr)
+	}
+	return false
+}
+
+func (s *WireServer) handleRequest(req *Message, now simclock.Time) *Message {
+	b, ok := s.bindings[req.CHAddr]
+	if !ok {
+		return s.reply(req, Nak, 0)
+	}
+	// The client states which address it believes it holds: option 50
+	// in SELECTING, ciaddr when renewing.
+	claimed, has := req.AddrOption(OptRequestedIP)
+	if !has {
+		claimed = req.CIAddr
+	}
+	if claimed != b.addr {
+		return s.reply(req, Nak, 0)
+	}
+	b.offered = false
+	b.expires = now.Add(s.lease)
+	return s.reply(req, Ack, b.addr)
+}
+
+func (s *WireServer) handleRelease(req *Message) {
+	if b, ok := s.bindings[req.CHAddr]; ok {
+		s.pool.Release(b.addr)
+		delete(s.bindings, req.CHAddr)
+	}
+}
+
+// WireClient drives the client half of the exchange against a
+// WireServer, exercising the codec on every step.
+type WireClient struct {
+	srv    *WireServer
+	chaddr [16]byte
+	xid    uint32
+
+	addr    ip4.Addr
+	expires simclock.Time
+}
+
+// NewWireClient builds a client with the given hardware address.
+func NewWireClient(srv *WireServer, hwaddr []byte) *WireClient {
+	c := &WireClient{srv: srv}
+	copy(c.chaddr[:], hwaddr)
+	return c
+}
+
+// Addr returns the client's current address (invalid before Acquire).
+func (c *WireClient) Addr() ip4.Addr { return c.addr }
+
+// LeaseExpires returns when the current lease lapses.
+func (c *WireClient) LeaseExpires() simclock.Time { return c.expires }
+
+func (c *WireClient) exchange(m *Message, now simclock.Time) (*Message, error) {
+	c.xid++
+	m.Op = OpBootRequest
+	m.HType, m.HLen = 1, 6
+	m.XID = c.xid
+	m.CHAddr = c.chaddr
+	packet, err := m.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	replyBytes, err := c.srv.Handle(packet, now)
+	if err != nil {
+		return nil, err
+	}
+	if replyBytes == nil {
+		return nil, nil
+	}
+	reply, err := Unmarshal(replyBytes)
+	if err != nil {
+		return nil, err
+	}
+	if reply.XID != c.xid {
+		return nil, fmt.Errorf("dhcp: reply XID %d for request %d", reply.XID, c.xid)
+	}
+	return reply, nil
+}
+
+// Acquire performs the DISCOVER/OFFER/REQUEST/ACK exchange. A client
+// that previously held an address asks for it back (INIT-REBOOT style).
+func (c *WireClient) Acquire(now simclock.Time) (ip4.Addr, error) {
+	disc := &Message{}
+	disc.SetType(Discover)
+	if c.addr.IsValid() {
+		disc.SetAddrOption(OptRequestedIP, c.addr)
+	}
+	offer, err := c.exchange(disc, now)
+	if err != nil {
+		return 0, err
+	}
+	if t, _ := offer.Type(); t != Offer {
+		return 0, fmt.Errorf("dhcp: expected OFFER, got %v", t)
+	}
+
+	req := &Message{}
+	req.SetType(Request)
+	req.SetAddrOption(OptRequestedIP, offer.YIAddr)
+	ack, err := c.exchange(req, now)
+	if err != nil {
+		return 0, err
+	}
+	return c.applyAck(ack, now)
+}
+
+// Renew extends the lease in place (RENEWING state: unicast REQUEST
+// with ciaddr set).
+func (c *WireClient) Renew(now simclock.Time) (ip4.Addr, error) {
+	if !c.addr.IsValid() {
+		return 0, fmt.Errorf("dhcp: renew without a lease")
+	}
+	req := &Message{CIAddr: c.addr}
+	req.SetType(Request)
+	ack, err := c.exchange(req, now)
+	if err != nil {
+		return 0, err
+	}
+	return c.applyAck(ack, now)
+}
+
+func (c *WireClient) applyAck(ack *Message, now simclock.Time) (ip4.Addr, error) {
+	switch t, _ := ack.Type(); t {
+	case Ack:
+		c.addr = ack.YIAddr
+		leaseSecs, ok := ack.U32Option(OptLeaseTime)
+		if !ok {
+			return 0, fmt.Errorf("dhcp: ACK without lease time")
+		}
+		c.expires = now.Add(simclock.Duration(leaseSecs))
+		return c.addr, nil
+	case Nak:
+		c.addr = 0
+		return 0, fmt.Errorf("dhcp: NAK")
+	default:
+		return 0, fmt.Errorf("dhcp: expected ACK, got %v", t)
+	}
+}
+
+// Release gives the address back.
+func (c *WireClient) Release(now simclock.Time) error {
+	if !c.addr.IsValid() {
+		return nil
+	}
+	rel := &Message{CIAddr: c.addr}
+	rel.SetType(Release)
+	if _, err := c.exchange(rel, now); err != nil {
+		return err
+	}
+	c.addr = 0
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package geo maps ISO 3166-1 alpha-2 country codes to continents.
+//
+// The paper's Figure 1 aggregates probe address durations by the
+// continent of the probe's country; RIPE Atlas probe metadata carries
+// the country code. This registry covers every country that appears in
+// the paper's tables plus a spread sufficient for world-scale synthetic
+// probe populations.
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Continent identifies one of the six populated continents using the
+// two-letter codes the paper's Figure 1 legend uses.
+type Continent string
+
+// Continent codes as used in the paper's Figure 1 legend.
+const (
+	Europe       Continent = "EU"
+	NorthAmerica Continent = "NA"
+	Asia         Continent = "AS"
+	Africa       Continent = "AF"
+	SouthAmerica Continent = "SA"
+	Oceania      Continent = "OC"
+)
+
+// Continents lists all continents in the paper's Figure 1 legend order.
+var Continents = []Continent{Europe, NorthAmerica, Asia, Africa, SouthAmerica, Oceania}
+
+// Country describes one country in the registry.
+type Country struct {
+	Code      string // ISO 3166-1 alpha-2, upper case
+	Name      string
+	Continent Continent
+}
+
+var countries = []Country{
+	// Europe — the paper's probe population is Europe-heavy, and most of
+	// the named periodic ISPs (Table 5) are European.
+	{"AT", "Austria", Europe},
+	{"BE", "Belgium", Europe},
+	{"BG", "Bulgaria", Europe},
+	{"CH", "Switzerland", Europe},
+	{"CZ", "Czechia", Europe},
+	{"DE", "Germany", Europe},
+	{"DK", "Denmark", Europe},
+	{"ES", "Spain", Europe},
+	{"FI", "Finland", Europe},
+	{"FR", "France", Europe},
+	{"GB", "United Kingdom", Europe},
+	{"GR", "Greece", Europe},
+	{"HR", "Croatia", Europe},
+	{"HU", "Hungary", Europe},
+	{"IE", "Ireland", Europe},
+	{"IT", "Italy", Europe},
+	{"NL", "Netherlands", Europe},
+	{"NO", "Norway", Europe},
+	{"PL", "Poland", Europe},
+	{"PT", "Portugal", Europe},
+	{"RO", "Romania", Europe},
+	{"RS", "Serbia", Europe},
+	{"RU", "Russia", Europe},
+	{"SE", "Sweden", Europe},
+	{"SI", "Slovenia", Europe},
+	{"SK", "Slovakia", Europe},
+	{"UA", "Ukraine", Europe},
+
+	// North America.
+	{"CA", "Canada", NorthAmerica},
+	{"CR", "Costa Rica", NorthAmerica},
+	{"MX", "Mexico", NorthAmerica},
+	{"PA", "Panama", NorthAmerica},
+	{"US", "United States", NorthAmerica},
+
+	// Asia. Kazakhstan appears in Table 5 (JSC Kazakhtelecom).
+	{"CN", "China", Asia},
+	{"HK", "Hong Kong", Asia},
+	{"ID", "Indonesia", Asia},
+	{"IL", "Israel", Asia},
+	{"IN", "India", Asia},
+	{"IR", "Iran", Asia},
+	{"JP", "Japan", Asia},
+	{"KR", "South Korea", Asia},
+	{"KZ", "Kazakhstan", Asia},
+	{"MY", "Malaysia", Asia},
+	{"PH", "Philippines", Asia},
+	{"SG", "Singapore", Asia},
+	{"TH", "Thailand", Asia},
+	{"TR", "Turkey", Asia},
+	{"TW", "Taiwan", Asia},
+	{"VN", "Vietnam", Asia},
+
+	// Africa. Mauritius and Senegal appear in Table 5.
+	{"DZ", "Algeria", Africa},
+	{"EG", "Egypt", Africa},
+	{"KE", "Kenya", Africa},
+	{"MA", "Morocco", Africa},
+	{"MU", "Mauritius", Africa},
+	{"NG", "Nigeria", Africa},
+	{"SN", "Senegal", Africa},
+	{"TN", "Tunisia", Africa},
+	{"ZA", "South Africa", Africa},
+
+	// South America. Uruguay (ANTEL) and Brazil (GVT) appear in Table 5.
+	{"AR", "Argentina", SouthAmerica},
+	{"BR", "Brazil", SouthAmerica},
+	{"CL", "Chile", SouthAmerica},
+	{"CO", "Colombia", SouthAmerica},
+	{"EC", "Ecuador", SouthAmerica},
+	{"PE", "Peru", SouthAmerica},
+	{"UY", "Uruguay", SouthAmerica},
+	{"VE", "Venezuela", SouthAmerica},
+
+	// Oceania.
+	{"AU", "Australia", Oceania},
+	{"FJ", "Fiji", Oceania},
+	{"NC", "New Caledonia", Oceania},
+	{"NZ", "New Zealand", Oceania},
+}
+
+var byCode = func() map[string]Country {
+	m := make(map[string]Country, len(countries))
+	for _, c := range countries {
+		if _, dup := m[c.Code]; dup {
+			panic("geo: duplicate country code " + c.Code)
+		}
+		m[c.Code] = c
+	}
+	return m
+}()
+
+// Lookup returns the registry entry for an ISO country code.
+func Lookup(code string) (Country, error) {
+	c, ok := byCode[code]
+	if !ok {
+		return Country{}, fmt.Errorf("geo: unknown country code %q", code)
+	}
+	return c, nil
+}
+
+// ContinentOf returns the continent for a country code, or an error if
+// the code is unknown. Analyses treat unknown codes as filterable rather
+// than fatal, matching the paper's handling of incomplete metadata.
+func ContinentOf(code string) (Continent, error) {
+	c, err := Lookup(code)
+	if err != nil {
+		return "", err
+	}
+	return c.Continent, nil
+}
+
+// Codes returns all registered country codes in sorted order.
+func Codes() []string {
+	out := make([]string, 0, len(byCode))
+	for code := range byCode {
+		out = append(out, code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodesIn returns the registered country codes on the given continent,
+// sorted.
+func CodesIn(cont Continent) []string {
+	var out []string
+	for _, c := range countries {
+		if c.Continent == cont {
+			out = append(out, c.Code)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Valid reports whether cont is one of the six registered continents.
+func (c Continent) Valid() bool {
+	for _, k := range Continents {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package geo
+
+import "testing"
+
+func TestPaperCountriesPresent(t *testing.T) {
+	// Every country named in the paper's Tables 5-7 must resolve.
+	want := map[string]Continent{
+		"FR": Europe,       // Orange, Free SAS, SFR
+		"DE": Europe,       // DTAG, Telefonica, Vodafone, Kabel
+		"GB": Europe,       // BT, Virgin Media
+		"BE": Europe,       // Proximus
+		"AT": Europe,       // A1 Telekom
+		"HR": Europe,       // Hrvatski, ISKON, VIPnet
+		"UY": SouthAmerica, // ANTEL
+		"BR": SouthAmerica, // Global Village Telecom
+		"MU": Africa,       // Mauritius Telecom
+		"KZ": Asia,         // JSC Kazakhtelecom
+		"PL": Europe,       // Orange Polska
+		"HU": Europe,       // Digi Tavkozlesi
+		"RU": Europe,       // Rostelecom, Net by Net
+		"US": NorthAmerica, // Verizon, Comcast
+		"NL": Europe,       // Ziggo
+		"IT": Europe,       // Telecom Italia, Wind
+		"SN": Africa,       // SONATEL
+	}
+	for code, cont := range want {
+		got, err := ContinentOf(code)
+		if err != nil {
+			t.Errorf("ContinentOf(%q): %v", code, err)
+			continue
+		}
+		if got != cont {
+			t.Errorf("ContinentOf(%q) = %v, want %v", code, got, cont)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("XX"); err == nil {
+		t.Error("Lookup(XX) should fail")
+	}
+	if _, err := ContinentOf(""); err == nil {
+		t.Error("ContinentOf(empty) should fail")
+	}
+	if _, err := Lookup("de"); err == nil {
+		t.Error("Lookup is case-sensitive; lowercase should fail")
+	}
+}
+
+func TestAllContinentsPopulated(t *testing.T) {
+	for _, cont := range Continents {
+		if len(CodesIn(cont)) == 0 {
+			t.Errorf("continent %v has no countries", cont)
+		}
+	}
+}
+
+func TestCodesSortedAndComplete(t *testing.T) {
+	codes := Codes()
+	if len(codes) != len(countries) {
+		t.Errorf("Codes() returned %d entries, registry has %d", len(codes), len(countries))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Errorf("Codes() not strictly sorted at %d: %q >= %q", i, codes[i-1], codes[i])
+		}
+	}
+}
+
+func TestCodesInPartition(t *testing.T) {
+	// Continents partition the registry: no overlap, union is everything.
+	seen := map[string]Continent{}
+	total := 0
+	for _, cont := range Continents {
+		for _, code := range CodesIn(cont) {
+			if prev, dup := seen[code]; dup {
+				t.Errorf("country %q in both %v and %v", code, prev, cont)
+			}
+			seen[code] = cont
+			total++
+		}
+	}
+	if total != len(countries) {
+		t.Errorf("continent partition covers %d countries, registry has %d", total, len(countries))
+	}
+}
+
+func TestContinentValid(t *testing.T) {
+	if !Europe.Valid() {
+		t.Error("EU must be valid")
+	}
+	if Continent("ZZ").Valid() {
+		t.Error("ZZ must be invalid")
+	}
+	if Continent("").Valid() {
+		t.Error("empty continent must be invalid")
+	}
+}
+
+func TestEveryCountryContinentValid(t *testing.T) {
+	for _, code := range Codes() {
+		c, err := Lookup(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Continent.Valid() {
+			t.Errorf("country %q has invalid continent %q", code, c.Continent)
+		}
+		if c.Name == "" {
+			t.Errorf("country %q has empty name", code)
+		}
+	}
+}

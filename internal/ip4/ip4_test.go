@@ -1,0 +1,245 @@
+package ip4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"192.0.2.7", FromOctets(192, 0, 2, 7), true},
+		{"91.55.174.103", FromOctets(91, 55, 174, 103), true},
+		{"193.0.0.78", TestingAddr, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseAddr(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseAddr(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		a := Addr(u)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrOctets(t *testing.T) {
+	a := FromOctets(10, 20, 30, 40)
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 10 || o2 != 20 || o3 != 30 || o4 != 40 {
+		t.Errorf("Octets() = %d.%d.%d.%d, want 10.20.30.40", o1, o2, o3, o4)
+	}
+}
+
+func TestSlashPrefixes(t *testing.T) {
+	a := MustParseAddr("91.55.174.103")
+	if got, want := a.Slash8().String(), "91.0.0.0/8"; got != want {
+		t.Errorf("Slash8 = %s, want %s", got, want)
+	}
+	if got, want := a.Slash16().String(), "91.55.0.0/16"; got != want {
+		t.Errorf("Slash16 = %s, want %s", got, want)
+	}
+	if got, want := a.Slash24().String(), "91.55.174.0/24"; got != want {
+		t.Errorf("Slash24 = %s, want %s", got, want)
+	}
+}
+
+func TestPrefixParse(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"91.55.0.0/16", true},
+		{"0.0.0.0/0", true},
+		{"10.0.0.1/32", true},
+		{"10.0.0.1/31", false}, // host bits set
+		{"10.0.0.0/33", false},
+		{"10.0.0.0/-1", false},
+		{"10.0.0.0", false},
+		{"bogus/8", false},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParsePrefix(%q): %v", c.in, err)
+		}
+		if c.ok && !p.IsValid() {
+			t.Errorf("ParsePrefix(%q) returned invalid prefix", c.in)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParsePrefix(%q) = %v, want error", c.in, p)
+		}
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	f := func(u uint32, b uint8) bool {
+		bits := int(b % 33)
+		p := PrefixFrom(Addr(u), bits)
+		back, err := ParsePrefix(p.String())
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("91.55.0.0/16")
+	if !p.Contains(MustParseAddr("91.55.174.103")) {
+		t.Error("91.55.0.0/16 should contain 91.55.174.103")
+	}
+	if p.Contains(MustParseAddr("91.56.0.0")) {
+		t.Error("91.55.0.0/16 should not contain 91.56.0.0")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("203.0.113.9")) {
+		t.Error("0.0.0.0/0 should contain everything")
+	}
+	var zero Prefix
+	if zero.Contains(0) {
+		t.Error("zero Prefix must not contain anything")
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	// Every address's enclosing prefix of every length contains it.
+	f := func(u uint32, b uint8) bool {
+		bits := int(b % 33)
+		a := Addr(u)
+		p, err := a.Prefix(bits)
+		return err == nil && p.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	p16 := MustParsePrefix("91.55.0.0/16")
+	p24in := MustParsePrefix("91.55.174.0/24")
+	p24out := MustParsePrefix("91.56.1.0/24")
+	if !p16.Overlaps(p24in) || !p24in.Overlaps(p16) {
+		t.Error("nested prefixes must overlap symmetrically")
+	}
+	if p16.Overlaps(p24out) || p24out.Overlaps(p16) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	var zero Prefix
+	if zero.Overlaps(p16) || p16.Overlaps(zero) {
+		t.Error("invalid prefixes never overlap")
+	}
+}
+
+func TestPrefixFirstLastNth(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if got, want := p.First(), MustParseAddr("10.1.2.0"); got != want {
+		t.Errorf("First = %v, want %v", got, want)
+	}
+	if got, want := p.Last(), MustParseAddr("10.1.2.255"); got != want {
+		t.Errorf("Last = %v, want %v", got, want)
+	}
+	if got, want := p.NumAddrs(), uint64(256); got != want {
+		t.Errorf("NumAddrs = %d, want %d", got, want)
+	}
+	if got, want := p.Nth(7), MustParseAddr("10.1.2.7"); got != want {
+		t.Errorf("Nth(7) = %v, want %v", got, want)
+	}
+	// Nth wraps modulo the prefix size.
+	if got, want := p.Nth(256+7), MustParseAddr("10.1.2.7"); got != want {
+		t.Errorf("Nth(263) = %v, want %v", got, want)
+	}
+}
+
+func TestPrefixNthStaysInside(t *testing.T) {
+	f := func(u uint32, b uint8, i uint64) bool {
+		bits := int(b % 33)
+		p := PrefixFrom(Addr(u), bits)
+		return p.Contains(p.Nth(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter prefix with same base must sort first")
+	}
+	if a.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("lower base must sort first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("prefix must compare equal to itself")
+	}
+}
+
+func TestAddrPrefixRangeError(t *testing.T) {
+	a := MustParseAddr("10.0.0.1")
+	if _, err := a.Prefix(33); err == nil {
+		t.Error("Prefix(33) should error")
+	}
+	if _, err := a.Prefix(-1); err == nil {
+		t.Error("Prefix(-1) should error")
+	}
+}
+
+func TestZeroAddrInvalid(t *testing.T) {
+	var a Addr
+	if a.IsValid() {
+		t.Error("zero Addr must be invalid")
+	}
+	if !MustParseAddr("0.0.0.1").IsValid() {
+		t.Error("0.0.0.1 must be valid")
+	}
+}
+
+func BenchmarkAddrString(b *testing.B) {
+	a := MustParseAddr("203.0.113.254")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.String()
+	}
+}
+
+func BenchmarkParseAddr(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddr("91.55.174.103"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

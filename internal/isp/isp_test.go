@@ -1,0 +1,294 @@
+package isp
+
+import (
+	"testing"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+func newPool(t *testing.T, cross float64, prefixes ...string) *AddressPool {
+	t.Helper()
+	var ps []ip4.Prefix
+	for _, s := range prefixes {
+		ps = append(ps, ip4.MustParsePrefix(s))
+	}
+	p, err := NewAddressPool(ps, cross, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewAddressPool(nil, 0, rng.New(1)); err == nil {
+		t.Error("empty prefix list should fail")
+	}
+	if _, err := NewAddressPool([]ip4.Prefix{{}}, 0, rng.New(1)); err == nil {
+		t.Error("invalid prefix should fail")
+	}
+	overlapping := []ip4.Prefix{
+		ip4.MustParsePrefix("10.0.0.0/16"),
+		ip4.MustParsePrefix("10.0.1.0/24"),
+	}
+	if _, err := NewAddressPool(overlapping, 0, rng.New(1)); err == nil {
+		t.Error("overlapping prefixes should fail")
+	}
+	one := []ip4.Prefix{ip4.MustParsePrefix("10.0.0.0/16")}
+	if _, err := NewAddressPool(one, 1.5, rng.New(1)); err == nil {
+		t.Error("bad CrossPrefixProb should fail")
+	}
+	if _, err := NewAddressPool(one, 0.5, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	tiny := []ip4.Prefix{ip4.MustParsePrefix("10.0.0.0/31")}
+	if _, err := NewAddressPool(tiny, 0, rng.New(1)); err == nil {
+		t.Error("/31 pool should fail")
+	}
+}
+
+func TestAcquireUniqueInsidePool(t *testing.T) {
+	p := newPool(t, 0.5, "10.0.0.0/20", "10.1.0.0/20")
+	seen := map[ip4.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		a := p.Acquire(0)
+		if seen[a] {
+			t.Fatalf("address %v handed out twice", a)
+		}
+		seen[a] = true
+		inside := false
+		for _, pfx := range p.Prefixes() {
+			if pfx.Contains(a) {
+				inside = true
+			}
+		}
+		if !inside {
+			t.Fatalf("address %v outside pool prefixes", a)
+		}
+	}
+	if p.InUse() != 1000 {
+		t.Errorf("InUse = %d, want 1000", p.InUse())
+	}
+}
+
+func TestAcquireNeverReturnsExclude(t *testing.T) {
+	p := newPool(t, 0, "10.0.0.0/24")
+	first := p.Acquire(0)
+	p.Release(first)
+	for i := 0; i < 200; i++ {
+		a := p.Acquire(first)
+		if a == first {
+			t.Fatal("Acquire returned the excluded address")
+		}
+		p.Release(a)
+	}
+}
+
+func TestCrossPrefixProbability(t *testing.T) {
+	p := newPool(t, 0.7, "10.0.0.0/16", "10.1.0.0/16", "10.2.0.0/16")
+	prev := p.Acquire(0)
+	cross, total := 0, 2000
+	for i := 0; i < total; i++ {
+		p.Release(prev)
+		next := p.Acquire(prev)
+		if !prev.Slash16().Contains(next) {
+			cross++
+		}
+		prev = next
+	}
+	frac := float64(cross) / float64(total)
+	if frac < 0.63 || frac > 0.77 {
+		t.Errorf("cross-prefix fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestCrossPrefixZeroKeepsPrefix(t *testing.T) {
+	p := newPool(t, 0, "10.0.0.0/16", "10.1.0.0/16")
+	prev := p.Acquire(0)
+	for i := 0; i < 300; i++ {
+		p.Release(prev)
+		next := p.Acquire(prev)
+		if !prev.Slash16().Contains(next) {
+			t.Fatal("CrossPrefixProb 0 must keep the customer in its prefix")
+		}
+		prev = next
+	}
+}
+
+func TestTryReacquire(t *testing.T) {
+	p := newPool(t, 0, "10.0.0.0/24")
+	a := p.Acquire(0)
+	if p.TryReacquire(a) {
+		t.Error("held address must not be reacquirable")
+	}
+	p.Release(a)
+	if !p.TryReacquire(a) {
+		t.Error("released address should be reacquirable")
+	}
+	outside := ip4.MustParseAddr("192.0.2.1")
+	if p.TryReacquire(outside) {
+		t.Error("address outside pool must not be reacquirable")
+	}
+}
+
+func TestPoolSweepWhenSaturated(t *testing.T) {
+	// A /26 pool (62 usable hosts minus network/broadcast handling)
+	// forces the linear sweep path.
+	p := newPool(t, 0, "10.0.0.0/26")
+	var got []ip4.Addr
+	for i := 0; i < 60; i++ {
+		got = append(got, p.Acquire(0))
+	}
+	seen := map[ip4.Addr]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatal("duplicate under saturation")
+		}
+		seen[a] = true
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{
+		Name: "X", ASN: 1, Kind: PPP,
+		Cohorts:            []Cohort{{Period: 24 * simclock.Hour, Weight: 1}},
+		OutageRenumberFrac: 1,
+		NumPrefixes:        1, PrefixBits: 16,
+	}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	cases := []Profile{
+		{},                            // no name
+		{Name: "X"},                   // no ASN
+		{Name: "X", ASN: 1, Kind: 42}, // unknown kind
+		{Name: "X", ASN: 1, Kind: DHCP, NumPrefixes: 1, PrefixBits: 16},                                                                      // DHCP without lease
+		{Name: "X", ASN: 1, Kind: DHCP, Lease: 1, ReclaimMean: 1, Cohorts: []Cohort{{Period: 1, Weight: 1}}, NumPrefixes: 1, PrefixBits: 16}, // DHCP with cohorts
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 0, NumPrefixes: 1, PrefixBits: 16},                                                // PPP without renumber frac
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 1, NumPrefixes: 0, PrefixBits: 16},                                                // no prefixes
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 1, NumPrefixes: 1, PrefixBits: 30},                                                // bad bits
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 1, NumPrefixes: 1, PrefixBits: 16, SkipProb: 2},                                   // bad prob
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 1, NumPrefixes: 1, PrefixBits: 16,
+			SyncFrac: 0.5, SyncStartHour: 6, SyncEndHour: 3}, // inverted window
+		{Name: "X", ASN: 1, Kind: PPP, OutageRenumberFrac: 1, NumPrefixes: 1, PrefixBits: 16,
+			Cohorts: []Cohort{{Period: 1, Weight: 0}}}, // zero weight
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, p)
+		}
+	}
+}
+
+func TestPaperProfilesValid(t *testing.T) {
+	ps := PaperProfiles()
+	if err := ValidateAll(ps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) < 30 {
+		t.Errorf("registry has only %d profiles", len(ps))
+	}
+}
+
+func TestPaperProfilesCoverTables(t *testing.T) {
+	ps := PaperProfiles()
+	// Every AS in the paper's Table 5 must exist and be periodic.
+	periodicNames := []string{
+		"Orange", "DTAG", "Telefonica DE 2", "Telefonica DE 1",
+		"PJSC Rostelecom", "BT", "Proximus", "A1 Telekom",
+		"Vodafone GmbH", "Hrvatski", "ISKON", "ANTEL",
+		"Global Village Telecom", "Mauritius Telecom", "JSC Kazakhtelecom",
+		"Orange Polska", "VIPnet", "Digi Tavkozlesi", "Free SAS",
+		"SONATEL-AS", "Net by Net",
+	}
+	for _, name := range periodicNames {
+		p, ok := FindProfile(ps, name)
+		if !ok {
+			t.Errorf("missing Table 5 profile %q", name)
+			continue
+		}
+		if !p.Periodic() {
+			t.Errorf("profile %q should be periodic", name)
+		}
+		if p.Kind != PPP {
+			t.Errorf("periodic profile %q should use PPP", name)
+		}
+	}
+	// Non-periodic comparison ISPs.
+	for _, name := range []string{"LGI", "Verizon", "Comcast", "Kabel Deutschland"} {
+		p, ok := FindProfile(ps, name)
+		if !ok {
+			t.Errorf("missing profile %q", name)
+			continue
+		}
+		if p.Periodic() || p.Kind != DHCP {
+			t.Errorf("profile %q should be non-periodic DHCP", name)
+		}
+	}
+	// Ground truth of Table 5's headline periods.
+	if p, _ := FindProfile(ps, "Orange"); p.Cohorts[0].Period != 168*simclock.Hour {
+		t.Error("Orange period should be one week")
+	}
+	if p, _ := FindProfile(ps, "DTAG"); p.Cohorts[0].Period != 24*simclock.Hour {
+		t.Error("DTAG period should be 24h")
+	}
+	if p, _ := FindProfile(ps, "ANTEL"); p.Cohorts[0].Period != 12*simclock.Hour {
+		t.Error("ANTEL period should be 12h")
+	}
+}
+
+func TestPickCohort(t *testing.T) {
+	p := Profile{Cohorts: []Cohort{{Period: 22 * simclock.Hour, Weight: 0.5}, {Period: 24 * simclock.Hour, Weight: 0.5}}}
+	c := p.PickCohort(func(w []float64) int {
+		if len(w) != 2 {
+			t.Fatalf("weights = %v", w)
+		}
+		return 1
+	})
+	if c.Period != 24*simclock.Hour {
+		t.Errorf("PickCohort = %+v", c)
+	}
+	empty := Profile{}
+	c = empty.PickCohort(func(w []float64) int { t.Fatal("must not be called"); return 0 })
+	if c.Period != 0 {
+		t.Error("empty cohorts must yield the unlimited cohort")
+	}
+}
+
+func TestOutageConfigFallback(t *testing.T) {
+	p := Profile{}
+	cfg := p.OutageConfig()
+	if cfg.PowerPerYear <= 0 {
+		t.Error("fallback outage config should have positive rates")
+	}
+}
+
+func TestFindProfile(t *testing.T) {
+	ps := PaperProfiles()
+	if _, ok := FindProfile(ps, "Orange"); !ok {
+		t.Error("Orange should be found")
+	}
+	if _, ok := FindProfile(ps, "Nonexistent ISP"); ok {
+		t.Error("unknown name should not be found")
+	}
+}
+
+func TestValidateAllCatchesDuplicateASN(t *testing.T) {
+	ps := []Profile{
+		{Name: "A", ASN: 5, Kind: Static, NumPrefixes: 1, PrefixBits: 16},
+		{Name: "B", ASN: 5, Kind: Static, NumPrefixes: 1, PrefixBits: 16},
+	}
+	if err := ValidateAll(ps); err == nil {
+		t.Error("duplicate ASN should fail")
+	}
+}
+
+func TestAssignKindString(t *testing.T) {
+	if DHCP.String() != "dhcp" || PPP.String() != "ppp" || Static.String() != "static" {
+		t.Error("AssignKind.String wrong")
+	}
+	if AssignKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

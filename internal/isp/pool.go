@@ -1,0 +1,144 @@
+// Package isp defines ISP behaviour profiles — assignment backend,
+// periodic renumbering policy, pool geometry — and the concrete dynamic
+// address pool shared by an ISP's customers.
+//
+// The profiles in profiles.go encode the per-AS ground truth the paper
+// infers in Tables 5-7: which ISPs renumber periodically and with what
+// period, which renumber on outages of any duration (PPP) versus only on
+// long outages (DHCP), and how far across prefixes new addresses stray.
+package isp
+
+import (
+	"fmt"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+)
+
+// AddressPool is a dynamic address pool spanning one or more BGP
+// prefixes. It satisfies both dhcp.Pool and ppp.Pool.
+//
+// CrossPrefixProb controls prefix locality on reassignment: the paper's
+// Table 7 finds that for most ISPs roughly half of address changes land
+// in a different BGP prefix, so pools are genuinely striped across
+// prefixes rather than per-subnet.
+type AddressPool struct {
+	prefixes        []ip4.Prefix
+	crossPrefixProb float64
+	rnd             *rng.RNG
+	used            map[ip4.Addr]bool
+}
+
+// NewAddressPool builds a pool over the given prefixes.
+func NewAddressPool(prefixes []ip4.Prefix, crossPrefixProb float64, rnd *rng.RNG) (*AddressPool, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("isp: pool needs at least one prefix")
+	}
+	for i, p := range prefixes {
+		if !p.IsValid() {
+			return nil, fmt.Errorf("isp: invalid prefix at %d", i)
+		}
+		if p.Bits() > 30 {
+			return nil, fmt.Errorf("isp: prefix %v too small for a customer pool", p)
+		}
+		for j := i + 1; j < len(prefixes); j++ {
+			if p.Overlaps(prefixes[j]) {
+				return nil, fmt.Errorf("isp: pool prefixes overlap: %v, %v", p, prefixes[j])
+			}
+		}
+	}
+	if crossPrefixProb < 0 || crossPrefixProb > 1 {
+		return nil, fmt.Errorf("isp: CrossPrefixProb %v outside [0,1]", crossPrefixProb)
+	}
+	if rnd == nil {
+		return nil, fmt.Errorf("isp: nil rng")
+	}
+	cp := make([]ip4.Prefix, len(prefixes))
+	copy(cp, prefixes)
+	return &AddressPool{
+		prefixes:        cp,
+		crossPrefixProb: crossPrefixProb,
+		rnd:             rnd,
+		used:            make(map[ip4.Addr]bool),
+	}, nil
+}
+
+// Prefixes returns the pool's prefixes.
+func (p *AddressPool) Prefixes() []ip4.Prefix {
+	out := make([]ip4.Prefix, len(p.prefixes))
+	copy(out, p.prefixes)
+	return out
+}
+
+// InUse returns the number of currently held addresses.
+func (p *AddressPool) InUse() int { return len(p.used) }
+
+// prefixOf returns the index of the pool prefix containing a, or -1.
+func (p *AddressPool) prefixOf(a ip4.Addr) int {
+	for i, pfx := range p.prefixes {
+		if pfx.Contains(a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Acquire hands out an unused address, never equal to exclude. When
+// exclude identifies the customer's previous prefix, the new address
+// comes from a different prefix with probability CrossPrefixProb
+// (when the pool has more than one).
+func (p *AddressPool) Acquire(exclude ip4.Addr) ip4.Addr {
+	idx := -1
+	if exclude.IsValid() {
+		idx = p.prefixOf(exclude)
+	}
+	var pfxIdx int
+	switch {
+	case idx < 0 || len(p.prefixes) == 1:
+		pfxIdx = p.rnd.Intn(len(p.prefixes))
+	case p.rnd.Bool(p.crossPrefixProb):
+		// Different prefix than the previous address.
+		pfxIdx = p.rnd.Intn(len(p.prefixes) - 1)
+		if pfxIdx >= idx {
+			pfxIdx++
+		}
+	default:
+		pfxIdx = idx
+	}
+	pfx := p.prefixes[pfxIdx]
+	// Random probing; pools are orders of magnitude larger than the
+	// simulated customer count, so collisions are rare. Fall back to a
+	// bounded linear sweep for pathological saturation.
+	for attempt := 0; attempt < 64; attempt++ {
+		a := pfx.Nth(p.rnd.Uint64())
+		if a != exclude && !p.used[a] && a != pfx.First() && a != pfx.Last() {
+			p.used[a] = true
+			return a
+		}
+	}
+	for _, tryPfx := range p.prefixes {
+		n := tryPfx.NumAddrs()
+		for i := uint64(1); i < n-1; i++ {
+			a := tryPfx.Nth(i)
+			if a != exclude && !p.used[a] {
+				p.used[a] = true
+				return a
+			}
+		}
+	}
+	panic(fmt.Sprintf("isp: address pool exhausted (%d in use)", len(p.used)))
+}
+
+// TryReacquire re-marks addr as held if it is free and belongs to the
+// pool; it reports success. DHCP servers honouring RFC 2131 §4.3.1 use
+// this to give a returning client its old address back.
+func (p *AddressPool) TryReacquire(addr ip4.Addr) bool {
+	if p.prefixOf(addr) < 0 || p.used[addr] {
+		return false
+	}
+	p.used[addr] = true
+	return true
+}
+
+// Release returns addr to the pool.
+func (p *AddressPool) Release(addr ip4.Addr) { delete(p.used, addr) }

@@ -1,0 +1,207 @@
+package isp
+
+import (
+	"fmt"
+
+	"dynaddr/internal/asdb"
+	"dynaddr/internal/outage"
+	"dynaddr/internal/simclock"
+)
+
+// AssignKind selects the address-assignment backend an ISP uses.
+type AssignKind int
+
+// Assignment backends.
+const (
+	// DHCP: leases renew in place; only outages past lease expiry plus
+	// pool pressure change the address (paper §2.1).
+	DHCP AssignKind = iota
+	// PPP: PPPoE + Radius; every session establishment draws a fresh
+	// address, and the ISP may cap session lifetime (paper §2.2, §4).
+	PPP
+	// Static: the address never changes. Models the paper's 3,073
+	// never-changed probes (Table 2).
+	Static
+)
+
+// String names the assignment kind.
+func (k AssignKind) String() string {
+	switch k {
+	case DHCP:
+		return "dhcp"
+	case PPP:
+		return "ppp"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("AssignKind(%d)", int(k))
+	}
+}
+
+// Cohort is a sub-population of an ISP's customers sharing one forced
+// session lifetime. Most ISPs have a single cohort; the paper finds
+// ISPs like Proximus (36h and 24h) and Orange Polska (22h and 24h) with
+// several, and partially-periodic ISPs like BT where most customers have
+// no limit at all.
+type Cohort struct {
+	// Period is the forced session lifetime; zero means unlimited.
+	Period simclock.Duration
+	// Weight is the relative share of customers in this cohort.
+	Weight float64
+}
+
+// Profile is the ground-truth behaviour of one ISP.
+type Profile struct {
+	Name    string
+	ASN     asdb.ASN
+	Country string // ISO code; empty means pan-European deployment
+	Kind    AssignKind
+
+	// SiblingASN, when non-zero, is a second ASN of the same operator;
+	// half the pool's prefixes are originated from it. Address changes
+	// across the pair appear as cross-AS changes (paper §3.3).
+	SiblingASN asdb.ASN
+
+	// Cohorts describes forced-renumbering sub-populations (PPP only).
+	// Empty means a single unlimited cohort.
+	Cohorts []Cohort
+
+	// SyncFrac is the fraction of periodic customers whose CPE defers the
+	// periodic reconnect to a nightly window [SyncStartHour, SyncEndHour)
+	// GMT — the DTAG pattern of Figure 5. Zero gives Orange's
+	// free-running clock (Figure 4).
+	SyncFrac      float64
+	SyncStartHour int
+	SyncEndHour   int
+
+	// SkipProb is the probability a scheduled forced disconnect is
+	// skipped, which doubles the observed duration — the paper's
+	// "harmonic" durations (§4.4.2).
+	SkipProb float64
+	// SameAddrProb is the probability a PPP reconnect receives the same
+	// address again, the other harmonic source.
+	SameAddrProb float64
+	// JitterProb is the probability that a periodic customer's forced
+	// disconnect drifts to a random non-harmonic time, breaking both the
+	// MAX<=d and Harmonic properties (e.g. Global Village Telecom).
+	JitterProb float64
+
+	// OutageRenumberFrac (PPP only) is the fraction of customers whose
+	// lines renumber on every reconnect. Real ISPs mix technologies —
+	// the paper's Table 6 shows e.g. only 38% of SFR probes with
+	// P(ac|nw) > 0.8 while ISKON hits 100% — so the remainder of a PPP
+	// ISP's customers keep their address across interruptions.
+	OutageRenumberFrac float64
+
+	// DHCP parameters.
+	Lease       simclock.Duration
+	ReclaimMean simclock.Duration
+
+	// Pool geometry.
+	NumPrefixes     int
+	PrefixBits      int
+	CrossPrefixProb float64
+
+	// Outage exposes this ISP's outage process; zero value means
+	// outage.DefaultConfig().
+	Outage outage.Config
+
+	// AdminRenumberDay, when positive, is the zero-based study day on
+	// which the ISP renumbers its whole customer base en masse — the
+	// paper's administrative renumbering (§2.3), of which it found a
+	// single instance in 2015. The rollout spreads over a few hours.
+	AdminRenumberDay int
+
+	// DefaultProbes scales the synthetic deployment to mirror the paper's
+	// per-AS probe counts.
+	DefaultProbes int
+}
+
+// Validate checks internal consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("isp: profile without name")
+	}
+	if p.ASN == 0 {
+		return fmt.Errorf("isp: profile %q without ASN", p.Name)
+	}
+	switch p.Kind {
+	case DHCP:
+		if p.Lease <= 0 || p.ReclaimMean <= 0 {
+			return fmt.Errorf("isp: DHCP profile %q needs Lease and ReclaimMean", p.Name)
+		}
+		if len(p.Cohorts) > 0 {
+			return fmt.Errorf("isp: DHCP profile %q must not define periodic cohorts", p.Name)
+		}
+	case PPP:
+		for _, c := range p.Cohorts {
+			if c.Weight <= 0 {
+				return fmt.Errorf("isp: profile %q cohort with non-positive weight", p.Name)
+			}
+			if c.Period < 0 {
+				return fmt.Errorf("isp: profile %q cohort with negative period", p.Name)
+			}
+		}
+		if p.OutageRenumberFrac <= 0 || p.OutageRenumberFrac > 1 {
+			return fmt.Errorf("isp: PPP profile %q needs OutageRenumberFrac in (0,1], got %v", p.Name, p.OutageRenumberFrac)
+		}
+	case Static:
+	default:
+		return fmt.Errorf("isp: profile %q has unknown kind %d", p.Name, p.Kind)
+	}
+	for _, frac := range []float64{p.SyncFrac, p.SkipProb, p.SameAddrProb, p.JitterProb, p.CrossPrefixProb} {
+		if frac < 0 || frac > 1 {
+			return fmt.Errorf("isp: profile %q has probability %v outside [0,1]", p.Name, frac)
+		}
+	}
+	if p.SyncFrac > 0 {
+		if p.SyncStartHour < 0 || p.SyncStartHour > 23 || p.SyncEndHour < 1 || p.SyncEndHour > 24 || p.SyncEndHour <= p.SyncStartHour {
+			return fmt.Errorf("isp: profile %q has bad sync window [%d,%d)", p.Name, p.SyncStartHour, p.SyncEndHour)
+		}
+	}
+	if p.NumPrefixes < 1 {
+		return fmt.Errorf("isp: profile %q needs at least one prefix", p.Name)
+	}
+	if p.PrefixBits < 8 || p.PrefixBits > 24 {
+		return fmt.Errorf("isp: profile %q prefix length /%d outside /8../24", p.Name, p.PrefixBits)
+	}
+	if p.DefaultProbes < 0 {
+		return fmt.Errorf("isp: profile %q has negative probe count", p.Name)
+	}
+	if p.AdminRenumberDay < 0 || p.AdminRenumberDay > 364 {
+		return fmt.Errorf("isp: profile %q admin renumber day %d outside study year", p.Name, p.AdminRenumberDay)
+	}
+	return nil
+}
+
+// OutageConfig returns the ISP's outage process configuration, falling
+// back to the package default when unset.
+func (p Profile) OutageConfig() outage.Config {
+	if p.Outage == (outage.Config{}) {
+		return outage.DefaultConfig()
+	}
+	return p.Outage
+}
+
+// PickCohort draws a cohort for one customer according to the weights.
+// ISPs without cohorts yield the unlimited cohort.
+func (p Profile) PickCohort(f func(weights []float64) int) Cohort {
+	if len(p.Cohorts) == 0 {
+		return Cohort{Period: 0, Weight: 1}
+	}
+	weights := make([]float64, len(p.Cohorts))
+	for i, c := range p.Cohorts {
+		weights[i] = c.Weight
+	}
+	return p.Cohorts[f(weights)]
+}
+
+// Periodic reports whether any cohort has a forced session lifetime.
+func (p Profile) Periodic() bool {
+	for _, c := range p.Cohorts {
+		if c.Period > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,421 @@
+package isp
+
+import (
+	"fmt"
+
+	"dynaddr/internal/outage"
+	"dynaddr/internal/simclock"
+)
+
+// The registry below encodes, as generative ground truth, the per-AS
+// behaviour the paper *infers* in Tables 5-7 and Figures 2-9: assignment
+// backend, periodic cohorts and their periods, harmonic-producing skip
+// probabilities, synchronisation windows, outage renumbering shares, and
+// prefix-spread. Experiments then check that the analysis pipeline
+// recovers these parameters from the generated datasets.
+
+const (
+	h  = simclock.Hour
+	dy = simclock.Day
+)
+
+// PaperProfiles returns the profiles for every autonomous system named
+// in the paper's tables, plus synthetic continental filler ISPs (the
+// paper's Figure 1 aggregates whole continents) and static-address ISPs
+// that supply the never-changed probe population of Table 2.
+func PaperProfiles() []Profile {
+	ps := []Profile{
+		// ----- Figure 2 / Table 5 headline ISPs -----
+		{
+			Name: "Orange", ASN: 3215, Country: "FR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 168 * h, Weight: 0.91}, {Period: 0, Weight: 0.09}},
+			SkipProb: 0.0004, SameAddrProb: 0.004, JitterProb: 0.0,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        8, PrefixBits: 16, CrossPrefixProb: 0.68,
+			DefaultProbes: 122,
+		},
+		{
+			Name: "DTAG", ASN: 3320, Country: "DE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.81}, {Period: 0, Weight: 0.19}},
+			SyncFrac: 0.75, SyncStartHour: 0, SyncEndHour: 6,
+			SkipProb: 0.0007, SameAddrProb: 0.001,
+			OutageRenumberFrac: 0.70,
+			NumPrefixes:        12, PrefixBits: 16, CrossPrefixProb: 0.24,
+			DefaultProbes: 63,
+		},
+		{
+			Name: "BT", ASN: 2856, Country: "GB", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 337 * h, Weight: 0.20}, {Period: 0, Weight: 0.80}},
+			SkipProb: 0.03, SameAddrProb: 0.01, JitterProb: 0.015,
+			OutageRenumberFrac: 0.65,
+			NumPrefixes:        6, PrefixBits: 14, CrossPrefixProb: 0.44,
+			DefaultProbes: 67,
+		},
+		{
+			Name: "LGI", ASN: 6830, Country: "", Kind: DHCP,
+			Lease: 3 * h, ReclaimMean: 36 * h,
+			NumPrefixes: 6, PrefixBits: 16, CrossPrefixProb: 0.56,
+			// LGI's cable plant is flaky: many outages with a fat tail,
+			// which (with the modest reclaim mean) is what gives its
+			// probes enough address changes to bound durations at all.
+			Outage: outage.Config{
+				PowerPerYear: 20, NetworkPerYear: 36, ShortFrac: 0.45,
+				ParetoXm: 120, ParetoAlpha: 0.45, MaxDuration: 14 * dy,
+			},
+			DefaultProbes: 160,
+		},
+		{
+			Name: "Verizon", ASN: 701, Country: "US", Kind: DHCP,
+			Lease: 2 * h, ReclaimMean: 4 * dy,
+			Outage: outage.Config{
+				PowerPerYear: 16, NetworkPerYear: 26, ShortFrac: 0.45,
+				ParetoXm: 120, ParetoAlpha: 0.45, MaxDuration: 14 * dy,
+			},
+			NumPrefixes: 5, PrefixBits: 16, CrossPrefixProb: 0.23,
+			DefaultProbes: 90,
+		},
+
+		// ----- Remaining Table 5 periodic ISPs -----
+		{
+			Name: "Telefonica DE 2", ASN: 6805, Country: "DE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.88}, {Period: 0, Weight: 0.12}},
+			SyncFrac: 0.5, SyncStartHour: 1, SyncEndHour: 7,
+			SkipProb: 0.004, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.30,
+			DefaultProbes: 17,
+		},
+		{
+			Name: "Telefonica DE 1", ASN: 13184, Country: "DE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 1}},
+			SyncFrac: 0.5, SyncStartHour: 1, SyncEndHour: 7,
+			SkipProb: 0.005, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.30,
+			DefaultProbes: 14,
+		},
+		{
+			Name: "PJSC Rostelecom", ASN: 8997, Country: "RU", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.59}, {Period: 0, Weight: 0.41}},
+			SkipProb: 0.005, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.75,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.45,
+			DefaultProbes: 22,
+		},
+		{
+			Name: "Proximus", ASN: 5432, Country: "BE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 36 * h, Weight: 0.30}, {Period: 24 * h, Weight: 0.10}, {Period: 0, Weight: 0.60}},
+			SkipProb: 0.06, SameAddrProb: 0.01,
+			OutageRenumberFrac: 0.70,
+			NumPrefixes:        5, PrefixBits: 16, CrossPrefixProb: 0.49,
+			DefaultProbes: 41,
+		},
+		{
+			Name: "A1 Telekom", ASN: 8447, Country: "AT", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.92}, {Period: 0, Weight: 0.08}},
+			SkipProb: 0.0009, SameAddrProb: 0.001,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.40,
+			DefaultProbes: 12,
+		},
+		{
+			Name: "Vodafone GmbH", ASN: 3209, Country: "DE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.43}, {Period: 0, Weight: 0.57}},
+			SkipProb: 0.02, SameAddrProb: 0.005,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.35,
+			DefaultProbes: 21,
+		},
+		{
+			Name: "Hrvatski", ASN: 5391, Country: "HR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 1}},
+			SkipProb: 0.003, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        3, PrefixBits: 17, CrossPrefixProb: 0.45,
+			DefaultProbes: 7,
+		},
+		{
+			Name: "ISKON", ASN: 13046, Country: "HR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 1}},
+			SkipProb: 0.01, SameAddrProb: 0.002,
+			OutageRenumberFrac: 1.0,
+			NumPrefixes:        2, PrefixBits: 18, CrossPrefixProb: 0.50,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "ANTEL", ASN: 6057, Country: "UY", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 12 * h, Weight: 1}},
+			SkipProb: 0.001, SameAddrProb: 0.001,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        3, PrefixBits: 16, CrossPrefixProb: 0.50,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "Global Village Telecom", ASN: 18881, Country: "BR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 48 * h, Weight: 1}},
+			SkipProb: 0.02, SameAddrProb: 0.005, JitterProb: 0.12,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.55,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "Mauritius Telecom", ASN: 23889, Country: "MU", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.83}, {Period: 0, Weight: 0.17}},
+			SkipProb: 0.008, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        2, PrefixBits: 18, CrossPrefixProb: 0.45,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "JSC Kazakhtelecom", ASN: 9198, Country: "KZ", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.33}, {Period: 0, Weight: 0.67}},
+			SkipProb: 0.004, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.50,
+			DefaultProbes: 15,
+		},
+		{
+			Name: "Orange Polska", ASN: 5617, Country: "PL", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 22 * h, Weight: 0.5}, {Period: 24 * h, Weight: 0.4}, {Period: 0, Weight: 0.1}},
+			SkipProb: 0.003, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.50,
+			DefaultProbes: 10,
+		},
+		{
+			Name: "VIPnet", ASN: 31012, Country: "HR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 92 * h, Weight: 0.57}, {Period: 0, Weight: 0.43}},
+			SkipProb: 0.01, SameAddrProb: 0.004,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        2, PrefixBits: 17, CrossPrefixProb: 0.45,
+			DefaultProbes: 7,
+		},
+		{
+			Name: "Digi Tavkozlesi", ASN: 20845, Country: "HU", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 168 * h, Weight: 1}},
+			SkipProb: 0.002, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        3, PrefixBits: 17, CrossPrefixProb: 0.45,
+			DefaultProbes: 4,
+		},
+		{
+			Name: "Free SAS", ASN: 12322, Country: "FR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.25}, {Period: 0, Weight: 0.75}},
+			SkipProb: 0.01, SameAddrProb: 0.004,
+			OutageRenumberFrac: 0.6,
+			NumPrefixes:        4, PrefixBits: 15, CrossPrefixProb: 0.40,
+			DefaultProbes: 12,
+		},
+		{
+			Name: "SONATEL-AS", ASN: 8346, Country: "SN", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.43}, {Period: 0, Weight: 0.57}},
+			SkipProb: 0.01, SameAddrProb: 0.004, JitterProb: 0.10,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        2, PrefixBits: 18, CrossPrefixProb: 0.50,
+			DefaultProbes: 7,
+		},
+		{
+			Name: "Net by Net", ASN: 12714, Country: "RU", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 47 * h, Weight: 0.43}, {Period: 0, Weight: 0.57}},
+			SkipProb: 0.002, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        2, PrefixBits: 17, CrossPrefixProb: 0.45,
+			DefaultProbes: 7,
+		},
+
+		// ----- Table 6/7 ISPs without strong periodicity -----
+		{
+			Name: "Telecom Italia", ASN: 3269, Country: "IT", Kind: PPP,
+			Cohorts:            []Cohort{{Period: 0, Weight: 1}},
+			SameAddrProb:       0.01,
+			OutageRenumberFrac: 0.75,
+			NumPrefixes:        8, PrefixBits: 15, CrossPrefixProb: 0.85,
+			DefaultProbes: 28,
+		},
+		{
+			Name: "Wind Telecomunicazioni", ASN: 1267, Country: "IT", Kind: PPP,
+			Cohorts:            []Cohort{{Period: 0, Weight: 1}},
+			SameAddrProb:       0.01,
+			OutageRenumberFrac: 0.70,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.55,
+			DefaultProbes: 12,
+		},
+		{
+			Name: "SFR", ASN: 15557, Country: "FR", Kind: PPP,
+			Cohorts:            []Cohort{{Period: 0, Weight: 1}},
+			SameAddrProb:       0.02,
+			OutageRenumberFrac: 0.45,
+			NumPrefixes:        5, PrefixBits: 16, CrossPrefixProb: 0.45,
+			DefaultProbes: 16,
+		},
+		{
+			Name: "Comcast", ASN: 7922, Country: "US", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 5 * dy,
+			Outage: outage.Config{
+				PowerPerYear: 16, NetworkPerYear: 26, ShortFrac: 0.45,
+				ParetoXm: 120, ParetoAlpha: 0.45, MaxDuration: 14 * dy,
+			},
+			NumPrefixes: 6, PrefixBits: 15, CrossPrefixProb: 0.37,
+			DefaultProbes: 40,
+		},
+		{
+			Name: "Ziggo", ASN: 9143, Country: "NL", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 5 * dy,
+			NumPrefixes: 3, PrefixBits: 16, CrossPrefixProb: 0.35,
+			DefaultProbes: 18,
+		},
+		{
+			Name: "Virgin Media", ASN: 5089, Country: "GB", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 4 * dy,
+			NumPrefixes: 5, PrefixBits: 16, CrossPrefixProb: 0.84,
+			DefaultProbes: 15,
+		},
+		{
+			Name: "Kabel Deutschland", ASN: 31334, Country: "DE", Kind: DHCP,
+			Lease: 6 * h, ReclaimMean: 12 * dy,
+			NumPrefixes: 4, PrefixBits: 16, CrossPrefixProb: 0.30,
+			DefaultProbes: 16,
+		},
+		{
+			Name: "Kabel BW", ASN: 29562, Country: "DE", Kind: DHCP,
+			Lease: 6 * h, ReclaimMean: 12 * dy,
+			NumPrefixes: 2, PrefixBits: 17, CrossPrefixProb: 0.30,
+			DefaultProbes: 8,
+		},
+
+		// ----- Sibling-ASN operator: its customers' addresses hop
+		// between two ASNs of the same organisation, feeding the paper's
+		// 766 filtered multi-AS probes (§3.3). -----
+		{
+			Name: "PanEuro Duo", ASN: 200010, SiblingASN: 200011, Country: "CZ", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 1}},
+			SkipProb: 0.005, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.9,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.60,
+			DefaultProbes: 18,
+		},
+
+		// ----- Continental filler ISPs so Figure 1 has the paper's
+		// per-continent contrast. -----
+		{
+			Name: "German Filler DSL", ASN: 200020, Country: "DE", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.7}, {Period: 0, Weight: 0.3}},
+			SyncFrac: 0.4, SyncStartHour: 0, SyncEndHour: 6,
+			SkipProb: 0.004, SameAddrProb: 0.002,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        3, PrefixBits: 16, CrossPrefixProb: 0.40,
+			DefaultProbes: 20,
+		},
+		{
+			Name: "Asia DSL 24h", ASN: 200030, Country: "JP", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.55}, {Period: 0, Weight: 0.45}},
+			SkipProb: 0.01, SameAddrProb: 0.004,
+			OutageRenumberFrac: 0.8,
+			NumPrefixes:        4, PrefixBits: 16, CrossPrefixProb: 0.50,
+			DefaultProbes: 25,
+		},
+		{
+			Name: "Asia Cable", ASN: 200031, Country: "SG", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 4 * dy,
+			NumPrefixes: 3, PrefixBits: 16, CrossPrefixProb: 0.40,
+			DefaultProbes: 20,
+		},
+		{
+			Name: "Africa DSL 24h", ASN: 200040, Country: "ZA", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 24 * h, Weight: 0.75}, {Period: 0, Weight: 0.25}},
+			SkipProb: 0.008, SameAddrProb: 0.003,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        2, PrefixBits: 17, CrossPrefixProb: 0.50,
+			DefaultProbes: 14,
+		},
+		{
+			Name: "SA DSL 28h", ASN: 200050, Country: "AR", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 28 * h, Weight: 0.8}, {Period: 0, Weight: 0.2}},
+			SkipProb: 0.006, SameAddrProb: 0.003,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        2, PrefixBits: 17, CrossPrefixProb: 0.50,
+			DefaultProbes: 8,
+		},
+		{
+			Name: "SA DSL 8d", ASN: 200051, Country: "CL", Kind: PPP,
+			Cohorts:  []Cohort{{Period: 192 * h, Weight: 0.8}, {Period: 0, Weight: 0.2}},
+			SkipProb: 0.004, SameAddrProb: 0.003,
+			OutageRenumberFrac: 0.85,
+			NumPrefixes:        2, PrefixBits: 17, CrossPrefixProb: 0.50,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "NA Cable", ASN: 200060, Country: "CA", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 6 * dy,
+			Outage: outage.Config{
+				PowerPerYear: 16, NetworkPerYear: 26, ShortFrac: 0.45,
+				ParetoXm: 120, ParetoAlpha: 0.45, MaxDuration: 14 * dy,
+			},
+			NumPrefixes: 3, PrefixBits: 16, CrossPrefixProb: 0.30,
+			DefaultProbes: 30,
+		},
+		{
+			Name: "Oceania Broadband", ASN: 200070, Country: "AU", Kind: DHCP,
+			Lease: 4 * h, ReclaimMean: 6 * dy,
+			NumPrefixes: 3, PrefixBits: 16, CrossPrefixProb: 0.35,
+			DefaultProbes: 28,
+		},
+
+		// ----- Administrative renumbering: a stable DHCP ISP that
+		// migrates its whole customer base to new prefixes on one day
+		// mid-year — the single en-masse event the paper observed
+		// (§2.3, §8). -----
+		{
+			Name: "MidBohemia Net", ASN: 200090, Country: "CZ", Kind: DHCP,
+			Lease: 6 * h, ReclaimMean: 20 * dy,
+			NumPrefixes: 4, PrefixBits: 16, CrossPrefixProb: 1.0,
+			AdminRenumberDay: 142,
+			DefaultProbes:    14,
+		},
+
+		// ----- Static-address ISPs: the never-changed population. -----
+		{
+			Name: "EU Static Hosting", ASN: 200080, Country: "NL", Kind: Static,
+			NumPrefixes: 3, PrefixBits: 16,
+			DefaultProbes: 60,
+		},
+		{
+			Name: "US Static Business", ASN: 200081, Country: "US", Kind: Static,
+			NumPrefixes: 2, PrefixBits: 16,
+			DefaultProbes: 40,
+		},
+	}
+	return ps
+}
+
+// ValidateAll validates every profile in the registry and checks that
+// ASNs are unique; it exists so tests and world construction share one
+// authoritative check.
+func ValidateAll(profiles []Profile) error {
+	seen := make(map[uint32]string)
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		for _, asn := range []uint32{uint32(p.ASN), uint32(p.SiblingASN)} {
+			if asn == 0 {
+				continue
+			}
+			if prev, dup := seen[asn]; dup {
+				return fmt.Errorf("isp: ASN %d used by both %q and %q", asn, prev, p.Name)
+			}
+			seen[asn] = p.Name
+		}
+	}
+	return nil
+}
+
+// FindProfile returns the profile with the given name.
+func FindProfile(profiles []Profile, name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

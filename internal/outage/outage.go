@@ -1,0 +1,177 @@
+// Package outage generates per-probe power and network outage processes
+// for the simulator.
+//
+// The paper associates address changes with two event classes observed
+// at the CPE: power outages (the probe reboots, its uptime counter
+// resets) and network outages (the probe stays up but its k-root pings
+// all fail while LTS grows). Empirically most interruptions are brief —
+// CPE reboots and reconnects — with a heavy tail out to multi-day
+// failures (Figure 9's histogram). Arrivals are Poisson; durations are a
+// mixture of short uniform interruptions and a capped Pareto tail.
+package outage
+
+import (
+	"fmt"
+	"sort"
+
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+// Kind classifies an outage event.
+type Kind int
+
+// Outage kinds.
+const (
+	Power Kind = iota
+	Network
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Power {
+		return "power"
+	}
+	return "network"
+}
+
+// Event is one outage: connectivity (and for Power, electricity) is lost
+// for Duration starting at Start.
+type Event struct {
+	Kind     Kind
+	Start    simclock.Time
+	Duration simclock.Duration
+}
+
+// End returns the instant connectivity returns.
+func (e Event) End() simclock.Time { return e.Start.Add(e.Duration) }
+
+// Config parameterises the outage process.
+type Config struct {
+	// PowerPerYear and NetworkPerYear are mean event counts per year of
+	// simulated time for each kind.
+	PowerPerYear   float64
+	NetworkPerYear float64
+	// ShortFrac is the fraction of events that are brief interruptions
+	// (30 s – 5 min): CPE reboots, cable re-plugs, line resets.
+	ShortFrac float64
+	// ParetoXm and ParetoAlpha shape the heavy-tailed remainder, in
+	// seconds.
+	ParetoXm    float64
+	ParetoAlpha float64
+	// MaxDuration caps the tail so a single event cannot consume the
+	// study year.
+	MaxDuration simclock.Duration
+}
+
+// DefaultConfig returns duration parameters that reproduce the outage-
+// duration histogram shape of the paper's Figure 9: mass concentrated
+// below an hour, a tail past a week.
+func DefaultConfig() Config {
+	return Config{
+		PowerPerYear:   14,
+		NetworkPerYear: 22,
+		ShortFrac:      0.50,
+		ParetoXm:       120,
+		ParetoAlpha:    0.55,
+		MaxDuration:    14 * simclock.Day,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PowerPerYear < 0 || c.NetworkPerYear < 0 {
+		return fmt.Errorf("outage: negative event rate")
+	}
+	if c.ShortFrac < 0 || c.ShortFrac > 1 {
+		return fmt.Errorf("outage: ShortFrac %v outside [0,1]", c.ShortFrac)
+	}
+	if c.ParetoXm <= 0 || c.ParetoAlpha <= 0 {
+		return fmt.Errorf("outage: Pareto parameters must be positive")
+	}
+	if c.MaxDuration <= 0 {
+		return fmt.Errorf("outage: MaxDuration must be positive")
+	}
+	return nil
+}
+
+// minGap separates consecutive outages so that reconnection bookkeeping
+// (TCP re-establishment, measurement rounds) never straddles two events.
+const minGap = 30 * simclock.Minute
+
+// Generate produces the sorted, non-overlapping outage events for one
+// probe across [from, to). Events whose start would overlap the previous
+// event's recovery window are dropped, thinning the Poisson process
+// slightly; rates are low enough that the effect is negligible.
+func Generate(cfg Config, rnd *rng.RNG, from, to simclock.Time) ([]Event, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !from.Before(to) {
+		return nil, fmt.Errorf("outage: empty interval [%v, %v)", from, to)
+	}
+	span := to.Sub(from)
+	year := float64(365 * simclock.Day)
+
+	var events []Event
+	arrivals := func(kind Kind, perYear float64, r *rng.RNG) {
+		if perYear <= 0 {
+			return
+		}
+		meanGap := year / perYear
+		at := from.Add(simclock.Duration(r.Exp(meanGap)))
+		for at.Before(to) {
+			events = append(events, Event{
+				Kind:     kind,
+				Start:    at,
+				Duration: drawDuration(cfg, r),
+			})
+			at = at.Add(simclock.Duration(r.Exp(meanGap)))
+		}
+	}
+	arrivals(Power, cfg.PowerPerYear, rnd.Split("power"))
+	arrivals(Network, cfg.NetworkPerYear, rnd.Split("network"))
+	_ = span
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Kind < events[j].Kind
+	})
+
+	// Thin overlaps: keep an event only if it starts after the previous
+	// kept event's end plus the recovery gap, and truncate events at the
+	// study end.
+	out := events[:0]
+	var lastEnd simclock.Time
+	for _, e := range events {
+		if len(out) > 0 && !e.Start.After(lastEnd.Add(minGap)) {
+			continue
+		}
+		if e.End().After(to) {
+			e.Duration = to.Sub(e.Start)
+			if e.Duration <= 0 {
+				continue
+			}
+		}
+		out = append(out, e)
+		lastEnd = e.End()
+	}
+	return out, nil
+}
+
+func drawDuration(cfg Config, r *rng.RNG) simclock.Duration {
+	if r.Bool(cfg.ShortFrac) {
+		// Brief interruption: 30 s to 5 min, uniform.
+		return simclock.Duration(30 + r.Int63n(271))
+	}
+	d := simclock.Duration(r.Pareto(cfg.ParetoXm, cfg.ParetoAlpha))
+	if d > cfg.MaxDuration {
+		d = cfg.MaxDuration
+	}
+	if d < 30 {
+		d = 30
+	}
+	return d
+}

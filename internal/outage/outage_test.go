@@ -1,0 +1,172 @@
+package outage
+
+import (
+	"testing"
+
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+func genYear(t *testing.T, cfg Config, seed uint64) []Event {
+	t.Helper()
+	events, err := Generate(cfg, rng.New(seed), simclock.StudyStart, simclock.StudyEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{PowerPerYear: -1, NetworkPerYear: 1, ShortFrac: 0.5, ParetoXm: 1, ParetoAlpha: 1, MaxDuration: 1},
+		{PowerPerYear: 1, NetworkPerYear: 1, ShortFrac: 1.5, ParetoXm: 1, ParetoAlpha: 1, MaxDuration: 1},
+		{PowerPerYear: 1, NetworkPerYear: 1, ShortFrac: 0.5, ParetoXm: 0, ParetoAlpha: 1, MaxDuration: 1},
+		{PowerPerYear: 1, NetworkPerYear: 1, ShortFrac: 0.5, ParetoXm: 1, ParetoAlpha: 1, MaxDuration: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad case %d should fail", i)
+		}
+	}
+}
+
+func TestGenerateEmptyInterval(t *testing.T) {
+	if _, err := Generate(DefaultConfig(), rng.New(1), simclock.StudyEnd, simclock.StudyStart); err == nil {
+		t.Error("reversed interval should fail")
+	}
+}
+
+func TestEventsSortedNonOverlapping(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		events := genYear(t, DefaultConfig(), seed)
+		for i, e := range events {
+			if e.Start < simclock.StudyStart || e.End() > simclock.StudyEnd {
+				t.Fatalf("seed %d: event %d outside study: %+v", seed, i, e)
+			}
+			if e.Duration <= 0 {
+				t.Fatalf("seed %d: event %d non-positive duration", seed, i)
+			}
+			if i > 0 {
+				prev := events[i-1]
+				if !e.Start.After(prev.End()) {
+					t.Fatalf("seed %d: events %d,%d overlap", seed, i-1, i)
+				}
+				if e.Start.Sub(prev.End()) < 30*simclock.Minute {
+					t.Fatalf("seed %d: gap below minimum between %d and %d", seed, i-1, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEventCountNearRates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PowerPerYear = 20
+	cfg.NetworkPerYear = 40
+	var power, network int
+	const trials = 50
+	for seed := uint64(0); seed < trials; seed++ {
+		for _, e := range genYear(t, cfg, seed) {
+			if e.Kind == Power {
+				power++
+			} else {
+				network++
+			}
+		}
+	}
+	avgPower := float64(power) / trials
+	avgNetwork := float64(network) / trials
+	if avgPower < 15 || avgPower > 25 {
+		t.Errorf("mean power outages = %v, want ~20", avgPower)
+	}
+	if avgNetwork < 33 || avgNetwork > 47 {
+		t.Errorf("mean network outages = %v, want ~40", avgNetwork)
+	}
+}
+
+func TestZeroRatesProduceNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PowerPerYear = 0
+	cfg.NetworkPerYear = 0
+	if events := genYear(t, cfg, 1); len(events) != 0 {
+		t.Errorf("zero rates produced %d events", len(events))
+	}
+}
+
+func TestDurationMixtureShape(t *testing.T) {
+	// Figure 9's histogram: most outages short, a real tail past a day.
+	cfg := DefaultConfig()
+	cfg.PowerPerYear = 200
+	cfg.NetworkPerYear = 200
+	var short, day int
+	var total int
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, e := range genYear(t, cfg, seed) {
+			total++
+			if e.Duration < 5*simclock.Minute {
+				short++
+			}
+			if e.Duration >= simclock.Day {
+				day++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no events generated")
+	}
+	shortFrac := float64(short) / float64(total)
+	dayFrac := float64(day) / float64(total)
+	if shortFrac < 0.4 {
+		t.Errorf("short fraction = %v, want a majority-ish share", shortFrac)
+	}
+	if dayFrac <= 0 {
+		t.Errorf("no day-plus outages in %d events; tail missing", total)
+	}
+	if dayFrac > 0.2 {
+		t.Errorf("day-plus fraction = %v, tail too fat", dayFrac)
+	}
+}
+
+func TestDurationCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShortFrac = 0
+	cfg.ParetoAlpha = 0.3 // extremely heavy tail to stress the cap
+	cfg.PowerPerYear = 100
+	cfg.NetworkPerYear = 0
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, e := range genYear(t, cfg, seed) {
+			if e.Duration > cfg.MaxDuration {
+				t.Fatalf("event duration %v exceeds cap %v", e.Duration, cfg.MaxDuration)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := genYear(t, DefaultConfig(), 42)
+	b := genYear(t, DefaultConfig(), 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Power.String() != "power" || Network.String() != "network" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestEventEnd(t *testing.T) {
+	e := Event{Start: 100, Duration: 50}
+	if e.End() != 150 {
+		t.Errorf("End = %v", e.End())
+	}
+}

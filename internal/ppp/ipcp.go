@@ -1,0 +1,281 @@
+package ppp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynaddr/internal/ip4"
+)
+
+// This file implements IPCP (RFC 1332), the NCP that assigns the IPv4
+// address once the PPP link is up — the exact mechanism the paper's
+// §2.2 describes. The canonical dynamic-assignment dance: the client
+// Configure-Requests address 0.0.0.0, the ISP Configure-Naks with the
+// address the Radius pool picked, the client re-requests it, and the
+// ISP Configure-Acks.
+
+// IPCP/LCP packet codes (RFC 1661 §5, reused by RFC 1332).
+const (
+	IPCPConfigureRequest byte = 1
+	IPCPConfigureAck     byte = 2
+	IPCPConfigureNak     byte = 3
+	IPCPConfigureReject  byte = 4
+	IPCPTerminateRequest byte = 5
+	IPCPTerminateAck     byte = 6
+)
+
+// IPCP option types (RFC 1332).
+const (
+	IPCPOptIPAddress byte = 3
+)
+
+// IPCPPacket is one IPCP packet: code, identifier and options.
+type IPCPPacket struct {
+	Code       byte
+	Identifier byte
+	Options    []Option
+}
+
+// Option is a configuration option TLV (shared shape with LCP).
+type Option struct {
+	Type byte
+	Data []byte
+}
+
+// Marshal serialises the packet with the RFC 1661 length field.
+func (p *IPCPPacket) Marshal() ([]byte, error) {
+	length := 4
+	for _, o := range p.Options {
+		if len(o.Data) > 253 {
+			return nil, fmt.Errorf("ipcp: option %d too long", o.Type)
+		}
+		length += 2 + len(o.Data)
+	}
+	if length > 0xFFFF {
+		return nil, fmt.Errorf("ipcp: packet too long")
+	}
+	out := make([]byte, 4, length)
+	out[0] = p.Code
+	out[1] = p.Identifier
+	binary.BigEndian.PutUint16(out[2:], uint16(length))
+	for _, o := range p.Options {
+		out = append(out, o.Type, byte(2+len(o.Data)))
+		out = append(out, o.Data...)
+	}
+	return out, nil
+}
+
+// UnmarshalIPCP parses an IPCP packet; safe on arbitrary input.
+func UnmarshalIPCP(b []byte) (*IPCPPacket, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("ipcp: packet too short")
+	}
+	length := int(binary.BigEndian.Uint16(b[2:]))
+	if length < 4 || length > len(b) {
+		return nil, fmt.Errorf("ipcp: bad length %d", length)
+	}
+	p := &IPCPPacket{Code: b[0], Identifier: b[1]}
+	opts := b[4:length]
+	for i := 0; i < len(opts); {
+		if i+2 > len(opts) {
+			return nil, fmt.Errorf("ipcp: truncated option header")
+		}
+		olen := int(opts[i+1])
+		if olen < 2 || i+olen > len(opts) {
+			return nil, fmt.Errorf("ipcp: bad option length %d", olen)
+		}
+		data := make([]byte, olen-2)
+		copy(data, opts[i+2:i+olen])
+		p.Options = append(p.Options, Option{Type: opts[i], Data: data})
+		i += olen
+	}
+	return p, nil
+}
+
+// IPAddress extracts the IP-Address option.
+func (p *IPCPPacket) IPAddress() (ip4.Addr, bool) {
+	for _, o := range p.Options {
+		if o.Type == IPCPOptIPAddress && len(o.Data) == 4 {
+			return ip4.Addr(binary.BigEndian.Uint32(o.Data)), true
+		}
+	}
+	return 0, false
+}
+
+// withIPAddress builds a packet carrying one IP-Address option.
+func withIPAddress(code, id byte, a ip4.Addr) *IPCPPacket {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, uint32(a))
+	return &IPCPPacket{Code: code, Identifier: id,
+		Options: []Option{{Type: IPCPOptIPAddress, Data: data}}}
+}
+
+// IPCPServer is the ISP side of address negotiation: a Radius-style
+// allocator with no memory of previous customers, over a shared pool.
+type IPCPServer struct {
+	pool Pool
+	// assigned tracks the address bound to each PPPoE session so
+	// Terminate can release it.
+	assigned map[uint16]ip4.Addr
+}
+
+// NewIPCPServer builds a server over a pool.
+func NewIPCPServer(pool Pool) (*IPCPServer, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("ipcp: nil pool")
+	}
+	return &IPCPServer{pool: pool, assigned: make(map[uint16]ip4.Addr)}, nil
+}
+
+// Live returns the number of sessions holding addresses.
+func (s *IPCPServer) Live() int { return len(s.assigned) }
+
+// Handle processes one marshalled IPCP packet for a PPPoE session.
+func (s *IPCPServer) Handle(session uint16, b []byte) ([]byte, error) {
+	p, err := UnmarshalIPCP(b)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Code {
+	case IPCPConfigureRequest:
+		want, ok := p.IPAddress()
+		if !ok {
+			reply := &IPCPPacket{Code: IPCPConfigureReject, Identifier: p.Identifier}
+			return reply.Marshal()
+		}
+		bound, have := s.assigned[session]
+		if !have {
+			// Fresh session: allocate now, regardless of what the client
+			// asked for — Radius does not remember (§5.3).
+			bound = s.pool.Acquire(0)
+			s.assigned[session] = bound
+		}
+		if want != bound {
+			return withIPAddress(IPCPConfigureNak, p.Identifier, bound).Marshal()
+		}
+		return withIPAddress(IPCPConfigureAck, p.Identifier, bound).Marshal()
+	case IPCPTerminateRequest:
+		if addr, ok := s.assigned[session]; ok {
+			s.pool.Release(addr)
+			delete(s.assigned, session)
+		}
+		reply := &IPCPPacket{Code: IPCPTerminateAck, Identifier: p.Identifier}
+		return reply.Marshal()
+	default:
+		return nil, fmt.Errorf("ipcp: server cannot handle code %d", p.Code)
+	}
+}
+
+// NegotiateAddress runs the client side of IPCP for a session and
+// returns the assigned address: request 0.0.0.0, accept the Nak'd
+// address, confirm.
+func NegotiateAddress(s *IPCPServer, session uint16) (ip4.Addr, error) {
+	req := withIPAddress(IPCPConfigureRequest, 1, 0)
+	b, err := req.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	replyBytes, err := s.Handle(session, b)
+	if err != nil {
+		return 0, err
+	}
+	reply, err := UnmarshalIPCP(replyBytes)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Code != IPCPConfigureNak {
+		return 0, fmt.Errorf("ipcp: expected Nak for 0.0.0.0, got code %d", reply.Code)
+	}
+	offered, ok := reply.IPAddress()
+	if !ok {
+		return 0, fmt.Errorf("ipcp: Nak without address")
+	}
+
+	confirm := withIPAddress(IPCPConfigureRequest, 2, offered)
+	if b, err = confirm.Marshal(); err != nil {
+		return 0, err
+	}
+	if replyBytes, err = s.Handle(session, b); err != nil {
+		return 0, err
+	}
+	if reply, err = UnmarshalIPCP(replyBytes); err != nil {
+		return 0, err
+	}
+	if reply.Code != IPCPConfigureAck {
+		return 0, fmt.Errorf("ipcp: expected Ack, got code %d", reply.Code)
+	}
+	return offered, nil
+}
+
+// NegotiateAddressConfirm re-requests an address the client already
+// holds (e.g. after an LCP renegotiation within the same session) and
+// expects an immediate Ack.
+func NegotiateAddressConfirm(s *IPCPServer, session uint16, addr ip4.Addr) (ip4.Addr, error) {
+	req := withIPAddress(IPCPConfigureRequest, 4, addr)
+	b, err := req.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	replyBytes, err := s.Handle(session, b)
+	if err != nil {
+		return 0, err
+	}
+	reply, err := UnmarshalIPCP(replyBytes)
+	if err != nil {
+		return 0, err
+	}
+	switch reply.Code {
+	case IPCPConfigureAck:
+		return addr, nil
+	case IPCPConfigureNak:
+		got, _ := reply.IPAddress()
+		return got, nil
+	default:
+		return 0, fmt.Errorf("ipcp: unexpected code %d", reply.Code)
+	}
+}
+
+// ReleaseAddress runs IPCP termination for a session.
+func ReleaseAddress(s *IPCPServer, session uint16) error {
+	term := &IPCPPacket{Code: IPCPTerminateRequest, Identifier: 3}
+	b, err := term.Marshal()
+	if err != nil {
+		return err
+	}
+	replyBytes, err := s.Handle(session, b)
+	if err != nil {
+		return err
+	}
+	reply, err := UnmarshalIPCP(replyBytes)
+	if err != nil {
+		return err
+	}
+	if reply.Code != IPCPTerminateAck {
+		return fmt.Errorf("ipcp: expected Terminate-Ack, got code %d", reply.Code)
+	}
+	return nil
+}
+
+// EstablishSession performs the full wire-level session bring-up the
+// paper's §2.2 describes: PPPoE discovery, then IPCP address
+// negotiation. It returns the session ID and assigned address.
+func EstablishSession(ac *AccessConcentrator, ipcp *IPCPServer, hostUniq []byte) (uint16, ip4.Addr, error) {
+	sid, err := Discover(ac, hostUniq)
+	if err != nil {
+		return 0, 0, err
+	}
+	addr, err := NegotiateAddress(ipcp, sid)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sid, addr, nil
+}
+
+// TeardownSession releases the address and terminates the PPPoE session
+// — what a forced periodic disconnect or a CPE reboot does on the wire.
+func TeardownSession(ac *AccessConcentrator, ipcp *IPCPServer, sid uint16) error {
+	if err := ReleaseAddress(ipcp, sid); err != nil {
+		return err
+	}
+	return Terminate(ac, sid)
+}

@@ -1,0 +1,123 @@
+// Package ppp models PPP/PPPoE address assignment with a Radius-style
+// pool that keeps no memory of a customer's previous address.
+//
+// The paper's ground truth (§4.3.2, §5.3, corroborated by a large
+// European ISP): DSL lines using PPPoE+Radius receive a fresh address
+// from the dynamic pool on *every* session establishment — after an
+// outage of any duration, a CPE reboot, or the ISP's forced periodic
+// disconnect (Zwangstrennung). Session lifetime limits, typically 24
+// hours or a week, produce the paper's periodic renumbering modes.
+package ppp
+
+import (
+	"fmt"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+// Pool abstracts the ISP's dynamic address pool; see dhcp.Pool for the
+// contract. PPP only ever calls Acquire and Release — it never tries to
+// reacquire, because Radius does not remember.
+type Pool interface {
+	Acquire(exclude ip4.Addr) ip4.Addr
+	Release(addr ip4.Addr)
+}
+
+// Config parameterises session behaviour.
+type Config struct {
+	// MaxAge is the ISP-imposed session lifetime; zero means unlimited.
+	// After MaxAge the ISP tears the session down and the CPE
+	// re-establishes it, receiving a new address (paper §4).
+	MaxAge simclock.Duration
+	// SameAddrProb is the probability that, by chance, the pool hands the
+	// reconnecting customer the address it just released. The paper
+	// observes this as "harmonic" durations: a skipped-looking renumber
+	// that is really the same address assigned twice in a row (§4.4.2).
+	SameAddrProb float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxAge < 0 {
+		return fmt.Errorf("ppp: negative MaxAge %v", c.MaxAge)
+	}
+	if c.SameAddrProb < 0 || c.SameAddrProb >= 1 {
+		return fmt.Errorf("ppp: SameAddrProb %v outside [0,1)", c.SameAddrProb)
+	}
+	return nil
+}
+
+// Session is the PPP state for one CPE. Create with NewSession.
+type Session struct {
+	cfg  Config
+	pool Pool
+	rnd  *rng.RNG
+
+	addr      ip4.Addr
+	connected bool
+	start     simclock.Time
+}
+
+// NewSession returns a session using the given pool and randomness.
+func NewSession(cfg Config, pool Pool, rnd *rng.RNG) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil || rnd == nil {
+		return nil, fmt.Errorf("ppp: nil pool or rng")
+	}
+	return &Session{cfg: cfg, pool: pool, rnd: rnd}, nil
+}
+
+// Addr returns the currently assigned address (invalid before Connect).
+func (s *Session) Addr() ip4.Addr { return s.addr }
+
+// Connected reports whether a PPP session is currently established.
+func (s *Session) Connected() bool { return s.connected }
+
+// Connect establishes a session at t, assigning a fresh address. If a
+// previous address exists it is released first; with probability
+// SameAddrProb the pool returns that same address again (the harmonic
+// case), otherwise a different one.
+func (s *Session) Connect(t simclock.Time) (addr ip4.Addr, changed bool) {
+	if s.connected {
+		return s.addr, false
+	}
+	old := s.addr
+	if old.IsValid() {
+		s.pool.Release(old)
+		if s.rnd.Bool(s.cfg.SameAddrProb) {
+			// Radius happened to hand back the same address.
+			s.addr = old
+		} else {
+			s.addr = s.pool.Acquire(old)
+		}
+	} else {
+		s.addr = s.pool.Acquire(0)
+	}
+	s.connected = true
+	s.start = t
+	return s.addr, old.IsValid() && s.addr != old
+}
+
+// Disconnect tears the session down at t. PPP keeps no lease state; the
+// address goes back to the pool conceptually at the Radius server, which
+// is modelled at the next Connect.
+func (s *Session) Disconnect(t simclock.Time) {
+	s.connected = false
+}
+
+// SessionStart returns when the current session was established.
+func (s *Session) SessionStart() simclock.Time { return s.start }
+
+// ForcedDisconnectAt returns the time at which the ISP will tear down a
+// session established at start, or zero-ok=false if sessions are
+// unlimited.
+func (s *Session) ForcedDisconnectAt() (simclock.Time, bool) {
+	if s.cfg.MaxAge <= 0 || !s.connected {
+		return 0, false
+	}
+	return s.start.Add(s.cfg.MaxAge), true
+}

@@ -1,0 +1,172 @@
+package ppp
+
+import (
+	"testing"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+type fakePool struct {
+	next uint32
+	held map[ip4.Addr]bool
+}
+
+func newFakePool() *fakePool {
+	return &fakePool{next: 0x0A000001, held: map[ip4.Addr]bool{}}
+}
+
+func (p *fakePool) Acquire(exclude ip4.Addr) ip4.Addr {
+	for {
+		a := ip4.Addr(p.next)
+		p.next++
+		if a == exclude || p.held[a] {
+			continue
+		}
+		p.held[a] = true
+		return a
+	}
+}
+
+func (p *fakePool) Release(a ip4.Addr) { delete(p.held, a) }
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{{}, {MaxAge: simclock.Day}, {MaxAge: simclock.Week, SameAddrProb: 0.1}}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good case %d: %v", i, err)
+		}
+	}
+	bad := []Config{{MaxAge: -1}, {SameAddrProb: -0.1}, {SameAddrProb: 1}}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad case %d should fail", i)
+		}
+	}
+}
+
+func TestNewSessionRejectsNil(t *testing.T) {
+	if _, err := NewSession(Config{}, nil, rng.New(1)); err == nil {
+		t.Error("nil pool should fail")
+	}
+	if _, err := NewSession(Config{}, newFakePool(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestEveryReconnectChangesAddress(t *testing.T) {
+	// The defining PPP behaviour (paper §5.3): any reconnect yields a new
+	// address when SameAddrProb is zero.
+	s, err := NewSession(Config{MaxAge: simclock.Day}, newFakePool(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simclock.StudyStart
+	addr, changed := s.Connect(at)
+	if changed || !addr.IsValid() {
+		t.Fatal("first connect should assign without 'changed'")
+	}
+	prev := addr
+	for i := 0; i < 200; i++ {
+		at = at.Add(simclock.Hour)
+		s.Disconnect(at)
+		addr, changed = s.Connect(at.Add(simclock.Minute))
+		if !changed || addr == prev {
+			t.Fatalf("reconnect %d kept address %v", i, prev)
+		}
+		prev = addr
+	}
+}
+
+func TestSameAddrProbProducesRepeats(t *testing.T) {
+	s, err := NewSession(Config{SameAddrProb: 0.5}, newFakePool(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simclock.StudyStart
+	prev, _ := s.Connect(at)
+	repeats, total := 0, 400
+	for i := 0; i < total; i++ {
+		at = at.Add(simclock.Hour)
+		s.Disconnect(at)
+		addr, changed := s.Connect(at)
+		if addr == prev {
+			repeats++
+			if changed {
+				t.Fatal("same address must not be reported as changed")
+			}
+		} else if !changed {
+			t.Fatal("different address must be reported as changed")
+		}
+		prev = addr
+	}
+	frac := float64(repeats) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("repeat fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestConnectWhileConnectedIsNoop(t *testing.T) {
+	s, err := NewSession(Config{}, newFakePool(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := s.Connect(simclock.StudyStart)
+	a2, changed := s.Connect(simclock.StudyStart.Add(simclock.Hour))
+	if changed || a2 != a1 {
+		t.Error("Connect while connected must be a no-op")
+	}
+}
+
+func TestForcedDisconnectAt(t *testing.T) {
+	s, err := NewSession(Config{MaxAge: simclock.Day}, newFakePool(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ForcedDisconnectAt(); ok {
+		t.Error("no forced disconnect before Connect")
+	}
+	start := simclock.StudyStart.Add(3 * simclock.Hour)
+	s.Connect(start)
+	at, ok := s.ForcedDisconnectAt()
+	if !ok || at != start.Add(simclock.Day) {
+		t.Errorf("ForcedDisconnectAt = %v %v, want start+24h", at, ok)
+	}
+	if s.SessionStart() != start {
+		t.Errorf("SessionStart = %v", s.SessionStart())
+	}
+	s.Disconnect(at)
+	if _, ok := s.ForcedDisconnectAt(); ok {
+		t.Error("no forced disconnect while down")
+	}
+}
+
+func TestUnlimitedSessionsNeverForced(t *testing.T) {
+	s, err := NewSession(Config{MaxAge: 0}, newFakePool(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Connect(simclock.StudyStart)
+	if _, ok := s.ForcedDisconnectAt(); ok {
+		t.Error("MaxAge 0 means unlimited sessions")
+	}
+}
+
+func TestConnectedFlag(t *testing.T) {
+	s, err := NewSession(Config{}, newFakePool(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Connected() {
+		t.Error("new session must start disconnected")
+	}
+	s.Connect(simclock.StudyStart)
+	if !s.Connected() {
+		t.Error("Connect must set connected")
+	}
+	s.Disconnect(simclock.StudyStart.Add(simclock.Hour))
+	if s.Connected() {
+		t.Error("Disconnect must clear connected")
+	}
+}

@@ -1,0 +1,256 @@
+package ppp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the PPPoE discovery stage (RFC 2516): the
+// four-packet PADI/PADO/PADR/PADS exchange that establishes a session
+// between a CPE and the ISP's access concentrator, plus PADT teardown.
+// The paper's §2.2 names PPP session establishment as the moment a DSL
+// customer's address is assigned — ipcp.go performs that assignment —
+// and §4's forced periodic disconnects are, on the wire, PADTs.
+
+// PPPoE version/type byte: version 1, type 1.
+const VerType byte = 0x11
+
+// Discovery packet codes (RFC 2516 §5).
+const (
+	CodePADI byte = 0x09
+	CodePADO byte = 0x07
+	CodePADR byte = 0x19
+	CodePADS byte = 0x65
+	CodePADT byte = 0xA7
+)
+
+// Discovery tag types (RFC 2516 appendix A).
+const (
+	TagEndOfList   uint16 = 0x0000
+	TagServiceName uint16 = 0x0101
+	TagACName      uint16 = 0x0102
+	TagHostUniq    uint16 = 0x0103
+	TagACCookie    uint16 = 0x0104
+	TagSessionErr  uint16 = 0x0203
+)
+
+// Tag is one discovery TLV.
+type Tag struct {
+	Type uint16
+	Data []byte
+}
+
+// Packet is a PPPoE discovery packet.
+type Packet struct {
+	Code      byte
+	SessionID uint16
+	Tags      []Tag
+}
+
+// Marshal serialises the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	payload := make([]byte, 0, 32)
+	for _, tag := range p.Tags {
+		if len(tag.Data) > 0xFFFF {
+			return nil, fmt.Errorf("pppoe: tag %#x too long", tag.Type)
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint16(hdr[0:], tag.Type)
+		binary.BigEndian.PutUint16(hdr[2:], uint16(len(tag.Data)))
+		payload = append(payload, hdr[:]...)
+		payload = append(payload, tag.Data...)
+	}
+	if len(payload) > 0xFFFF {
+		return nil, fmt.Errorf("pppoe: payload too long")
+	}
+	out := make([]byte, 6, 6+len(payload))
+	out[0] = VerType
+	out[1] = p.Code
+	binary.BigEndian.PutUint16(out[2:], p.SessionID)
+	binary.BigEndian.PutUint16(out[4:], uint16(len(payload)))
+	return append(out, payload...), nil
+}
+
+// UnmarshalPacket parses a discovery packet; safe on arbitrary input.
+func UnmarshalPacket(b []byte) (*Packet, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("pppoe: packet too short (%d)", len(b))
+	}
+	if b[0] != VerType {
+		return nil, fmt.Errorf("pppoe: bad version/type %#x", b[0])
+	}
+	p := &Packet{Code: b[1], SessionID: binary.BigEndian.Uint16(b[2:])}
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if 6+length > len(b) {
+		return nil, fmt.Errorf("pppoe: declared payload %d exceeds packet", length)
+	}
+	payload := b[6 : 6+length]
+	for i := 0; i < len(payload); {
+		if i+4 > len(payload) {
+			return nil, fmt.Errorf("pppoe: truncated tag header at %d", i)
+		}
+		typ := binary.BigEndian.Uint16(payload[i:])
+		tlen := int(binary.BigEndian.Uint16(payload[i+2:]))
+		if typ == TagEndOfList {
+			break
+		}
+		if i+4+tlen > len(payload) {
+			return nil, fmt.Errorf("pppoe: truncated tag %#x", typ)
+		}
+		data := make([]byte, tlen)
+		copy(data, payload[i+4:i+4+tlen])
+		p.Tags = append(p.Tags, Tag{Type: typ, Data: data})
+		i += 4 + tlen
+	}
+	return p, nil
+}
+
+// Tag returns the first tag of the given type.
+func (p *Packet) Tag(typ uint16) ([]byte, bool) {
+	for _, tag := range p.Tags {
+		if tag.Type == typ {
+			return tag.Data, true
+		}
+	}
+	return nil, false
+}
+
+// AccessConcentrator is the ISP-side discovery endpoint: it answers
+// PADIs with PADOs, grants session IDs on PADR, and tears sessions down
+// on PADT. The cookie check follows RFC 2516's DoS-resistance scheme.
+type AccessConcentrator struct {
+	Name string
+
+	nextSession uint16
+	cookieSeed  uint32
+	sessions    map[uint16][]byte // session id -> host-uniq
+}
+
+// NewAccessConcentrator builds a concentrator with the given AC-Name.
+func NewAccessConcentrator(name string) *AccessConcentrator {
+	return &AccessConcentrator{
+		Name:       name,
+		cookieSeed: 0x5EED,
+		sessions:   make(map[uint16][]byte),
+	}
+}
+
+// Sessions returns the number of live sessions.
+func (ac *AccessConcentrator) Sessions() int { return len(ac.sessions) }
+
+func (ac *AccessConcentrator) cookieFor(hostUniq []byte) []byte {
+	h := ac.cookieSeed
+	for _, b := range hostUniq {
+		h = h*31 + uint32(b)
+	}
+	var out [4]byte
+	binary.BigEndian.PutUint32(out[:], h)
+	return out[:]
+}
+
+// Handle processes one marshalled discovery packet, returning the
+// marshalled reply or nil when no reply is due (PADT).
+func (ac *AccessConcentrator) Handle(b []byte) ([]byte, error) {
+	p, err := UnmarshalPacket(b)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Code {
+	case CodePADI:
+		hostUniq, _ := p.Tag(TagHostUniq)
+		pado := &Packet{Code: CodePADO, Tags: []Tag{
+			{Type: TagACName, Data: []byte(ac.Name)},
+			{Type: TagACCookie, Data: ac.cookieFor(hostUniq)},
+		}}
+		if hostUniq != nil {
+			pado.Tags = append(pado.Tags, Tag{Type: TagHostUniq, Data: hostUniq})
+		}
+		return pado.Marshal()
+	case CodePADR:
+		hostUniq, _ := p.Tag(TagHostUniq)
+		cookie, ok := p.Tag(TagACCookie)
+		if !ok || string(cookie) != string(ac.cookieFor(hostUniq)) {
+			pads := &Packet{Code: CodePADS, Tags: []Tag{
+				{Type: TagSessionErr, Data: []byte("bad cookie")},
+			}}
+			return pads.Marshal()
+		}
+		ac.nextSession++
+		if ac.nextSession == 0 { // session 0 is reserved
+			ac.nextSession = 1
+		}
+		sid := ac.nextSession
+		ac.sessions[sid] = hostUniq
+		pads := &Packet{Code: CodePADS, SessionID: sid}
+		if hostUniq != nil {
+			pads.Tags = append(pads.Tags, Tag{Type: TagHostUniq, Data: hostUniq})
+		}
+		return pads.Marshal()
+	case CodePADT:
+		delete(ac.sessions, p.SessionID)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("pppoe: concentrator cannot handle code %#x", p.Code)
+	}
+}
+
+// Discover runs the client half of the exchange against ac and returns
+// the granted session ID.
+func Discover(ac *AccessConcentrator, hostUniq []byte) (uint16, error) {
+	padi := &Packet{Code: CodePADI, Tags: []Tag{
+		{Type: TagServiceName, Data: nil},
+		{Type: TagHostUniq, Data: hostUniq},
+	}}
+	b, err := padi.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	reply, err := ac.Handle(b)
+	if err != nil {
+		return 0, err
+	}
+	pado, err := UnmarshalPacket(reply)
+	if err != nil {
+		return 0, err
+	}
+	if pado.Code != CodePADO {
+		return 0, fmt.Errorf("pppoe: expected PADO, got %#x", pado.Code)
+	}
+	cookie, _ := pado.Tag(TagACCookie)
+
+	padr := &Packet{Code: CodePADR, Tags: []Tag{
+		{Type: TagHostUniq, Data: hostUniq},
+		{Type: TagACCookie, Data: cookie},
+	}}
+	if b, err = padr.Marshal(); err != nil {
+		return 0, err
+	}
+	if reply, err = ac.Handle(b); err != nil {
+		return 0, err
+	}
+	pads, err := UnmarshalPacket(reply)
+	if err != nil {
+		return 0, err
+	}
+	if pads.Code != CodePADS {
+		return 0, fmt.Errorf("pppoe: expected PADS, got %#x", pads.Code)
+	}
+	if msg, bad := pads.Tag(TagSessionErr); bad {
+		return 0, fmt.Errorf("pppoe: session refused: %s", msg)
+	}
+	if pads.SessionID == 0 {
+		return 0, fmt.Errorf("pppoe: PADS without session id")
+	}
+	return pads.SessionID, nil
+}
+
+// Terminate sends a PADT for the session.
+func Terminate(ac *AccessConcentrator, sessionID uint16) error {
+	padt := &Packet{Code: CodePADT, SessionID: sessionID}
+	b, err := padt.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = ac.Handle(b)
+	return err
+}

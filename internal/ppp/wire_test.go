@@ -1,0 +1,241 @@
+package ppp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynaddr/internal/ip4"
+)
+
+func TestPPPoEPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Code: CodePADR, SessionID: 0x1234,
+		Tags: []Tag{
+			{Type: TagHostUniq, Data: []byte("probe-206")},
+			{Type: TagACCookie, Data: []byte{1, 2, 3, 4}},
+		},
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != CodePADR || got.SessionID != 0x1234 {
+		t.Errorf("header = %+v", got)
+	}
+	if hu, ok := got.Tag(TagHostUniq); !ok || string(hu) != "probe-206" {
+		t.Errorf("host-uniq = %q %v", hu, ok)
+	}
+	if _, ok := got.Tag(TagACName); ok {
+		t.Error("absent tag reported present")
+	}
+}
+
+func TestPPPoEUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x11, CodePADI},                   // too short
+		{0x21, CodePADI, 0, 0, 0, 0},       // wrong ver/type
+		{0x11, CodePADI, 0, 0, 0, 10},      // declared payload missing
+		{0x11, CodePADI, 0, 0, 0, 3, 1, 1}, // truncated tag header
+	}
+	for i, b := range cases {
+		if _, err := UnmarshalPacket(b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPPPoEUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = UnmarshalPacket(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscoveryExchange(t *testing.T) {
+	ac := NewAccessConcentrator("MX480.POP01")
+	sid, err := Discover(ac, []byte("cpe-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid == 0 {
+		t.Fatal("session id 0 granted")
+	}
+	if ac.Sessions() != 1 {
+		t.Errorf("sessions = %d", ac.Sessions())
+	}
+	sid2, err := Discover(ac, []byte("cpe-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid2 == sid {
+		t.Error("duplicate session id")
+	}
+	if err := Terminate(ac, sid); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Sessions() != 1 {
+		t.Errorf("sessions after PADT = %d", ac.Sessions())
+	}
+}
+
+func TestDiscoveryBadCookieRefused(t *testing.T) {
+	ac := NewAccessConcentrator("AC")
+	padr := &Packet{Code: CodePADR, Tags: []Tag{
+		{Type: TagHostUniq, Data: []byte("x")},
+		{Type: TagACCookie, Data: []byte("forged")},
+	}}
+	b, err := padr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ac.Handle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads, err := UnmarshalPacket(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, refused := pads.Tag(TagSessionErr); !refused {
+		t.Error("forged cookie should be refused")
+	}
+	if ac.Sessions() != 0 {
+		t.Error("refused PADR created a session")
+	}
+}
+
+func TestIPCPPacketRoundTrip(t *testing.T) {
+	p := withIPAddress(IPCPConfigureNak, 7, ip4.MustParseAddr("91.55.1.2"))
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalIPCP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != IPCPConfigureNak || got.Identifier != 7 {
+		t.Errorf("header = %+v", got)
+	}
+	if addr, ok := got.IPAddress(); !ok || addr.String() != "91.55.1.2" {
+		t.Errorf("address = %v %v", addr, ok)
+	}
+}
+
+func TestIPCPUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = UnmarshalIPCP(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPCPNegotiation(t *testing.T) {
+	srv, err := NewIPCPServer(newFakePool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := NegotiateAddress(srv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !addr.IsValid() {
+		t.Fatal("no address negotiated")
+	}
+	if srv.Live() != 1 {
+		t.Errorf("live sessions = %d", srv.Live())
+	}
+	// A second request on the same session re-confirms the same address.
+	again, err := NegotiateAddressConfirm(srv, 1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != addr {
+		t.Errorf("re-confirmation changed address: %v -> %v", addr, again)
+	}
+	if err := ReleaseAddress(srv, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Live() != 0 {
+		t.Error("address survived termination")
+	}
+}
+
+func TestWireSessionsGetFreshAddresses(t *testing.T) {
+	// The paper's §5.3 Radius behaviour at the wire level: every fresh
+	// PPPoE session negotiates a different address, because the IPCP
+	// server has no memory of previous customers.
+	ac := NewAccessConcentrator("AC")
+	srv, err := NewIPCPServer(newFakePool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ip4.Addr]bool{}
+	for i := 0; i < 50; i++ {
+		sid, addr, err := EstablishSession(ac, srv, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[addr] {
+			t.Fatalf("session %d reused address %v", i, addr)
+		}
+		seen[addr] = true
+		if err := TeardownSession(ac, srv, sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ac.Sessions() != 0 || srv.Live() != 0 {
+		t.Errorf("leaked sessions: pppoe=%d ipcp=%d", ac.Sessions(), srv.Live())
+	}
+}
+
+func TestIPCPRejectsAddresslessRequest(t *testing.T) {
+	srv, err := NewIPCPServer(newFakePool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &IPCPPacket{Code: IPCPConfigureRequest, Identifier: 1}
+	b, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replyBytes, err := srv.Handle(9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := UnmarshalIPCP(replyBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != IPCPConfigureReject {
+		t.Errorf("expected Reject, got %d", reply.Code)
+	}
+}
+
+func BenchmarkEstablishSession(b *testing.B) {
+	ac := NewAccessConcentrator("AC")
+	srv, err := NewIPCPServer(newFakePool())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sid, _, err := EstablishSession(ac, srv, []byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := TeardownSession(ac, srv, sid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

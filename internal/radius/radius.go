@@ -1,0 +1,178 @@
+// Package radius implements the RADIUS accounting wire format (RFC
+// 2865/2866) and a session accountant.
+//
+// The paper's closest prior work, Maier et al. (IMC 2009), measured
+// dynamic addressing from the ISP side via Radius accounting logs; the
+// paper (§5.3, §7) notes that the European ISPs it identifies as
+// renumbering on every reconnect use PPPoE+Radius, and corroborates its
+// Atlas-side inferences against that ISP view. This package provides
+// that ISP view: accounting packets, the Start/Stop session ledger, and
+// the session-duration analysis of the Maier methodology — so the two
+// measurement methodologies can be cross-validated on one world.
+package radius
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// Packet codes (RFC 2865 §3, RFC 2866 §4).
+const (
+	CodeAccessRequest      byte = 1
+	CodeAccessAccept       byte = 2
+	CodeAccessReject       byte = 3
+	CodeAccountingRequest  byte = 4
+	CodeAccountingResponse byte = 5
+)
+
+// Attribute types used by accounting (RFC 2865 §5, RFC 2866 §5).
+const (
+	AttrUserName        byte = 1
+	AttrNASIPAddress    byte = 4
+	AttrFramedIPAddress byte = 8
+	AttrAcctStatusType  byte = 40
+	AttrAcctSessionID   byte = 44
+	AttrAcctSessionTime byte = 46
+	AttrEventTimestamp  byte = 55
+)
+
+// Acct-Status-Type values (RFC 2866 §5.1).
+const (
+	AcctStart         uint32 = 1
+	AcctStop          uint32 = 2
+	AcctInterimUpdate uint32 = 3
+	AcctAccountingOn  uint32 = 7
+	AcctAccountingOff uint32 = 8
+)
+
+// Attribute is one AVP.
+type Attribute struct {
+	Type  byte
+	Value []byte
+}
+
+// Packet is a RADIUS packet. The authenticator is carried opaque; this
+// package does not implement the shared-secret MD5 scheme (the paper's
+// data path never depends on it and the stdlib-only rule forbids
+// crypto/md5's use for security anyway).
+type Packet struct {
+	Code          byte
+	Identifier    byte
+	Authenticator [16]byte
+	Attributes    []Attribute
+}
+
+// headerLen is the fixed RADIUS header size.
+const headerLen = 20
+
+// Marshal serialises the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	length := headerLen
+	for _, a := range p.Attributes {
+		if len(a.Value) > 253 {
+			return nil, fmt.Errorf("radius: attribute %d too long", a.Type)
+		}
+		length += 2 + len(a.Value)
+	}
+	if length > 4096 {
+		return nil, fmt.Errorf("radius: packet exceeds 4096 bytes")
+	}
+	out := make([]byte, headerLen, length)
+	out[0] = p.Code
+	out[1] = p.Identifier
+	binary.BigEndian.PutUint16(out[2:], uint16(length))
+	copy(out[4:20], p.Authenticator[:])
+	for _, a := range p.Attributes {
+		out = append(out, a.Type, byte(2+len(a.Value)))
+		out = append(out, a.Value...)
+	}
+	return out, nil
+}
+
+// Unmarshal parses a RADIUS packet; safe on arbitrary input.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("radius: packet too short (%d)", len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[2:]))
+	if length < headerLen || length > len(b) {
+		return nil, fmt.Errorf("radius: bad length %d", length)
+	}
+	p := &Packet{Code: b[0], Identifier: b[1]}
+	copy(p.Authenticator[:], b[4:20])
+	attrs := b[headerLen:length]
+	for i := 0; i < len(attrs); {
+		if i+2 > len(attrs) {
+			return nil, fmt.Errorf("radius: truncated attribute header")
+		}
+		alen := int(attrs[i+1])
+		if alen < 2 || i+alen > len(attrs) {
+			return nil, fmt.Errorf("radius: bad attribute length %d", alen)
+		}
+		val := make([]byte, alen-2)
+		copy(val, attrs[i+2:i+alen])
+		p.Attributes = append(p.Attributes, Attribute{Type: attrs[i], Value: val})
+		i += alen
+	}
+	return p, nil
+}
+
+// Attr returns the first attribute of the given type.
+func (p *Packet) Attr(typ byte) ([]byte, bool) {
+	for _, a := range p.Attributes {
+		if a.Type == typ {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// U32Attr reads a 4-byte integer attribute.
+func (p *Packet) U32Attr(typ byte) (uint32, bool) {
+	v, ok := p.Attr(typ)
+	if !ok || len(v) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(v), true
+}
+
+// AddAttr appends an attribute.
+func (p *Packet) AddAttr(typ byte, value []byte) {
+	p.Attributes = append(p.Attributes, Attribute{Type: typ, Value: value})
+}
+
+// AddU32Attr appends a 4-byte integer attribute.
+func (p *Packet) AddU32Attr(typ byte, v uint32) {
+	val := make([]byte, 4)
+	binary.BigEndian.PutUint32(val, v)
+	p.AddAttr(typ, val)
+}
+
+// AddAddrAttr appends an IPv4-address attribute.
+func (p *Packet) AddAddrAttr(typ byte, a ip4.Addr) {
+	p.AddU32Attr(typ, uint32(a))
+}
+
+// AddrAttr reads an IPv4-address attribute.
+func (p *Packet) AddrAttr(typ byte) (ip4.Addr, bool) {
+	v, ok := p.U32Attr(typ)
+	return ip4.Addr(v), ok
+}
+
+// NewAccountingRequest builds an Accounting-Request carrying the
+// standard session attributes.
+func NewAccountingRequest(id byte, status uint32, user string, sessionID string, addr ip4.Addr, at simclock.Time, sessionSecs uint32) *Packet {
+	p := &Packet{Code: CodeAccountingRequest, Identifier: id}
+	p.AddU32Attr(AttrAcctStatusType, status)
+	p.AddAttr(AttrUserName, []byte(user))
+	p.AddAttr(AttrAcctSessionID, []byte(sessionID))
+	p.AddAddrAttr(AttrFramedIPAddress, addr)
+	p.AddU32Attr(AttrEventTimestamp, uint32(at))
+	if status == AcctStop {
+		p.AddU32Attr(AttrAcctSessionTime, sessionSecs)
+	}
+	return p
+}

@@ -1,0 +1,177 @@
+// Package rng provides a small, splittable, deterministic pseudo-random
+// number generator for the dataset simulator.
+//
+// The simulator needs reproducibility at two granularities: the whole
+// world must be regenerable from a single seed, and each probe's event
+// stream must be independent of how many other probes exist (so adding a
+// probe to a config does not perturb every other probe's trace). A
+// splittable generator gives both: the world seed derives a stream per
+// probe by hashing the probe identifier, and each stream is a SplitMix64
+// sequence. math/rand's global state offers neither property.
+package rng
+
+import "math"
+
+const (
+	gamma = 0x9E3779B97F4A7C15 // golden-ratio increment used by SplitMix64
+)
+
+// RNG is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New or a Split from a seeded parent.
+type RNG struct {
+	base  uint64 // identity of this stream; fixed at construction
+	state uint64 // advances with each draw
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{base: seed, state: seed} }
+
+// mix64 is the SplitMix64 output function (Stafford variant 13).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += gamma
+	return mix64(r.state)
+}
+
+// Split derives an independent child generator keyed by label. Child
+// streams depend only on the parent's construction seed and the label —
+// not on draws taken from the parent or on sibling splits — so adding a
+// probe to a world never perturbs another probe's trace.
+func (r *RNG) Split(label string) *RNG {
+	h := r.base + gamma
+	for i := 0; i < len(label); i++ {
+		h = mix64(h ^ uint64(label[i]))
+	}
+	seed := mix64(h)
+	return &RNG{base: seed, state: seed}
+}
+
+// SplitN derives an independent child generator keyed by an integer,
+// e.g. a probe index. Same stability guarantees as Split.
+func (r *RNG) SplitN(n uint64) *RNG {
+	seed := mix64(mix64(r.base+gamma) ^ n)
+	return &RNG{base: seed, state: seed}
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits, standard conversion.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Pareto returns a Pareto(xm, alpha) distributed value. Outage durations
+// in residential networks are heavy-tailed: most last minutes, a few last
+// days; Pareto matches that shape (paper Figure 9's bin occupancy).
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Normal returns a normally distributed value via Box-Muller.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Categorical draws an index from the (unnormalised) weight vector w.
+// It panics if w is empty or sums to a non-positive value.
+func (r *RNG) Categorical(w []float64) int {
+	var total float64
+	for _, v := range w {
+		if v > 0 {
+			total += v
+		}
+	}
+	if len(w) == 0 || total <= 0 {
+		panic("rng: Categorical with empty or non-positive weights")
+	}
+	x := r.Float64() * total
+	for i, v := range w {
+		if v <= 0 {
+			continue
+		}
+		x -= v
+		if x < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes s in place.
+func Shuffle[T any](r *RNG, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

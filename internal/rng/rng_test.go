@@ -1,0 +1,262 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestSplitStableUnderSiblings(t *testing.T) {
+	// A child stream must not depend on how many siblings were split
+	// before it, nor on draws taken from the parent afterwards.
+	parent1 := New(7)
+	childA1 := parent1.Split("probe-17")
+
+	parent2 := New(7)
+	_ = parent2.Split("probe-1")
+	_ = parent2.Split("probe-2")
+	parent2.Uint64() // advance the parent
+	childA2 := parent2.Split("probe-17")
+
+	for i := 0; i < 100; i++ {
+		v1, v2 := childA1.Uint64(), childA2.Uint64()
+		if v1 != v2 {
+			t.Fatalf("split child diverged at %d: %x vs %x", i, v1, v2)
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	p := New(7)
+	a, b := p.Split("x"), p.Split("y")
+	if a.Uint64() == b.Uint64() {
+		t.Error("differently-labelled children produced identical first draw")
+	}
+}
+
+func TestSplitNMatchesDistinctStreams(t *testing.T) {
+	p := New(9)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		v := p.SplitN(i).Uint64()
+		if seen[v] {
+			t.Fatalf("SplitN(%d) collided with an earlier stream", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(42)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-42) > 1 {
+		t.Errorf("Exp(42) sample mean = %v, want ~42", mean)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(60, 1.2)
+		if v < 60 {
+			t.Fatalf("Pareto(60, 1.2) below xm: %v", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha 1.2, a non-trivial fraction of draws should exceed 10*xm.
+	r := New(19)
+	n, big := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Pareto(60, 1.2) > 600 {
+			big++
+		}
+	}
+	frac := float64(big) / float64(n)
+	// P(X > 10 xm) = 10^-1.2 ≈ 0.063.
+	if frac < 0.04 || frac > 0.09 {
+		t.Errorf("Pareto tail mass = %v, want ~0.063", frac)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(23)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Errorf("Normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(29)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / float64(n)
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Errorf("category 0 frequency = %v, want ~0.25", frac0)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	r := New(31)
+	for _, w := range [][]float64{nil, {}, {0, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) should panic", w)
+				}
+			}()
+			r.Categorical(w)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(41)
+	s := []int{1, 2, 2, 3, 5, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	Shuffle(r, s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum || len(s) != 6 {
+		t.Errorf("Shuffle changed contents: %v", s)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	_ = r.Uint64() // must not panic
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Split("probe-123456")
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim generates synthetic RIPE Atlas datasets: it simulates a
+// population of probes behind CPE devices in ISPs with configured
+// address-assignment behaviour across the 2015 study year, and emits the
+// connection-logs, k-root-ping and SOS-uptime datasets plus the probe
+// archive and monthly pfx2as snapshots — the exact inputs the paper's
+// analysis pipeline consumes.
+//
+// Every generative mechanism the paper names is modelled: DHCP lease
+// renewal and reclaim, PPP session caps with skipped and jittered resets,
+// synchronised nightly reconnect windows, power and network outages,
+// firmware-push reboot storms, v1/v2 memory-fragmentation reboots,
+// dual-stack and IPv6-only probes, multihomed address alternation, the
+// 193.0.0.78 testing address, probes that move between ISPs, and
+// sibling-ASN pools.
+//
+// The k-root stream is emitted sparsely: rounds appear adjacent to every
+// connection break and during network outages (where all pings fail and
+// LTS grows), plus a configurable heartbeat. The analysis detectors are
+// anchored — network outages at all-lost runs, power outages at reboots —
+// so sparse and dense emission are equivalent; a test asserts this.
+package sim
+
+import (
+	"fmt"
+
+	"dynaddr/internal/isp"
+	"dynaddr/internal/simclock"
+)
+
+// Config parameterises a synthetic world.
+type Config struct {
+	// Seed drives all randomness; identical configs with identical seeds
+	// produce byte-identical datasets.
+	Seed uint64
+
+	// Start and End bound the simulated interval; zero values mean the
+	// paper's study year (all of 2015).
+	Start, End simclock.Time
+
+	// Scale multiplies every profile's DefaultProbes. 1.0 mirrors the
+	// paper's per-AS deployment sizes; tests use smaller worlds.
+	Scale float64
+
+	// Profiles lists the ISPs to simulate; nil means isp.PaperProfiles().
+	Profiles []isp.Profile
+
+	// Population mix, as fractions of all probes (paper Table 2 shapes
+	// the defaults). Draws are independent per probe with this priority:
+	// IPv6-only, dual-stack, multihomed, mover.
+	IPv6OnlyFrac   float64
+	DualStackFrac  float64
+	MultihomedFrac float64
+	MoverFrac      float64
+	// TaggedMultihomedFrac is the share of multihomed probes whose hosts
+	// volunteered a "multihomed"/"datacentre"/"core" tag (§3.2).
+	TaggedMultihomedFrac float64
+	// TestingAddrFrac is the share of probes whose first connection-log
+	// entry still shows the RIPE testing address 193.0.0.78 (§3.3).
+	TestingAddrFrac float64
+	// ShortLivedFrac is the share of probes connected fewer than 30
+	// aggregate days, which the paper excludes before analysis.
+	ShortLivedFrac float64
+	// V6DailyRotateFrac is the share of IPv6-capable probes (dual-stack
+	// and IPv6-only) whose hosts rotate their IPv6 address daily — RFC
+	// 4941 privacy extensions, which the paper cites as recommending a
+	// 24-hour address lifetime and defers IPv6 analysis to future work.
+	V6DailyRotateFrac float64
+
+	// VersionWeights gives the relative shares of probe hardware
+	// versions v1, v2, v3. The paper reports >75% v3.
+	VersionWeights [3]float64
+	// V12RebootProb is the probability that a v1/v2 probe spontaneously
+	// reboots while re-establishing a TCP connection after an address
+	// change (memory fragmentation, §5.1).
+	V12RebootProb float64
+
+	// FirmwareDays lists zero-based study-year day indices on which the
+	// controller pushes a firmware update; affected probes reboot once.
+	FirmwareDays []int
+	// FirmwareParticipation is the probability a given probe installs a
+	// given push.
+	FirmwareParticipation float64
+
+	// SpontaneousPerYear is the rate of controller-TCP breaks with no
+	// outage and no address change.
+	SpontaneousPerYear float64
+
+	// KRootHeartbeat is the cadence of background k-root rounds outside
+	// event neighbourhoods; zero disables heartbeats (event-adjacent
+	// rounds are always emitted). Dense mode for small worlds is 4
+	// minutes, the real probes' cadence.
+	KRootHeartbeat simclock.Duration
+
+	// WireBackends routes every address decision through the actual
+	// protocol exchanges — PPPoE discovery + IPCP for PPP lines, DHCP
+	// DORA/renew messages for DHCP lines — instead of the behavioural
+	// models. Slower; used to prove the datasets can be produced by the
+	// protocols the paper describes. Wire mode has no SameAddrProb
+	// harmonics (Radius-style pools never hand the same address back by
+	// policy).
+	WireBackends bool
+}
+
+// DefaultConfig returns the paper-shaped world configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:  1,
+		Start: simclock.StudyStart,
+		End:   simclock.StudyEnd,
+		Scale: 1.0,
+
+		IPv6OnlyFrac:         0.02,
+		DualStackFrac:        0.30,
+		MultihomedFrac:       0.06,
+		MoverFrac:            0.03,
+		TaggedMultihomedFrac: 0.25,
+		TestingAddrFrac:      0.04,
+		ShortLivedFrac:       0.02,
+		V6DailyRotateFrac:    0.6,
+
+		VersionWeights: [3]float64{0.10, 0.12, 0.78},
+		V12RebootProb:  0.5,
+
+		// Five pushes, the count the paper observes in 2015 (§5.2):
+		// late Jan, late Mar, mid Apr, early Jul, early Oct.
+		FirmwareDays:          []int{24, 81, 103, 186, 277},
+		FirmwareParticipation: 0.5,
+
+		SpontaneousPerYear: 14,
+		KRootHeartbeat:     6 * simclock.Hour,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("sim: Scale must be positive, got %v", c.Scale)
+	}
+	start, end := c.Interval()
+	if !start.Before(end) {
+		return fmt.Errorf("sim: empty interval [%v, %v)", start, end)
+	}
+	fracs := []struct {
+		name string
+		v    float64
+	}{
+		{"IPv6OnlyFrac", c.IPv6OnlyFrac},
+		{"DualStackFrac", c.DualStackFrac},
+		{"MultihomedFrac", c.MultihomedFrac},
+		{"MoverFrac", c.MoverFrac},
+		{"TaggedMultihomedFrac", c.TaggedMultihomedFrac},
+		{"TestingAddrFrac", c.TestingAddrFrac},
+		{"ShortLivedFrac", c.ShortLivedFrac},
+		{"V6DailyRotateFrac", c.V6DailyRotateFrac},
+		{"V12RebootProb", c.V12RebootProb},
+		{"FirmwareParticipation", c.FirmwareParticipation},
+	}
+	for _, f := range fracs {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("sim: %s = %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if c.IPv6OnlyFrac+c.DualStackFrac+c.MultihomedFrac+c.MoverFrac > 1 {
+		return fmt.Errorf("sim: special-cohort fractions exceed 1")
+	}
+	var vw float64
+	for _, w := range c.VersionWeights {
+		if w < 0 {
+			return fmt.Errorf("sim: negative version weight")
+		}
+		vw += w
+	}
+	if vw <= 0 {
+		return fmt.Errorf("sim: version weights sum to zero")
+	}
+	days := int(end.Sub(start) / simclock.Day)
+	for _, d := range c.FirmwareDays {
+		if d < 0 || d >= days {
+			return fmt.Errorf("sim: firmware day %d outside interval (%d days)", d, days)
+		}
+	}
+	if c.SpontaneousPerYear < 0 {
+		return fmt.Errorf("sim: negative spontaneous rate")
+	}
+	if c.KRootHeartbeat < 0 {
+		return fmt.Errorf("sim: negative heartbeat")
+	}
+	return nil
+}
+
+// Interval returns the configured simulation bounds, defaulting to the
+// 2015 study year.
+func (c Config) Interval() (start, end simclock.Time) {
+	start, end = c.Start, c.End
+	if start == 0 && end == 0 {
+		start, end = simclock.StudyStart, simclock.StudyEnd
+	}
+	return start, end
+}
+
+// EffectiveProfiles returns the configured profile list, defaulting to
+// the paper registry.
+func (c Config) EffectiveProfiles() []isp.Profile {
+	if c.Profiles != nil {
+		return c.Profiles
+	}
+	return isp.PaperProfiles()
+}

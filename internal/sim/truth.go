@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"dynaddr/internal/asdb"
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/isp"
+	"dynaddr/internal/simclock"
+)
+
+// Special classifies a probe's population cohort.
+type Special int
+
+// Probe cohorts. The analysis pipeline should filter everything except
+// Normal and Mover (movers survive the geographic analysis with their
+// cross-AS changes discarded).
+const (
+	Normal Special = iota
+	IPv6Only
+	DualStack
+	Multihomed
+	Mover
+)
+
+// String names the cohort.
+func (s Special) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case IPv6Only:
+		return "ipv6-only"
+	case DualStack:
+		return "dual-stack"
+	case Multihomed:
+		return "multihomed"
+	case Mover:
+		return "mover"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeTruth records the generative ground truth for one probe, letting
+// experiments check what the analysis pipeline recovers against what the
+// simulator actually did.
+type ProbeTruth struct {
+	ID      atlasdata.ProbeID
+	ISP     string
+	ASN     asdb.ASN
+	Country string
+	Version atlasdata.ProbeVersion
+	Special Special
+	Kind    isp.AssignKind
+
+	// Period is the forced session lifetime of the probe's cohort; zero
+	// means unlimited.
+	Period simclock.Duration
+	// SyncAnchored reports whether the CPE defers periodic resets to its
+	// chosen nightly anchor (the DTAG pattern).
+	SyncAnchored bool
+	// RenumberOnOutage reports whether this customer's line receives a
+	// fresh address on every reconnect.
+	RenumberOnOutage bool
+	// TestingFirst reports whether the first connection-log entry uses
+	// the RIPE testing address.
+	TestingFirst bool
+	// ShortLived reports whether the probe was connected under 30 days.
+	ShortLived bool
+
+	// V4AddressChanges counts the IPv4 address changes the simulator
+	// actually produced between consecutive v4-visible sessions.
+	V4AddressChanges int
+	// PowerOutages and NetworkOutages count generated outage events.
+	PowerOutages   int
+	NetworkOutages int
+	// Reboots counts all probe reboots (outage-, firmware- and
+	// fragmentation-induced).
+	Reboots int
+	// FirmwareReboots counts reboots caused by firmware pushes.
+	FirmwareReboots int
+	// AdminRenumbered reports that the probe's ISP executed its en-masse
+	// administrative renumbering while the probe was live.
+	AdminRenumbered bool
+	// V6Rotating reports that the probe's host rotates its IPv6 address
+	// daily (RFC 4941 privacy extensions).
+	V6Rotating bool
+}
+
+// Truth is the generative journal for a whole world.
+type Truth struct {
+	Probes map[atlasdata.ProbeID]ProbeTruth
+	// FirmwareDays echoes the zero-based study-day indices of pushes.
+	FirmwareDays []int
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dynaddr/internal/dhcp"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/isp"
+	"dynaddr/internal/ppp"
+	"dynaddr/internal/rng"
+	"dynaddr/internal/simclock"
+)
+
+// Wire-backed line backends: the same lineBackend contract as the
+// behavioural models in probe.go, but every address decision travels
+// through the actual protocol exchanges — PPPoE discovery + IPCP
+// negotiation for PPP lines, DHCP DORA/renew messages for DHCP lines.
+// Config.WireBackends selects them; a test asserts the generated worlds
+// recover the same paper shapes either way. The wire path is slower (it
+// marshals and parses every packet), which is exactly its value: the
+// datasets can be produced by the protocols the paper describes, not
+// just by models of them.
+
+// wirePPPLine drives ppp wire machinery. Periodic scheduling, skip and
+// jitter logic is shared with the behavioural model via an embedded
+// scheduler.
+type wirePPPLine struct {
+	ac   *ppp.AccessConcentrator
+	ipcp *ppp.IPCPServer
+	rnd  *rng.RNG
+
+	hostUniq []byte
+	session  uint16
+	addr     ip4.Addr
+
+	sched    pppSchedule
+	renumber bool
+}
+
+// pppSchedule factors the forced-disconnect timing out of pppLine so
+// both the behavioural and wire backends share it exactly.
+type pppSchedule struct {
+	rnd         *rng.RNG
+	period      simclock.Duration
+	sync        bool
+	anchorEpoch simclock.Time
+	skipProb    float64
+	jitterProb  float64
+	lastAssign  simclock.Time
+}
+
+func (s *pppSchedule) next(after simclock.Time) (simclock.Time, bool) {
+	if s.period <= 0 {
+		return 0, false
+	}
+	var t simclock.Time
+	if s.sync {
+		base := after.Add(simclock.Hour)
+		delta := base.Sub(s.anchorEpoch)
+		k := int64(delta / s.period)
+		if delta%s.period != 0 || delta < 0 {
+			k++
+		}
+		if delta < 0 {
+			k = 0
+		}
+		t = s.anchorEpoch.Add(simclock.Duration(k) * s.period)
+	} else {
+		t = s.lastAssign.Add(s.period)
+		for !t.After(after) {
+			t = t.Add(s.period)
+		}
+	}
+	for s.rnd.Bool(s.skipProb) {
+		t = t.Add(s.period)
+	}
+	if s.jitterProb > 0 && s.rnd.Bool(s.jitterProb) {
+		half := int64(s.period / 2)
+		t = t.Add(simclock.Duration(s.rnd.Int63n(2*half+1) - half))
+	}
+	if !t.After(after) {
+		t = after.Add(s.period)
+	}
+	return t, true
+}
+
+func (l *wirePPPLine) establish(t simclock.Time) ip4.Addr {
+	sid, addr, err := ppp.EstablishSession(l.ac, l.ipcp, l.hostUniq)
+	if err != nil {
+		// The in-memory exchange only fails on programming errors.
+		panic(fmt.Sprintf("sim: wire ppp establish: %v", err))
+	}
+	l.session, l.addr = sid, addr
+	l.sched.lastAssign = t
+	return addr
+}
+
+func (l *wirePPPLine) teardown() {
+	if l.session == 0 {
+		return
+	}
+	if err := ppp.TeardownSession(l.ac, l.ipcp, l.session); err != nil {
+		panic(fmt.Sprintf("sim: wire ppp teardown: %v", err))
+	}
+	l.session = 0
+}
+
+func (l *wirePPPLine) Start(t simclock.Time) ip4.Addr { return l.establish(t) }
+func (l *wirePPPLine) Current() ip4.Addr              { return l.addr }
+
+func (l *wirePPPLine) Resume(from, to simclock.Time) (ip4.Addr, bool) {
+	if !l.renumber {
+		return l.addr, false
+	}
+	old := l.addr
+	l.teardown()
+	addr := l.establish(to)
+	return addr, addr != old
+}
+
+func (l *wirePPPLine) ForcedAt(after simclock.Time) (simclock.Time, bool) {
+	return l.sched.next(after)
+}
+
+func (l *wirePPPLine) ForcedRenumber(t simclock.Time) (ip4.Addr, bool) {
+	old := l.addr
+	l.teardown()
+	addr := l.establish(t)
+	return addr, addr != old
+}
+
+func (l *wirePPPLine) AdminRenumber(t simclock.Time) (ip4.Addr, bool) {
+	return l.ForcedRenumber(t)
+}
+
+// wireDHCPLine drives the dhcp message-level server/client pair. Lease
+// bookkeeping mirrors dhcp.Session: while connected the client renews in
+// place; across an interruption the lease keeps running and, once
+// lapsed, pool pressure (the reclaim draw) hands the address to a
+// phantom competitor before the client returns.
+type wireDHCPLine struct {
+	srv    *dhcp.WireServer
+	client *dhcp.WireClient
+	pool   *isp.AddressPool
+	rnd    *rng.RNG
+
+	lease       simclock.Duration
+	reclaimMean simclock.Duration
+	leaseEnd    simclock.Time
+	connected   bool
+}
+
+func (l *wireDHCPLine) Start(t simclock.Time) ip4.Addr {
+	addr, err := l.client.Acquire(t)
+	if err != nil {
+		panic(fmt.Sprintf("sim: wire dhcp acquire: %v", err))
+	}
+	l.connected = true
+	return addr
+}
+
+func (l *wireDHCPLine) Current() ip4.Addr { return l.client.Addr() }
+
+func (l *wireDHCPLine) Resume(from, to simclock.Time) (ip4.Addr, bool) {
+	if l.connected {
+		// First interruption bookkeeping: residual lease at disconnect.
+		residual := simclock.Duration(l.lease/2) +
+			simclock.Duration(l.rnd.Int63n(int64(l.lease/2)+1))
+		l.leaseEnd = from.Add(residual)
+		l.connected = false
+	}
+	old := l.client.Addr()
+	defer func() { l.connected = true }()
+	if !to.After(l.leaseEnd) {
+		// Lease still valid: renew in place over the wire.
+		if _, err := l.client.Renew(to); err != nil {
+			panic(fmt.Sprintf("sim: wire dhcp renew: %v", err))
+		}
+		return old, false
+	}
+	lapsed := to.Sub(l.leaseEnd)
+	pReclaimed := reclaimProbability(lapsed, l.reclaimMean)
+	if l.rnd.Bool(pReclaimed) {
+		// Pool pressure: the server sweeps the lapsed binding and a
+		// phantom competitor claims the freed address before the client
+		// returns.
+		l.srv.ExpireBefore(to)
+		l.pool.TryReacquire(old)
+	}
+	addr, err := l.client.Acquire(to)
+	if err != nil {
+		panic(fmt.Sprintf("sim: wire dhcp reacquire: %v", err))
+	}
+	return addr, addr != old
+}
+
+func (l *wireDHCPLine) ForcedAt(simclock.Time) (simclock.Time, bool) { return 0, false }
+func (l *wireDHCPLine) ForcedRenumber(t simclock.Time) (ip4.Addr, bool) {
+	return l.client.Addr(), false
+}
+
+func (l *wireDHCPLine) AdminRenumber(t simclock.Time) (ip4.Addr, bool) {
+	// Server-side reconfiguration: drop the binding, hand the old
+	// address to the phantom, re-acquire.
+	old := l.client.Addr()
+	l.srv.ExpireBefore(t.Add(100 * 365 * simclock.Day)) // drop unconditionally
+	l.pool.TryReacquire(old)
+	addr, err := l.client.Acquire(t)
+	if err != nil {
+		panic(fmt.Sprintf("sim: wire dhcp admin renumber: %v", err))
+	}
+	return addr, addr != old
+}
+
+// newWireBackend builds the wire-level counterpart of newBackend.
+func (w *walker) newWireBackend(p isp.Profile, pool *isp.AddressPool, rnd *rng.RNG) (lineBackend, error) {
+	switch p.Kind {
+	case isp.Static:
+		return &staticLine{pool: pool}, nil
+	case isp.DHCP:
+		srv, err := dhcp.NewWireServer(pool, pool.Prefixes()[0].Nth(1), p.Lease)
+		if err != nil {
+			return nil, err
+		}
+		hw := make([]byte, 6)
+		r := rnd.Split("dhcp-hw")
+		for i := range hw {
+			hw[i] = byte(r.Uint64())
+		}
+		return &wireDHCPLine{
+			srv:    srv,
+			client: dhcp.NewWireClient(srv, hw),
+			pool:   pool,
+			rnd:    rnd.Split("dhcp-wire"),
+			lease:  p.Lease, reclaimMean: p.ReclaimMean,
+		}, nil
+	case isp.PPP:
+		ipcp, err := ppp.NewIPCPServer(pool)
+		if err != nil {
+			return nil, err
+		}
+		r := rnd.Split("ppp-wire")
+		return &wirePPPLine{
+			ac:       ppp.NewAccessConcentrator(p.Name),
+			ipcp:     ipcp,
+			rnd:      r,
+			hostUniq: []byte(fmt.Sprintf("probe-%d", w.spec.id)),
+			renumber: w.spec.renumberOnOutage,
+			sched: pppSchedule{
+				rnd:         rnd.Split("forced"),
+				period:      w.spec.cohort.Period,
+				sync:        w.spec.syncAnchored,
+				anchorEpoch: simclock.StudyStart.Add(w.spec.anchorOffset),
+				skipProb:    p.SkipProb,
+				jitterProb:  p.JitterProb,
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown assignment kind %v", p.Kind)
+	}
+}
+
+// reclaimProbability is the shared memoryless reclaim model.
+func reclaimProbability(lapsed, mean simclock.Duration) float64 {
+	if lapsed <= 0 || mean <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-float64(lapsed)/float64(mean))
+}

@@ -1,0 +1,185 @@
+// Package simclock provides the simulated-time kernel for the dataset
+// generator: a second-resolution Time type anchored at the Unix epoch, a
+// Duration type with day/week constants, calendar helpers for the paper's
+// measurement year (2015), and a deterministic event queue.
+//
+// Wall-clock time is never read anywhere in this repository; all times
+// flow from configuration through this package, which is what makes the
+// generated datasets reproducible byte-for-byte.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulated instant, in seconds since the Unix epoch (UTC).
+type Time int64
+
+// Duration is a span of simulated time in seconds.
+type Duration int64
+
+// Duration constants. The paper reports address durations in hours with
+// modes at multiples of 24 hours, so Day and Week appear throughout.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 24 * Hour
+	Week   Duration = 7 * Day
+)
+
+// Date constructs a Time from a UTC calendar date.
+func Date(year int, month time.Month, day, hour, min, sec int) Time {
+	return Time(time.Date(year, month, day, hour, min, sec, 0, time.UTC).Unix())
+}
+
+// The paper's measurement interval: calendar year 2015.
+var (
+	StudyStart = Date(2015, time.January, 1, 0, 0, 0)
+	StudyEnd   = Date(2016, time.January, 1, 0, 0, 0)
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Std converts t to a standard library time.Time in UTC.
+func (t Time) Std() time.Time { return time.Unix(int64(t), 0).UTC() }
+
+// String formats t like "Jan  2 15:04:05 2015" (the connection-log style).
+func (t Time) String() string { return t.Std().Format("Jan _2 15:04:05 2006") }
+
+// HourOfDay returns the GMT hour of day in [0, 24). Figures 4 and 5 bin
+// periodic address changes by this value.
+func (t Time) HourOfDay() int { return int((int64(t) % 86400) / 3600) }
+
+// DayWithinStudy returns the zero-based day index of t within the study
+// year, or -1 if t falls outside it. Figure 6 bins reboots by this value.
+func (t Time) DayWithinStudy() int {
+	if t < StudyStart || t >= StudyEnd {
+		return -1
+	}
+	return int(t.Sub(StudyStart) / Day)
+}
+
+// TruncateDay returns the midnight (UTC) at or before t.
+func (t Time) TruncateDay() Time { return t - Time(int64(t)%86400) }
+
+// Hours returns d as floating-point hours, the unit of the paper's
+// address-duration plots.
+func (d Duration) Hours() float64 { return float64(d) / 3600 }
+
+// Seconds returns d as integer seconds.
+func (d Duration) Seconds() int64 { return int64(d) }
+
+// Std converts d to a standard library time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Second }
+
+// String formats d compactly using the two most significant units,
+// e.g. "2d", "1d12h", "23h37m", "1m30s", "45s".
+func (d Duration) String() string {
+	neg := ""
+	if d < 0 {
+		neg, d = "-", -d
+	}
+	if d == 0 {
+		return "0s"
+	}
+	type unit struct {
+		span Duration
+		tag  string
+	}
+	units := []unit{{Day, "d"}, {Hour, "h"}, {Minute, "m"}, {Second, "s"}}
+	out := neg
+	emitted := 0
+	for _, u := range units {
+		if emitted >= 2 {
+			break
+		}
+		n := d / u.span
+		d %= u.span
+		if n == 0 {
+			if emitted > 0 {
+				break // keep the two units adjacent: "1d12h", never "1d30m"
+			}
+			continue
+		}
+		out += fmt.Sprintf("%d%s", n, u.tag)
+		emitted++
+	}
+	return out
+}
+
+// Event is an entry in an EventQueue.
+type Event struct {
+	At   Time
+	Kind int
+	Data any
+
+	seq int // tiebreaker: insertion order for equal times
+}
+
+// EventQueue is a deterministic min-heap of events ordered by time, with
+// insertion order breaking ties so that replays are exact.
+// The zero value is an empty, usable queue.
+type EventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+// Push schedules an event.
+func (q *EventQueue) Push(at Time, kind int, data any) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Kind: kind, Data: data, seq: q.seq})
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *EventQueue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,185 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStudyBounds(t *testing.T) {
+	if got := StudyStart.Std().Format("2006-01-02"); got != "2015-01-01" {
+		t.Errorf("StudyStart = %s", got)
+	}
+	if got := StudyEnd.Std().Format("2006-01-02"); got != "2016-01-01" {
+		t.Errorf("StudyEnd = %s", got)
+	}
+	if days := StudyEnd.Sub(StudyStart) / Day; days != 365 {
+		t.Errorf("study year has %d days, want 365", days)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Date(2015, time.March, 10, 12, 0, 0)
+	b := a.Add(36 * Hour)
+	if b.Sub(a) != 36*Hour {
+		t.Errorf("Sub = %v, want 36h", b.Sub(a))
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Error("Before/After inconsistent")
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want int
+	}{
+		{Date(2015, time.January, 1, 0, 0, 0), 0},
+		{Date(2015, time.January, 1, 23, 59, 59), 23},
+		{Date(2015, time.June, 15, 4, 30, 0), 4},
+	}
+	for _, c := range cases {
+		if got := c.t.HourOfDay(); got != c.want {
+			t.Errorf("HourOfDay(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDayWithinStudy(t *testing.T) {
+	if got := StudyStart.DayWithinStudy(); got != 0 {
+		t.Errorf("day of Jan 1 = %d, want 0", got)
+	}
+	dec31 := Date(2015, time.December, 31, 12, 0, 0)
+	if got := dec31.DayWithinStudy(); got != 364 {
+		t.Errorf("day of Dec 31 = %d, want 364", got)
+	}
+	if got := StudyEnd.DayWithinStudy(); got != -1 {
+		t.Errorf("Jan 1 2016 = %d, want -1", got)
+	}
+	if got := (StudyStart - 1).DayWithinStudy(); got != -1 {
+		t.Errorf("Dec 31 2014 = %d, want -1", got)
+	}
+}
+
+func TestTruncateDay(t *testing.T) {
+	at := Date(2015, time.July, 4, 17, 33, 9)
+	want := Date(2015, time.July, 4, 0, 0, 0)
+	if got := at.TruncateDay(); got != want {
+		t.Errorf("TruncateDay = %v, want %v", got, want)
+	}
+	if got := want.TruncateDay(); got != want {
+		t.Error("TruncateDay of midnight must be identity")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{24 * Hour, "1d"},
+		{36 * Hour, "1d12h"},
+		{90 * Second, "1m30s"},
+		{5 * Minute, "5m"},
+		{0, "0s"},
+		{-2 * Day, "-2d"},
+		{Week, "7d"},
+		{23*Hour + 37*Minute + 12*Second, "23h37m"},
+		{Day + 30*Minute, "1d"}, // non-adjacent second unit is dropped
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationHours(t *testing.T) {
+	if got := (90 * Minute).Hours(); got != 1.5 {
+		t.Errorf("Hours = %v, want 1.5", got)
+	}
+}
+
+func TestTimeStringStyle(t *testing.T) {
+	at := Date(2015, time.January, 2, 2, 19, 16)
+	if got := at.String(); got != "Jan  2 02:19:16 2015" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	q.Push(30, 1, "c")
+	q.Push(10, 2, "a")
+	q.Push(20, 3, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Data.(string))
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("pop order = %v", got)
+	}
+}
+
+func TestEventQueueStableTies(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 100; i++ {
+		q.Push(5, i, i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop().Data.(int); got != i {
+			t.Fatalf("tie order broken: got %d at position %d", got, i)
+		}
+	}
+}
+
+func TestEventQueuePeekAndEmpty(t *testing.T) {
+	var q EventQueue
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Error("empty queue must return nil")
+	}
+	q.Push(7, 0, nil)
+	if q.Peek().At != 7 {
+		t.Error("Peek returned wrong event")
+	}
+	if q.Len() != 1 {
+		t.Error("Peek must not remove")
+	}
+	q.Pop()
+	if q.Len() != 0 {
+		t.Error("queue should be empty after pop")
+	}
+}
+
+func TestEventQueueHeapProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		var q EventQueue
+		for _, at := range times {
+			q.Push(Time(at), 0, nil)
+		}
+		prev := Time(math.MinInt64)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < prev {
+				return false
+			}
+			prev = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	var q EventQueue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(Time(i%1000), 0, nil)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedPaperExample(t *testing.T) {
+	// Paper §4.1, Table 1 example: the CPE spent roughly three quarters
+	// of the measured time in 24-hour durations even though only half the
+	// durations were 24h. Model: durations 14.2, 0.7, 7.2, 23.6, 23.6,
+	// 23.6 hours, each weighted by its own length.
+	durations := []float64{14.2, 0.7, 7.2, 23.6, 23.6, 23.6}
+	var w Weighted
+	for _, d := range durations {
+		w.Add(d, d)
+	}
+	frac24 := w.MassAt(23.6)
+	if frac24 < 0.70 || frac24 > 0.80 {
+		t.Errorf("mass at ~24h = %v, want ~0.76", frac24)
+	}
+}
+
+func TestWeightedMassAndTotal(t *testing.T) {
+	var w Weighted
+	w.Add(24, 48) // two 24h durations: weight 24*2
+	w.Add(12, 12)
+	if w.Total() != 60 {
+		t.Errorf("Total = %v", w.Total())
+	}
+	if got := w.MassAt(24); got != 0.8 {
+		t.Errorf("MassAt(24) = %v, want 0.8", got)
+	}
+	if got := w.MassAt(99); got != 0 {
+		t.Errorf("MassAt(99) = %v, want 0", got)
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestWeightedIgnoresNonPositive(t *testing.T) {
+	var w Weighted
+	w.Add(5, 0)
+	w.Add(5, -3)
+	if w.Total() != 0 || w.Len() != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestWeightedCDFMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		var w Weighted
+		for i, v := range vals {
+			w.Add(math.Abs(v), float64(i%7)+0.5)
+		}
+		cdf := w.CDF()
+		prevX := math.Inf(-1)
+		prevY := 0.0
+		for _, p := range cdf {
+			if p.X <= prevX || p.Y < prevY || p.Y > 1+1e-9 {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		return len(cdf) == 0 || math.Abs(cdf[len(cdf)-1].Y-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedFractionAtMost(t *testing.T) {
+	var w Weighted
+	w.Add(1, 1)
+	w.Add(2, 1)
+	w.Add(3, 2)
+	if got := w.FractionAtMost(2); got != 0.5 {
+		t.Errorf("FractionAtMost(2) = %v, want 0.5", got)
+	}
+	if got := w.FractionAtMost(0.5); got != 0 {
+		t.Errorf("FractionAtMost(0.5) = %v, want 0", got)
+	}
+	if got := w.FractionAtMost(3); got != 1 {
+		t.Errorf("FractionAtMost(3) = %v, want 1", got)
+	}
+}
+
+func TestWeightedModes(t *testing.T) {
+	var w Weighted
+	w.Add(24, 76)
+	w.Add(48, 10)
+	w.Add(1, 14)
+	modes := w.Modes(0.25)
+	if len(modes) != 1 || modes[0].X != 24 {
+		t.Errorf("Modes(0.25) = %v, want just 24", modes)
+	}
+	all := w.Modes(0.05)
+	if len(all) != 3 || all[0].X != 24 {
+		t.Errorf("Modes(0.05) = %v, want 24 first", all)
+	}
+}
+
+func TestWeightedAddDistAndMax(t *testing.T) {
+	var a, b Weighted
+	a.Add(1, 1)
+	b.Add(2, 3)
+	a.AddDist(&b)
+	if a.Total() != 4 || a.MassAt(2) != 0.75 {
+		t.Errorf("AddDist merge wrong: total=%v", a.Total())
+	}
+	if a.MaxValue() != 2 {
+		t.Errorf("MaxValue = %v", a.MaxValue())
+	}
+	var empty Weighted
+	if empty.MaxValue() != 0 {
+		t.Error("empty MaxValue should be 0")
+	}
+	if got := empty.MassAt(1); got != 0 {
+		t.Errorf("empty MassAt = %v", got)
+	}
+}
+
+func TestWeightedValuesSorted(t *testing.T) {
+	var w Weighted
+	for _, v := range []float64{5, 1, 3} {
+		w.Add(v, 1)
+	}
+	vals := w.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 3 || vals[2] != 5 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Median = %v, want 50.5", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Median()) || !math.IsNaN(s.Mean()) {
+		t.Error("empty sample quantile/mean should be NaN")
+	}
+	if s.FractionAtMost(5) != 0 {
+		t.Error("empty FractionAtMost should be 0")
+	}
+	if s.ECDF() != nil {
+		t.Error("empty ECDF should be nil")
+	}
+}
+
+func TestSampleFractionAtMost(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{0, 0, 0.5, 1, 1} {
+		s.Add(x)
+	}
+	if got := s.FractionAtMost(0); got != 0.4 {
+		t.Errorf("FractionAtMost(0) = %v, want 0.4", got)
+	}
+	if got := s.FractionAtMost(0.9); got != 0.6 {
+		t.Errorf("FractionAtMost(0.9) = %v, want 0.6", got)
+	}
+	if got := s.FractionAtMost(1); got != 1 {
+		t.Errorf("FractionAtMost(1) = %v, want 1", got)
+	}
+}
+
+func TestSampleECDFCollapsesTies(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 1, 1, 2} {
+		s.Add(x)
+	}
+	ecdf := s.ECDF()
+	if len(ecdf) != 2 {
+		t.Fatalf("ECDF has %d points, want 2", len(ecdf))
+	}
+	if ecdf[0].X != 1 || ecdf[0].Y != 0.75 || ecdf[1].Y != 1 {
+		t.Errorf("ECDF = %v", ecdf)
+	}
+}
+
+func TestSampleAddAfterQueryResorts(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Median()
+	s.Add(1)
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) after late Add = %v, want 1", got)
+	}
+}
+
+func TestHistogramBins(t *testing.T) {
+	h, err := NewHistogram(10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 4 {
+		t.Fatalf("NumBins = %d, want 4", h.NumBins())
+	}
+	cases := []struct {
+		x   float64
+		bin int
+	}{
+		{5, 0}, {9.99, 0},
+		{10, 1}, {19.99, 1},
+		{20, 2},
+		{30, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		if got := h.BinOf(c.x); got != c.bin {
+			t.Errorf("BinOf(%v) = %d, want %d", c.x, got, c.bin)
+		}
+	}
+	for _, c := range cases {
+		h.Add(c.x)
+	}
+	counts := h.Counts()
+	want := []int{2, 2, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d count = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramRejectsBadEdges(t *testing.T) {
+	if _, err := NewHistogram(10, 10); err == nil {
+		t.Error("duplicate edges should fail")
+	}
+	if _, err := NewHistogram(20, 10); err == nil {
+		t.Error("descending edges should fail")
+	}
+	if _, err := NewHistogram(); err != nil {
+		t.Error("edge-free histogram (one bin) should be allowed")
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	f := func(xs []float64) bool {
+		h, err := NewHistogram(-100, 0, 100)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+		}
+		return h.Total() <= len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package svgplot renders the paper's figure types — step CDFs on a
+// log-scaled duration axis, probability ECDFs, and histograms — as
+// standalone SVG documents, using only the standard library.
+//
+// The goal is faithful figure regeneration, not a charting framework:
+// the axes, scales and series shapes mirror the paper's Figures 1-9.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is an (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// palette holds distinguishable stroke colours, recycled when series
+// outnumber it.
+var palette = []string{
+	"#1b6ca8", "#c23b22", "#2e8540", "#8031a7", "#b8860b",
+	"#008080", "#d81b60", "#5d4037",
+}
+
+// Chart geometry.
+const (
+	width      = 720
+	height     = 440
+	marginL    = 70
+	marginR    = 160 // room for the legend
+	marginT    = 40
+	marginB    = 55
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	fontFamily = "sans-serif"
+)
+
+type buf struct{ strings.Builder }
+
+func (b *buf) f(format string, args ...any) { fmt.Fprintf(&b.Builder, format, args...) }
+
+func open(b *buf, title string) {
+	b.f(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.f(`<rect width="%d" height="%d" fill="white"/>`, width, height)
+	b.f(`<text x="%d" y="24" font-family="%s" font-size="16" font-weight="bold">%s</text>`,
+		marginL, fontFamily, escape(title))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// durationTicks are the paper's x-axis marks for duration CDFs.
+var durationTicks = []struct {
+	hours float64
+	label string
+}{
+	{1, "1h"}, {6, "6h"}, {12, "12h"}, {24, "1d"}, {72, "3d"},
+	{168, "1w"}, {336, "2w"}, {720, "1mo"}, {1440, "2mo"},
+}
+
+// DurationCDF renders step CDFs over a log-scaled hour axis — the shape
+// of the paper's Figures 1-3. Series points are (hours, cumulative
+// fraction).
+func DurationCDF(title string, series []Series) string {
+	var b buf
+	open(&b, title)
+
+	minX, maxX := 1.0, 1440.0
+	xOf := func(hours float64) float64 {
+		if hours < minX {
+			hours = minX
+		}
+		if hours > maxX {
+			hours = maxX
+		}
+		frac := (math.Log(hours) - math.Log(minX)) / (math.Log(maxX) - math.Log(minX))
+		return marginL + frac*plotW
+	}
+	yOf := func(fraction float64) float64 {
+		return marginT + (1-fraction)*plotH
+	}
+
+	drawFrame(&b)
+	for _, tick := range durationTicks {
+		x := xOf(tick.hours)
+		b.f(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc" stroke-dasharray="3,3"/>`,
+			x, marginT, x, marginT+plotH)
+		b.f(`<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+18, fontFamily, tick.label)
+	}
+	yTicksAndLabel(&b, "Fraction of total address-duration")
+	b.f(`<text x="%d" y="%d" font-family="%s" font-size="12" text-anchor="middle">IP address-duration (log scale)</text>`,
+		marginL+plotW/2, height-12, fontFamily)
+
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		if len(s.Points) > 0 {
+			var path strings.Builder
+			// Step function: start at the x-axis floor.
+			fmt.Fprintf(&path, "M %.1f %.1f", xOf(minX), yOf(0))
+			prevY := 0.0
+			for _, p := range s.Points {
+				fmt.Fprintf(&path, " L %.1f %.1f L %.1f %.1f",
+					xOf(p.X), yOf(prevY), xOf(p.X), yOf(p.Y))
+				prevY = p.Y
+			}
+			fmt.Fprintf(&path, " L %.1f %.1f", xOf(maxX), yOf(prevY))
+			b.f(`<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`, path.String(), color)
+		}
+		legendEntry(&b, i, s.Label, color)
+	}
+	b.f(`</svg>`)
+	return b.String()
+}
+
+// ProbabilityECDF renders per-probe probability ECDFs on a linear [0,1]
+// axis — the paper's Figures 7 and 8. Series points are (probability,
+// cumulative fraction of probes).
+func ProbabilityECDF(title, xLabel string, series []Series) string {
+	var b buf
+	open(&b, title)
+	xOf := func(p float64) float64 { return marginL + p*plotW }
+	yOf := func(f float64) float64 { return marginT + (1-f)*plotH }
+
+	drawFrame(&b)
+	for _, v := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		x := xOf(v)
+		b.f(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc" stroke-dasharray="3,3"/>`,
+			x, marginT, x, marginT+plotH)
+		b.f(`<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%.1f</text>`,
+			x, marginT+plotH+18, fontFamily, v)
+	}
+	yTicksAndLabel(&b, "Fraction of probes")
+	b.f(`<text x="%d" y="%d" font-family="%s" font-size="12" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-12, fontFamily, escape(xLabel))
+
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		if len(s.Points) > 0 {
+			var path strings.Builder
+			fmt.Fprintf(&path, "M %.1f %.1f", xOf(0), yOf(0))
+			prevY := 0.0
+			for _, p := range s.Points {
+				fmt.Fprintf(&path, " L %.1f %.1f L %.1f %.1f",
+					xOf(p.X), yOf(prevY), xOf(p.X), yOf(p.Y))
+				prevY = p.Y
+			}
+			fmt.Fprintf(&path, " L %.1f %.1f", xOf(1), yOf(prevY))
+			b.f(`<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`, path.String(), color)
+		}
+		legendEntry(&b, i, s.Label, color)
+	}
+	b.f(`</svg>`)
+	return b.String()
+}
+
+// Histogram renders labelled bars with an optional highlighted overlay
+// share per bar (the paper's Figure 9 style: total outages with the
+// renumbered share shaded). overlay may be nil for plain histograms
+// (Figures 4-6).
+func Histogram(title, xLabel, yLabel string, labels []string, values []float64, overlay []float64) string {
+	var b buf
+	open(&b, title)
+	maxV := 1.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	n := len(values)
+	if n == 0 {
+		n = 1
+	}
+	barW := float64(plotW) / float64(n) * 0.72
+	gap := float64(plotW) / float64(n)
+
+	drawFrame(&b)
+	for i, v := range values {
+		x := marginL + float64(i)*gap + (gap-barW)/2
+		h := v / maxV * plotH
+		y := marginT + plotH - h
+		b.f(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cfd8dc" stroke="#607d8b"/>`,
+			x, y, barW, h)
+		if overlay != nil && i < len(overlay) && overlay[i] > 0 {
+			oh := overlay[i] / maxV * plotH
+			b.f(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#1b6ca8"/>`,
+				x, marginT+plotH-oh, barW, oh)
+		}
+		if i < len(labels) {
+			b.f(`<text x="%.1f" y="%d" font-family="%s" font-size="10" text-anchor="middle">%s</text>`,
+				x+barW/2, marginT+plotH+16, fontFamily, escape(labels[i]))
+		}
+	}
+	// y ticks at 0, max/2, max.
+	for _, frac := range []float64{0, 0.5, 1} {
+		y := marginT + (1-frac)*plotH
+		b.f(`<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%.0f</text>`,
+			marginL-8, y+4, fontFamily, frac*maxV)
+	}
+	b.f(`<text x="20" y="%d" font-family="%s" font-size="12" transform="rotate(-90 20 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, fontFamily, marginT+plotH/2, escape(yLabel))
+	b.f(`<text x="%d" y="%d" font-family="%s" font-size="12" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-12, fontFamily, escape(xLabel))
+	if overlay != nil {
+		legendEntry(&b, 0, "renumbered", "#1b6ca8")
+		legendEntry(&b, 1, "all outages", "#cfd8dc")
+	}
+	b.f(`</svg>`)
+	return b.String()
+}
+
+func drawFrame(b *buf) {
+	b.f(`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="black"/>`,
+		marginL, marginT, plotW, plotH)
+}
+
+func yTicksAndLabel(b *buf, label string) {
+	for _, v := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		y := marginT + (1-v)*plotH
+		b.f(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc" stroke-dasharray="3,3"/>`,
+			marginL, y, marginL+plotW, y)
+		b.f(`<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%.1f</text>`,
+			marginL-8, y+4, fontFamily, v)
+	}
+	b.f(`<text x="20" y="%d" font-family="%s" font-size="12" transform="rotate(-90 20 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, fontFamily, marginT+plotH/2, escape(label))
+}
+
+func legendEntry(b *buf, i int, label, color string) {
+	x := width - marginR + 14
+	y := marginT + 10 + i*20
+	b.f(`<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`, x, y, color)
+	b.f(`<text x="%d" y="%d" font-family="%s" font-size="12">%s</text>`,
+		x+20, y+9, fontFamily, escape(label))
+}

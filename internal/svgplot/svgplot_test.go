@@ -1,0 +1,87 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func TestDurationCDFWellFormed(t *testing.T) {
+	svg := DurationCDF("Figure 1", []Series{
+		{Label: "EU", Points: []Point{{24, 0.3}, {168, 0.7}, {1440, 1}}},
+		{Label: "NA", Points: []Point{{720, 0.4}, {1440, 1}}},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 1", "EU", "NA", "1d", "1mo", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestDurationCDFClampsOutOfRange(t *testing.T) {
+	// Durations beyond the axis must clamp, not escape the plot box.
+	svg := DurationCDF("clamp", []Series{
+		{Label: "x", Points: []Point{{0.01, 0.2}, {99999, 1}}},
+	})
+	wellFormed(t, svg)
+	// No x coordinate may exceed the plot's right edge in the path.
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("SVG contains non-finite coordinates")
+	}
+}
+
+func TestProbabilityECDFWellFormed(t *testing.T) {
+	svg := ProbabilityECDF("Figure 7", "P(ac|nw)", []Series{
+		{Label: "Orange", Points: []Point{{0, 0.2}, {1, 1}}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "P(ac|nw)") {
+		t.Error("x label missing")
+	}
+}
+
+func TestHistogramWellFormed(t *testing.T) {
+	svg := Histogram("Figure 9", "Outage duration", "Outages",
+		[]string{"<5m", "5-10m"}, []float64{100, 40}, []float64{80, 10})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "&lt;5m") {
+		t.Error("bar labels must be XML-escaped")
+	}
+	if strings.Count(svg, "<rect") < 5 { // bg, frame, 2 bars, 2 overlays, legend
+		t.Errorf("too few rects:\n%s", svg)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	svg := Histogram("empty", "x", "y", nil, nil, nil)
+	wellFormed(t, svg)
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != `a&lt;b&gt;&amp;&quot;c&quot;` {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestManySeriesRecyclePalette(t *testing.T) {
+	var series []Series
+	for i := 0; i < 12; i++ {
+		series = append(series, Series{Label: "s", Points: []Point{{24, 1}}})
+	}
+	wellFormed(t, DurationCDF("many", series))
+}

@@ -1,0 +1,142 @@
+// Package tables renders aligned plain-text tables and CSV, the output
+// formats of every experiment binary and bench harness in this
+// repository. It deliberately mirrors the row/column shapes of the
+// paper's tables so that side-by-side comparison is easy.
+package tables
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates a header and rows of string cells. The zero value is
+// unusable; construct with New.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Missing cells render empty; extra cells are an
+// error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row built by applying Sprintf-style formatting to
+// each (format, value) pair positionally; it is a convenience for the
+// common "every column has its own verb" case.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.rows = append(t.rows, strings.Fields(fmt.Sprintf(format, args...)))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	for _, row := range t.rows {
+		if len(row) > len(t.headers) {
+			return fmt.Errorf("tables: row has %d cells, header has %d", len(row), len(t.headers))
+		}
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := width - len(cell); i < len(widths)-1 && pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.headers))
+	for i, width := range widths {
+		rule[i] = strings.Repeat("-", width)
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string, panicking only on a malformed
+// table (row wider than the header).
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return "tables: " + err.Error()
+	}
+	return sb.String()
+}
+
+// RenderCSV writes the table as CSV (header first, no title line).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if len(row) > len(t.headers) {
+			return fmt.Errorf("tables: row has %d cells, header has %d", len(row), len(t.headers))
+		}
+		padded := make([]string, len(t.headers))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Pct formats a fraction as a percentage with no decimals, e.g. 0.768 ->
+// "77%". The paper's tables report integer percentages.
+func Pct(frac float64) string { return fmt.Sprintf("%.0f%%", frac*100) }
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,118 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tbl := New("Sample", "AS", "ASN", "Country")
+	tbl.AddRow("Orange", "3215", "France")
+	tbl.AddRow("BT", "2856", "U.K.")
+	got := tbl.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5 (title, header, rule, 2 rows):\n%s", len(lines), got)
+	}
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "AS      ") {
+		t.Errorf("header not padded to widest cell: %q", lines[1])
+	}
+	// Columns must start at the same offset in every row.
+	asnCol := strings.Index(lines[1], "ASN")
+	for _, line := range lines[3:] {
+		if len(line) <= asnCol {
+			t.Errorf("row %q shorter than header column offset", line)
+		}
+	}
+	if strings.Index(lines[3], "3215") != asnCol {
+		t.Errorf("ASN column misaligned:\n%s", got)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := New("", "A", "B")
+	tbl.AddRow("1", "2")
+	got := tbl.String()
+	if strings.HasPrefix(got, "\n") {
+		t.Error("empty title must not produce a leading blank line")
+	}
+	if !strings.HasPrefix(got, "A  B") {
+		t.Errorf("first line should be the header: %q", got)
+	}
+}
+
+func TestRenderShortRowPads(t *testing.T) {
+	tbl := New("", "A", "B", "C")
+	tbl.AddRow("1")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRejectsWideRow(t *testing.T) {
+	tbl := New("", "A")
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err == nil {
+		t.Error("row wider than header should fail")
+	}
+	if err := tbl.RenderCSV(&buf); err == nil {
+		t.Error("CSV render of wide row should fail")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := New("ignored title", "AS", "Pct")
+	tbl.AddRow("Orange", "68%")
+	tbl.AddRow("with,comma", "5%")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "AS,Pct\nOrange,68%\n\"with,comma\",5%\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := New("", "AS", "N", "Frac")
+	tbl.AddRowf("%s %d %.2f", "DTAG", 63, 0.76)
+	if tbl.NumRows() != 1 {
+		t.Fatal("AddRowf did not add a row")
+	}
+	if got := tbl.String(); !strings.Contains(got, "DTAG  63  0.76") {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := Pct(0.768); got != "77%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0); got != "0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := I(42); got != "42" {
+		t.Errorf("I = %q", got)
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	tbl := New("", "A", "BBBBBB")
+	tbl.AddRow("x", "y")
+	for _, line := range strings.Split(tbl.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("line has trailing spaces: %q", line)
+		}
+	}
+}
