@@ -8,12 +8,14 @@ package dynaddr
 // reproduction record.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
 	"dynaddr/internal/sim"
+	"dynaddr/internal/stream"
 )
 
 var (
@@ -299,6 +301,37 @@ func BenchmarkFullReport(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Analyze(w.Dataset, Options{})
+	}
+}
+
+// BenchmarkStreamIngest measures the live-ingest subsystem: replaying
+// the paper-scale world's record stream through the sharded ingester at
+// several shard counts, reporting sustained records/sec.
+func BenchmarkStreamIngest(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	ds := w.Dataset
+	var records int64
+	for id := range ds.Probes {
+		records += int64(1 + len(ds.ConnLogs[id]) + len(ds.KRoot[id]) + len(ds.Uptime[id]))
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS})
+				if err := ReplayDataset(ds, ing); err != nil {
+					b.Fatal(err)
+				}
+				if err := ing.Close(); err != nil {
+					b.Fatal(err)
+				}
+				snap := ing.Snapshot()
+				if snap.Records.Total() != records {
+					b.Fatalf("ingested %d records, want %d", snap.Records.Total(), records)
+				}
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
 	}
 }
 

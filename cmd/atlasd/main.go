@@ -1,22 +1,31 @@
 // Command atlasd serves a dataset through the RIPE-Atlas-style HTTP
 // endpoints (probe archive, per-probe connection-history pages,
 // measurement-result streams, pfx2as snapshots) that cmd/churnctl can
-// scrape with -url — the collection boundary of the paper's §3.
+// scrape with -url — the collection boundary of the paper's §3. With
+// -live it additionally mounts the streaming ingest and incremental
+// query endpoints backed by a stream.Ingester.
 //
 // Usage:
 //
 //	atlasd -data DIR -addr :8042          # serve a generated dataset
 //	atlasd -seed 7 -scale 0.3 -addr :8042 # generate in memory and serve
+//	atlasd -seed 7 -live -shards 8        # batch endpoints + live ingest
+//	atlasd -live                          # live ingest only (no AS mapping)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dynaddr"
 	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/stream"
 )
 
 func main() {
@@ -24,11 +33,22 @@ func main() {
 	seed := flag.Uint64("seed", 0, "generate a world with this seed instead of loading")
 	scale := flag.Float64("scale", 0.25, "population scale when generating")
 	addr := flag.String("addr", ":8042", "listen address")
+	live := flag.Bool("live", false, "mount streaming ingest and live query endpoints")
+	shards := flag.Int("shards", 4, "ingest shard count in -live mode")
 	flag.Parse()
+
+	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
+	// from the flag never being given.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	var ds *dynaddr.Dataset
 	switch {
-	case *data != "" && *seed != 0:
+	case *data != "" && seedSet:
 		fmt.Fprintln(os.Stderr, "atlasd: -data and -seed are mutually exclusive")
 		os.Exit(2)
 	case *data != "":
@@ -37,7 +57,7 @@ func main() {
 			fatal(err)
 		}
 		ds = loaded
-	case *seed != 0:
+	case seedSet:
 		cfg := dynaddr.DefaultConfig()
 		cfg.Seed = *seed
 		cfg.Scale = *scale
@@ -46,15 +66,60 @@ func main() {
 			fatal(err)
 		}
 		ds = world.Dataset
-	default:
-		fmt.Fprintln(os.Stderr, "atlasd: one of -data or -seed is required")
+	case !*live:
+		fmt.Fprintln(os.Stderr, "atlasd: one of -data, -seed or -live is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	fmt.Printf("atlasd: serving %d probes on %s\n", len(ds.Probes), *addr)
-	if err := http.ListenAndServe(*addr, atlasapi.NewServer(ds)); err != nil {
+	mux := http.NewServeMux()
+	if ds != nil {
+		mux.Handle("/", atlasapi.NewServer(ds))
+		fmt.Printf("atlasd: serving %d probes on %s\n", len(ds.Probes), *addr)
+	}
+	var ing *stream.Ingester
+	if *live {
+		scfg := stream.Config{Shards: *shards}
+		if ds != nil {
+			scfg.Pfx2AS = ds.Pfx2AS
+		}
+		ing = stream.NewIngester(scfg)
+		ls := atlasapi.NewLiveServer(ing)
+		mux.Handle("/api/v1/stream/", ls)
+		mux.Handle("/api/v1/live/", ls)
+		fmt.Printf("atlasd: live ingest on %s (%d shards)\n", *addr, ing.Shards())
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful exit: stop accepting connections and let in-flight ingest
+	// requests finish, then drain the shard queues.
+	fmt.Println("atlasd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "atlasd: shutdown:", err)
+	}
+	if ing != nil {
+		if err := ing.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "atlasd: draining ingester:", err)
+		}
 	}
 }
 

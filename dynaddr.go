@@ -76,6 +76,18 @@ func PaperProfiles() []Profile { return isp.PaperProfiles() }
 // Generate builds a synthetic world.
 func Generate(cfg Config) (*World, error) { return sim.Generate(cfg) }
 
+// RecordSink consumes a live record stream in per-probe time order; the
+// streaming Ingester satisfies it.
+type RecordSink = sim.RecordSink
+
+// GenerateTo builds a world while also driving sink record by record,
+// probe by probe — the streaming counterpart of Generate.
+func GenerateTo(cfg Config, sink RecordSink) (*World, error) { return sim.GenerateTo(cfg, sink) }
+
+// ReplayDataset streams an existing dataset into sink in generation
+// order (probes ascending, records per probe merged by time).
+func ReplayDataset(ds *Dataset, sink RecordSink) error { return sim.ReplayDataset(ds, sink) }
+
 // Analyze runs the full analysis pipeline over a dataset.
 func Analyze(ds *Dataset, opts Options) *Report { return core.Run(ds, opts) }
 

@@ -183,11 +183,77 @@ func TestServerEndpoints(t *testing.T) {
 	if code, _ := fetch("/api/v1/measurements/uptime/206/"); code != 200 {
 		t.Errorf("uptime endpoint: %d", code)
 	}
-	if code, _ := fetch("/caida/pfx2as/209999.txt"); code != 404 {
+	if code, _ := fetch("/caida/pfx2as/209912.txt"); code != 404 {
 		t.Errorf("missing snapshot should 404, got %d", code)
 	}
 	if code, _ := fetch("/caida/pfx2as/bogus"); code != 400 {
 		t.Errorf("bad snapshot name should 400, got %d", code)
+	}
+}
+
+// TestPfx2ASNameValidation locks in the strict YYYYMM.txt snapshot-name
+// check: exactly six digits, month 01-12, nothing before or after —
+// the garbage fmt.Sscanf-style parsing used to accept must 400.
+func TestPfx2ASNameValidation(t *testing.T) {
+	malformed := []string{
+		"bogus",
+		"201501",       // missing extension
+		"201501.txtZZ", // trailing garbage
+		"x201501.txt",  // leading garbage
+		"20150.txt",    // five digits
+		"2015011.txt",  // seven digits
+		"-20151.txt",   // sign sneaking into six characters
+		"201500.txt",   // month 00
+		"201513.txt",   // month 13
+		"209999.txt",   // month 99
+		"20a501.txt",   // non-digit
+		"201501.TXT",   // wrong-case extension
+		".txt",         // empty base
+		"  2015 1.txt", // embedded spaces
+	}
+	for _, name := range malformed {
+		if m, ok := parseSnapshotName(name); ok {
+			t.Errorf("parseSnapshotName(%q) accepted as %d", name, m)
+		}
+	}
+	wellFormed := map[string]int{
+		"201501.txt": 201501,
+		"201512.txt": 201512,
+		"209912.txt": 209912,
+		"000101.txt": 101,
+	}
+	for name, want := range wellFormed {
+		m, ok := parseSnapshotName(name)
+		if !ok || m != want {
+			t.Errorf("parseSnapshotName(%q) = %d, %v; want %d, true", name, m, ok, want)
+		}
+	}
+
+	// Over HTTP: malformed names 400 before the store is consulted,
+	// well-formed missing months 404.
+	ds := atlasdata.NewDataset()
+	srv := httptest.NewServer(NewServer(ds))
+	defer srv.Close()
+	for _, name := range malformed {
+		if strings.ContainsAny(name, " ") {
+			continue // not expressible in a raw request path
+		}
+		resp, err := http.Get(srv.URL + "/caida/pfx2as/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %q = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/caida/pfx2as/201506.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("well-formed missing month = %d, want 404", resp.StatusCode)
 	}
 }
 

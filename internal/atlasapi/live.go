@@ -1,0 +1,236 @@
+package atlasapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/stats"
+	"dynaddr/internal/stream"
+)
+
+// LiveServer publishes a stream.Ingester over HTTP: the write side
+// accepts record batches in the same wire formats the batch endpoints
+// serve, the read side answers incremental-analysis queries.
+//
+//	POST /api/v1/stream/probes            probe metadata (archive JSON)
+//	POST /api/v1/stream/connlogs?probe=N  sessions (connection-history text)
+//	POST /api/v1/stream/kroot             ping results (NDJSON)
+//	POST /api/v1/stream/uptime            uptime reports (NDJSON)
+//	GET  /api/v1/live/summary             stream-wide snapshot (JSON)
+//	GET  /api/v1/live/as/{asn}            one AS's aggregates (JSON)
+//
+// LiveServer is an http.Handler; mount it on any mux.
+type LiveServer struct {
+	ing *stream.Ingester
+	mux *http.ServeMux
+}
+
+// NewLiveServer wraps an ingester. The caller owns the ingester's
+// lifecycle; closing it makes ingest endpoints return 503.
+func NewLiveServer(ing *stream.Ingester) *LiveServer {
+	s := &LiveServer{ing: ing, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/stream/probes", s.postProbes)
+	s.mux.HandleFunc("/api/v1/stream/connlogs", s.postConnLogs)
+	s.mux.HandleFunc("/api/v1/stream/kroot", s.postKRoot)
+	s.mux.HandleFunc("/api/v1/stream/uptime", s.postUptime)
+	s.mux.HandleFunc("/api/v1/live/summary", s.summary)
+	s.mux.HandleFunc("/api/v1/live/as/", s.asDetail)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *LiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func ingestError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, stream.ErrClosed) {
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// respondAccepted reports how many records an ingest call took.
+func respondAccepted(w http.ResponseWriter, n int) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"accepted\": %d}\n", n)
+}
+
+func (s *LiveServer) postProbes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	probes, err := ParseProbeArchive(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i, m := range probes {
+		if err := s.ing.Meta(m); err != nil {
+			ingestError(w, fmt.Errorf("probe %d of %d: %w", i+1, len(probes), err))
+			return
+		}
+	}
+	respondAccepted(w, len(probes))
+}
+
+func (s *LiveServer) postConnLogs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	idStr := r.URL.Query().Get("probe")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id <= 0 {
+		http.Error(w, fmt.Sprintf("bad probe id %q", idStr), http.StatusBadRequest)
+		return
+	}
+	entries, err := ParseConnectionHistory(r.Body, atlasdata.ProbeID(id))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i, e := range entries {
+		if err := s.ing.ConnLog(e); err != nil {
+			ingestError(w, fmt.Errorf("entry %d of %d: %w", i+1, len(entries), err))
+			return
+		}
+	}
+	respondAccepted(w, len(entries))
+}
+
+func (s *LiveServer) postKRoot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	rounds, err := ParseKRootResults(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i, k := range rounds {
+		if err := s.ing.KRoot(k); err != nil {
+			ingestError(w, fmt.Errorf("round %d of %d: %w", i+1, len(rounds), err))
+			return
+		}
+	}
+	respondAccepted(w, len(rounds))
+}
+
+func (s *LiveServer) postUptime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	recs, err := ParseUptimeResults(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i, u := range recs {
+		if err := s.ing.Uptime(u); err != nil {
+			ingestError(w, fmt.Errorf("record %d of %d: %w", i+1, len(recs), err))
+			return
+		}
+	}
+	respondAccepted(w, len(recs))
+}
+
+// liveSummary is the JSON shape of /api/v1/live/summary.
+type liveSummary struct {
+	Shards              int                 `json:"shards"`
+	Records             stream.RecordCounts `json:"records"`
+	Probes              int                 `json:"probes"`
+	Unregistered        int                 `json:"unregistered"`
+	Categories          map[string]int      `json:"categories"`
+	GeoProbes           int                 `json:"geo_probes"`
+	ASProbes            int                 `json:"as_probes"`
+	Changes             int64               `json:"changes"`
+	NetworkOutages      int64               `json:"network_outages"`
+	Reboots             int64               `json:"reboots"`
+	OutageLinkedChanges int64               `json:"outage_linked_changes"`
+	OpenLossRuns        int                 `json:"open_loss_runs"`
+	ASes                []uint32            `json:"ases"`
+}
+
+func (s *LiveServer) summary(w http.ResponseWriter, r *http.Request) {
+	snap := s.ing.Snapshot()
+	out := liveSummary{
+		Shards:              snap.Shards,
+		Records:             snap.Records,
+		Probes:              snap.Probes,
+		Unregistered:        snap.Unregistered,
+		Categories:          make(map[string]int, len(snap.Categories)),
+		GeoProbes:           snap.GeoProbes,
+		ASProbes:            snap.ASProbes,
+		Changes:             snap.Changes,
+		NetworkOutages:      snap.NetworkOutages,
+		Reboots:             snap.Reboots,
+		OutageLinkedChanges: snap.OutageLinkedChanges,
+		OpenLossRuns:        snap.OpenLossRuns,
+		ASes:                snap.ASNs(),
+	}
+	for cat, n := range snap.Categories {
+		out.Categories[cat.String()] = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// liveASDetail is the JSON shape of /api/v1/live/as/{asn}.
+type liveASDetail struct {
+	ASN                 uint32        `json:"asn"`
+	Probes              int           `json:"probes"`
+	Sessions            int64         `json:"sessions"`
+	Changes             int64         `json:"changes"`
+	NetworkOutages      int64         `json:"network_outages"`
+	Reboots             int64         `json:"reboots"`
+	OutageLinkedChanges int64         `json:"outage_linked_changes"`
+	TotalHours          float64       `json:"total_hours"`
+	Modes               []stats.Point `json:"modes,omitempty"`
+	CDF                 []stats.Point `json:"cdf,omitempty"`
+}
+
+// modeThreshold is the exact-value mass fraction past which a duration
+// counts as a renumbering mode in live AS queries (the paper's vertical
+// CDF segments).
+const modeThreshold = 0.05
+
+func (s *LiveServer) asDetail(w http.ResponseWriter, r *http.Request) {
+	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/api/v1/live/as/"), "/")
+	asn, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil || asn == 0 {
+		http.Error(w, fmt.Sprintf("bad asn %q", rest), http.StatusBadRequest)
+		return
+	}
+	snap := s.ing.Snapshot()
+	agg := snap.AS(uint32(asn))
+	if agg == nil {
+		http.Error(w, fmt.Sprintf("no analyzable probes in AS%d", asn), http.StatusNotFound)
+		return
+	}
+	out := liveASDetail{
+		ASN:                 agg.ASN,
+		Probes:              agg.Probes,
+		Sessions:            agg.Sessions,
+		Changes:             agg.Changes,
+		NetworkOutages:      agg.NetworkOutages,
+		Reboots:             agg.Reboots,
+		OutageLinkedChanges: agg.OutageLinkedChanges,
+		TotalHours:          agg.TTF.Total(),
+		Modes:               agg.TTF.Modes(modeThreshold),
+		CDF:                 agg.TTF.CDF(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

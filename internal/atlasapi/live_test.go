@@ -1,0 +1,226 @@
+package atlasapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynaddr/internal/asdb"
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/simclock"
+	"dynaddr/internal/stream"
+)
+
+// liveStore maps 10.0.0.0/16 to AS64500 for the study's first month, so
+// live ingest can attribute the test probe's sessions.
+func liveStore(t *testing.T) *pfx2as.SnapshotStore {
+	t.Helper()
+	tbl, err := pfx2as.NewTable([]pfx2as.Entry{
+		{Prefix: ip4.MustParsePrefix("10.0.0.0/16"), ASN: asdb.ASN(64500)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pfx2as.NewSnapshotStore()
+	store.Put(201501, tbl)
+	return store
+}
+
+func liveHour(h int) simclock.Time {
+	return simclock.StudyStart.Add(simclock.Duration(h) * simclock.Hour)
+}
+
+func postBody(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+// TestLiveServerEndToEnd drives one probe's records through the HTTP
+// ingest endpoints in the batch wire formats and reads the analysis back
+// through the live query endpoints.
+func TestLiveServerEndToEnd(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: liveStore(t)})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing))
+	defer srv.Close()
+
+	// Probe metadata in the archive shape.
+	var archive bytes.Buffer
+	meta := []atlasdata.ProbeMeta{{ID: 206, Country: "DE", Version: atlasdata.V3, ConnectedDays: 200}}
+	if err := WriteProbeArchive(&archive, meta); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBody(t, srv.URL+"/api/v1/stream/probes", archive.String()); code != 200 || !strings.Contains(body, `"accepted": 1`) {
+		t.Fatalf("probes ingest: %d %q", code, body)
+	}
+
+	// Three sessions on two addresses of AS64500: two address changes,
+	// one interior 24h address duration (the middle session).
+	entries := []atlasdata.ConnLogEntry{
+		{Probe: 206, Start: liveHour(0), End: liveHour(24), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.1")},
+		{Probe: 206, Start: liveHour(25), End: liveHour(49), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.2")},
+		{Probe: 206, Start: liveHour(50), End: liveHour(80), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.3")},
+	}
+	var history bytes.Buffer
+	if err := WriteConnectionHistory(&history, 206, entries); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBody(t, srv.URL+"/api/v1/stream/connlogs?probe=206", history.String()); code != 200 || !strings.Contains(body, `"accepted": 3`) {
+		t.Fatalf("connlogs ingest: %d %q", code, body)
+	}
+
+	// Two good ping rounds and an uptime reset (one reboot).
+	var kroot bytes.Buffer
+	if err := WriteKRootResults(&kroot, []atlasdata.KRootRound{
+		{Probe: 206, Timestamp: liveHour(1), Sent: 3, Success: 3, LTS: 60},
+		{Probe: 206, Timestamp: liveHour(2), Sent: 3, Success: 3, LTS: 55},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postBody(t, srv.URL+"/api/v1/stream/kroot", kroot.String()); code != 200 {
+		t.Fatalf("kroot ingest: %d", code)
+	}
+	var uptime bytes.Buffer
+	if err := WriteUptimeResults(&uptime, []atlasdata.UptimeRecord{
+		{Probe: 206, Timestamp: liveHour(10), Uptime: 10 * 3600},
+		{Probe: 206, Timestamp: liveHour(20), Uptime: 600},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postBody(t, srv.URL+"/api/v1/stream/uptime", uptime.String()); code != 200 {
+		t.Fatalf("uptime ingest: %d", code)
+	}
+
+	// Summary reflects everything ingested so far.
+	resp, err := http.Get(srv.URL + "/api/v1/live/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum liveSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := stream.RecordCounts{Meta: 1, ConnLogs: 3, KRoot: 2, Uptime: 2}
+	if sum.Records != want {
+		t.Errorf("summary records = %+v, want %+v", sum.Records, want)
+	}
+	if sum.Probes != 1 || sum.Changes != 2 || sum.Reboots != 1 {
+		t.Errorf("summary = probes %d changes %d reboots %d, want 1/2/1",
+			sum.Probes, sum.Changes, sum.Reboots)
+	}
+	if sum.Categories[core.CatAnalyzable.String()] != 1 {
+		t.Errorf("categories = %v, want one analyzable probe", sum.Categories)
+	}
+	if len(sum.ASes) != 1 || sum.ASes[0] != 64500 {
+		t.Errorf("ases = %v, want [64500]", sum.ASes)
+	}
+
+	// Per-AS detail: three sessions, two changes, the middle session's
+	// 24 hours of interior address-duration mass.
+	resp, err = http.Get(srv.URL + "/api/v1/live/as/64500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det liveASDetail
+	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if det.ASN != 64500 || det.Probes != 1 || det.Sessions != 3 || det.Changes != 2 {
+		t.Errorf("as detail = %+v", det)
+	}
+	if det.TotalHours != 24 {
+		t.Errorf("TotalHours = %v, want 24", det.TotalHours)
+	}
+	if len(det.CDF) == 0 {
+		t.Error("as detail missing CDF")
+	}
+}
+
+// TestLiveServerErrors exercises the ingest and query failure paths.
+func TestLiveServerErrors(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 1})
+	srv := httptest.NewServer(NewLiveServer(ing))
+	defer srv.Close()
+
+	// GET on an ingest endpoint: method not allowed.
+	for _, path := range []string{"/api/v1/stream/probes", "/api/v1/stream/connlogs",
+		"/api/v1/stream/kroot", "/api/v1/stream/uptime"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+
+	// Malformed bodies and query parameters.
+	badPosts := []struct{ path, body string }{
+		{"/api/v1/stream/probes", "not json"},
+		{"/api/v1/stream/connlogs?probe=206", "one\tfield-short"},
+		{"/api/v1/stream/connlogs", "# empty, but no probe id"},
+		{"/api/v1/stream/connlogs?probe=abc", ""},
+		{"/api/v1/stream/connlogs?probe=-2", ""},
+		{"/api/v1/stream/kroot", "{not ndjson"},
+		{"/api/v1/stream/uptime", `{"prb_id": 1, "timestamp": 10, "uptime": -5}`},
+	}
+	for _, bp := range badPosts {
+		if code, _ := postBody(t, srv.URL+bp.path, bp.body); code != http.StatusBadRequest {
+			t.Errorf("POST %s with bad body = %d, want 400", bp.path, code)
+		}
+	}
+
+	// Query-side errors.
+	for path, wantCode := range map[string]int{
+		"/api/v1/live/as/64500": http.StatusNotFound, // nothing ingested
+		"/api/v1/live/as/abc":   http.StatusBadRequest,
+		"/api/v1/live/as/0":     http.StatusBadRequest,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+	}
+
+	// After Close, valid ingest turns into 503 but queries still work.
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var archive bytes.Buffer
+	if err := WriteProbeArchive(&archive, []atlasdata.ProbeMeta{
+		{ID: 5, Country: "NL", Version: atlasdata.V3, ConnectedDays: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postBody(t, srv.URL+"/api/v1/stream/probes", archive.String()); code != http.StatusServiceUnavailable {
+		t.Errorf("ingest after close = %d, want 503", code)
+	}
+	resp, err := http.Get(srv.URL + "/api/v1/live/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("summary after close = %d, want 200", resp.StatusCode)
+	}
+}

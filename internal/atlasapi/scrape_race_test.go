@@ -1,0 +1,61 @@
+package atlasapi
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/sim"
+)
+
+// TestConcurrentScrapes runs several full scrapes against one live
+// Server at once. The server promises the dataset is never mutated while
+// served; this locks that contract in under the race detector and checks
+// every concurrent scrape assembles the identical dataset.
+func TestConcurrentScrapes(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Scale = 0.03
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	type scrapeResult struct {
+		ds  *atlasdata.Dataset
+		err error
+	}
+	const scrapers = 6
+	results := make([]*scrapeResult, scrapers)
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &Client{
+				BaseURL:     srv.URL,
+				Months:      world.Dataset.Pfx2AS.Months(),
+				Concurrency: 4,
+			}
+			ds, err := c.ScrapeAll()
+			results[i] = &scrapeResult{ds: ds, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("scraper %d: %v", i, r.err)
+		}
+		if len(r.ds.Probes) != len(world.Dataset.Probes) {
+			t.Errorf("scraper %d got %d probes, want %d", i, len(r.ds.Probes), len(world.Dataset.Probes))
+		}
+		if !reflect.DeepEqual(r.ds.ConnLogs, results[0].ds.ConnLogs) {
+			t.Errorf("scraper %d assembled different connection logs", i)
+		}
+	}
+}

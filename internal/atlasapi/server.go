@@ -132,8 +132,8 @@ func (s *Server) pfx2as(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	var m int
-	if _, err := fmt.Sscanf(name, "%d.txt", &m); err != nil {
+	m, ok := parseSnapshotName(name)
+	if !ok {
 		http.Error(w, "want /caida/pfx2as/YYYYMM.txt", http.StatusBadRequest)
 		return
 	}
@@ -146,6 +146,29 @@ func (s *Server) pfx2as(w http.ResponseWriter, r *http.Request) {
 	if err := pfx2as.WriteText(w, tbl.Entries()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// parseSnapshotName accepts exactly the form YYYYMM.txt — six digits
+// with a month part of 01-12 — rejecting trailing or leading garbage
+// that fmt.Sscanf-style parsing would let through.
+func parseSnapshotName(name string) (int, bool) {
+	base, ok := strings.CutSuffix(name, ".txt")
+	if !ok || len(base) != 6 {
+		return 0, false
+	}
+	for _, c := range base {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	m, err := strconv.Atoi(base)
+	if err != nil {
+		return 0, false
+	}
+	if mm := m % 100; mm < 1 || mm > 12 {
+		return 0, false
+	}
+	return m, true
 }
 
 // Months lists the snapshot months the server exposes, for clients.

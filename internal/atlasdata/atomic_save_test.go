@@ -1,0 +1,86 @@
+package atlasdata
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// listTmpFiles returns any *.tmp leftovers in dir.
+func listTmpFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestSaveLeavesNoTempFiles checks a successful Save renames every
+// temporary file into place.
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	d := sampleDataset(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if tmps := listTmpFiles(t, dir); len(tmps) != 0 {
+		t.Errorf("temp files left after Save: %v", tmps)
+	}
+}
+
+// TestSaveFailureKeepsPreviousFiles is the atomicity contract: a Save
+// that fails mid-write must leave the previous on-disk dataset loadable
+// and unchanged, with no half-written targets or stray temp files.
+func TestSaveFailureKeepsPreviousFiles(t *testing.T) {
+	good := sampleDataset(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := good.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// An invalid probe makes the archive writer fail partway through
+	// Save, after it has already opened its temp file.
+	bad := sampleDataset(t)
+	bad.Probes[208] = ProbeMeta{ID: 208, Country: "XX", Version: 9, ConnectedDays: 10}
+	if err := bad.Save(dir); err == nil {
+		t.Fatal("Save of an invalid dataset should fail")
+	}
+
+	if tmps := listTmpFiles(t, dir); len(tmps) != 0 {
+		t.Errorf("temp files left after failed Save: %v", tmps)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("previous dataset unloadable after failed Save: %v", err)
+	}
+	if !reflect.DeepEqual(got.Probes, good.Probes) {
+		t.Errorf("failed Save changed the on-disk probes:\n got %+v\nwant %+v", got.Probes, good.Probes)
+	}
+	if !reflect.DeepEqual(got.ConnLogs, good.ConnLogs) {
+		t.Error("failed Save changed the on-disk connection logs")
+	}
+}
+
+// TestLoadIgnoresStrayTempFile checks recovery from an interrupted
+// earlier writer: a leftover pfx2as-*.txt.tmp must not confuse Load's
+// snapshot glob.
+func TestLoadIgnoresStrayTempFile(t *testing.T) {
+	d := sampleDataset(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "pfx2as-201502.txt.tmp")
+	if err := os.WriteFile(stray, []byte("garbage that is not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load with stray temp file: %v", err)
+	}
+	if months := got.Pfx2AS.Months(); len(months) != 1 || months[0] != 201501 {
+		t.Errorf("months after load = %v, want [201501]", months)
+	}
+}

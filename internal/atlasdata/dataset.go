@@ -242,16 +242,26 @@ func Load(dir string) (*Dataset, error) {
 	return d, nil
 }
 
+// writeFileWith writes atomically: content goes to a .tmp sibling that
+// is renamed over the target only after a successful write and close,
+// so an interrupted Save never leaves a half-written file for Load to
+// choke on.
 func writeFileWith(path string, fn func(*os.File) error) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := fn(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func loadWith[T any](path string, parse func(io.Reader) (T, error)) (T, error) {

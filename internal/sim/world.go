@@ -32,6 +32,12 @@ type World struct {
 
 // Generate builds a world from the configuration.
 func Generate(cfg Config) (*World, error) {
+	return generateWorld(cfg, nil)
+}
+
+// generate builds the world, optionally emitting each probe's records
+// to sink as that probe's timeline finishes simulating (see GenerateTo).
+func generateWorld(cfg Config, sink RecordSink) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -216,6 +222,12 @@ func Generate(cfg Config) (*World, error) {
 				return nil, fmt.Errorf("sim: probe %d (%s): %v", id, p.Name, err)
 			}
 			truth.Probes[id] = pt
+			if sink != nil {
+				sortProbeRecords(ds, id)
+				if err := emitProbe(ds, id, sink); err != nil {
+					return nil, fmt.Errorf("sim: emitting probe %d: %v", id, err)
+				}
+			}
 		}
 		_ = si
 	}

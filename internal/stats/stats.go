@@ -48,6 +48,21 @@ func (w *Weighted) AddDist(other *Weighted) {
 // Total returns the total accumulated weight.
 func (w *Weighted) Total() float64 { return w.total }
 
+// MassOf returns the absolute weight accumulated exactly at value.
+func (w *Weighted) MassOf(value float64) float64 { return w.mass[value] }
+
+// Clone returns an independent copy of the distribution.
+func (w *Weighted) Clone() *Weighted {
+	c := &Weighted{total: w.total}
+	if w.mass != nil {
+		c.mass = make(map[float64]float64, len(w.mass))
+		for v, m := range w.mass {
+			c.mass[v] = m
+		}
+	}
+	return c
+}
+
 // Len returns the number of distinct values carrying mass.
 func (w *Weighted) Len() int { return len(w.mass) }
 

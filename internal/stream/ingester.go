@@ -1,0 +1,280 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/pfx2as"
+)
+
+// ErrClosed is returned by ingest calls after Close.
+var ErrClosed = errors.New("stream: ingester closed")
+
+type recordKind uint8
+
+const (
+	kindMeta recordKind = iota
+	kindConn
+	kindKRoot
+	kindUptime
+	kindSnapshot
+)
+
+// record is the envelope travelling through a shard's channel. Exactly
+// one payload field is meaningful, selected by kind.
+type record struct {
+	kind   recordKind
+	meta   atlasdata.ProbeMeta
+	conn   atlasdata.ConnLogEntry
+	kroot  atlasdata.KRootRound
+	uptime atlasdata.UptimeRecord
+	snap   chan<- *shardView
+}
+
+// shard owns the state machines for a subset of probes. Only the
+// shard's goroutine touches its fields after start-up, so no locking is
+// needed on the hot path; coordination happens through the channel.
+type shard struct {
+	in     chan record
+	states map[atlasdata.ProbeID]*probeState
+	// sessionsByAS counts observed IPv4 sessions by the origin AS of the
+	// session's address at its start — the raw live-traffic view, kept
+	// incrementally (unlike the snapshot-time home-AS aggregation).
+	sessionsByAS map[uint32]int64
+	counts       RecordCounts
+	pfx          *pfx2as.SnapshotStore
+}
+
+// RecordCounts tallies what an ingester (or one shard) has processed.
+type RecordCounts struct {
+	Meta     int64 `json:"meta"`
+	ConnLogs int64 `json:"connlogs"`
+	KRoot    int64 `json:"kroot"`
+	Uptime   int64 `json:"uptime"`
+	// Rejected counts records dropped for violating per-probe time order
+	// or failing validation inside the shard.
+	Rejected int64 `json:"rejected"`
+}
+
+// Total returns the number of accepted records.
+func (c RecordCounts) Total() int64 { return c.Meta + c.ConnLogs + c.KRoot + c.Uptime }
+
+func (c *RecordCounts) add(o RecordCounts) {
+	c.Meta += o.Meta
+	c.ConnLogs += o.ConnLogs
+	c.KRoot += o.KRoot
+	c.Uptime += o.Uptime
+	c.Rejected += o.Rejected
+}
+
+// Ingester accepts the three record streams plus probe metadata and
+// maintains incremental analysis state across N probe-hashed shards.
+// All ingest methods are safe for concurrent use; records for one probe
+// must arrive in time order (per stream), which the per-probe shard
+// affinity preserves end to end.
+type Ingester struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewIngester starts the shard goroutines and returns a ready ingester.
+// Call Close to drain and stop them.
+func NewIngester(cfg Config) *Ingester {
+	cfg = cfg.withDefaults()
+	in := &Ingester{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range in.shards {
+		s := &shard{
+			in:           make(chan record, cfg.Buffer),
+			states:       make(map[atlasdata.ProbeID]*probeState),
+			sessionsByAS: make(map[uint32]int64),
+			pfx:          cfg.Pfx2AS,
+		}
+		in.shards[i] = s
+		in.wg.Add(1)
+		go func() {
+			defer in.wg.Done()
+			s.run()
+		}()
+	}
+	return in
+}
+
+// Shards returns the shard count the ingester runs with.
+func (in *Ingester) Shards() int { return len(in.shards) }
+
+// shardFor hashes a probe ID onto its owning shard.
+func (in *Ingester) shardFor(id atlasdata.ProbeID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return in.shards[h%uint64(len(in.shards))]
+}
+
+// send routes one record, blocking while the target shard's buffer is
+// full — the backpressure that keeps a slow shard from being buried.
+func (in *Ingester) send(id atlasdata.ProbeID, rec record) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrClosed
+	}
+	in.shardFor(id).in <- rec
+	return nil
+}
+
+// Meta registers (or refreshes) a probe's archive metadata. Records for
+// unregistered probes are tracked but stay out of the classified
+// aggregates until metadata arrives.
+func (in *Ingester) Meta(m atlasdata.ProbeMeta) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return in.send(m.ID, record{kind: kindMeta, meta: m})
+}
+
+// ConnLog ingests one connection-log entry.
+func (in *Ingester) ConnLog(e atlasdata.ConnLogEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	return in.send(e.Probe, record{kind: kindConn, conn: e})
+}
+
+// KRoot ingests one k-root measurement round.
+func (in *Ingester) KRoot(k atlasdata.KRootRound) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	return in.send(k.Probe, record{kind: kindKRoot, kroot: k})
+}
+
+// Uptime ingests one SOS-uptime record.
+func (in *Ingester) Uptime(u atlasdata.UptimeRecord) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	return in.send(u.Probe, record{kind: kindUptime, uptime: u})
+}
+
+// Snapshot returns a consistent point-in-time view of the analysis
+// state: it reflects at least every record whose ingest call returned
+// before Snapshot was called (snapshot markers travel in-band through
+// the shard channels), plus possibly a bounded number of records that
+// were in flight.
+func (in *Ingester) Snapshot() *Snapshot {
+	in.mu.RLock()
+	if !in.closed {
+		ch := make(chan *shardView, len(in.shards))
+		for _, s := range in.shards {
+			s.in <- record{kind: kindSnapshot, snap: ch}
+		}
+		in.mu.RUnlock()
+		views := make([]*shardView, 0, len(in.shards))
+		for range in.shards {
+			views = append(views, <-ch)
+		}
+		return mergeViews(views, len(in.shards))
+	}
+	in.mu.RUnlock()
+	// After Close the shard goroutines have exited; their state is
+	// quiescent and safe to read directly.
+	views := make([]*shardView, 0, len(in.shards))
+	for _, s := range in.shards {
+		views = append(views, s.view())
+	}
+	return mergeViews(views, len(in.shards))
+}
+
+// Close stops accepting records, drains every shard's queue, and waits
+// for the shard goroutines to exit. Snapshot remains usable afterwards.
+// Close is idempotent.
+func (in *Ingester) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	for _, s := range in.shards {
+		close(s.in)
+	}
+	in.mu.Unlock()
+	in.wg.Wait()
+	return nil
+}
+
+// run is the shard goroutine: drain the channel, drive state machines.
+func (s *shard) run() {
+	for rec := range s.in {
+		switch rec.kind {
+		case kindMeta:
+			s.state(rec.meta.ID).setMeta(rec.meta)
+			s.counts.Meta++
+		case kindConn:
+			ps := s.state(rec.conn.Probe)
+			if ps.onConn(rec.conn, s.pfx) {
+				s.counts.ConnLogs++
+				if rec.conn.IsV4() && s.pfx != nil {
+					asn, _, _ := s.pfx.Lookup(rec.conn.Addr, rec.conn.Start)
+					s.sessionsByAS[uint32(asn)]++
+				}
+			} else {
+				s.counts.Rejected++
+			}
+		case kindKRoot:
+			if s.state(rec.kroot.Probe).onKRoot(rec.kroot) {
+				s.counts.KRoot++
+			} else {
+				s.counts.Rejected++
+			}
+		case kindUptime:
+			if s.state(rec.uptime.Probe).onUptime(rec.uptime) {
+				s.counts.Uptime++
+			} else {
+				s.counts.Rejected++
+			}
+		case kindSnapshot:
+			rec.snap <- s.view()
+		}
+	}
+}
+
+func (s *shard) state(id atlasdata.ProbeID) *probeState {
+	ps, ok := s.states[id]
+	if !ok {
+		ps = newProbeState(id)
+		s.states[id] = ps
+	}
+	return ps
+}
+
+// view copies the shard's aggregation-relevant state. Called from the
+// shard goroutine (in-band snapshot) or after Close (quiescent).
+func (s *shard) view() *shardView {
+	v := &shardView{counts: s.counts}
+	v.sessionsByAS = make(map[uint32]int64, len(s.sessionsByAS))
+	for asn, n := range s.sessionsByAS {
+		v.sessionsByAS[asn] = n
+	}
+	v.probes = make([]probeSummary, 0, len(s.states))
+	ids := make([]atlasdata.ProbeID, 0, len(s.states))
+	for id := range s.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		v.probes = append(v.probes, s.states[id].summarize())
+	}
+	return v
+}
+
+// String describes the ingester for logs.
+func (in *Ingester) String() string {
+	return fmt.Sprintf("stream.Ingester{shards: %d, buffer: %d}", in.cfg.Shards, in.cfg.Buffer)
+}

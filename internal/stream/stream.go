@@ -1,0 +1,72 @@
+// Package stream turns the batch analysis pipeline into a live one: an
+// Ingester accepts connection-log, k-root and SOS-uptime records as an
+// ordered-per-probe event stream and maintains incremental analysis
+// state, so "what is this AS's churn right now" is answerable while
+// records are still arriving — the collection reality of the paper's §3,
+// where probes reconnect to controllers continuously.
+//
+// Architecture: records are hashed by probe ID onto N shards, each a
+// goroutine owning the per-probe state machines for its probes and fed
+// through a bounded channel (a full shard exerts backpressure on
+// producers). Each state machine detects IPv4 address changes and closes
+// address durations as they become bounded (feeding an online
+// total-time-fraction accumulator, f_d = d·n(d)/Σ(D)), tracks open
+// k-root loss runs, spots uptime-counter resets, and correlates address
+// changes with outage evidence in the surrounding gap. Snapshot()
+// returns a consistent point-in-time view: it includes every record
+// whose Ingest call returned before Snapshot was called.
+//
+// Classification (the paper's Table 2) is inherently retrospective — a
+// probe "becomes" dual-stack the moment its first IPv6 session arrives —
+// so category assignment and per-AS aggregation happen at snapshot time
+// from the incrementally maintained per-probe features, using exactly
+// the rules of core.Filter. Streaming a complete dataset through the
+// ingester therefore reproduces the batch pipeline's per-AS change
+// counts and total-time-fraction tallies exactly (see the replay-
+// equivalence test).
+package stream
+
+import (
+	"dynaddr/internal/pfx2as"
+)
+
+// Config parameterises an Ingester.
+type Config struct {
+	// Shards is the number of shard goroutines; probe IDs are hashed
+	// across them. Zero means 4.
+	Shards int
+	// Buffer is the per-shard channel capacity; a full shard blocks its
+	// producers (backpressure). Zero means 256.
+	Buffer int
+	// Pfx2AS maps addresses to origin ASes, month-matched, for per-AS
+	// aggregation. Nil disables AS attribution (everything maps to 0).
+	Pfx2AS *pfx2as.SnapshotStore
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 256
+	}
+	return c
+}
+
+// Thresholds mirrored from the batch pipeline (internal/core); the
+// streaming detectors must agree with the batch ones record for record.
+const (
+	// ltsSyncBound is the LTS value above which a single lost round
+	// already implies a missed controller sync (core.DetectNetworkOutages).
+	ltsSyncBound = 240
+	// bootSlackSecs absorbs clock skew between the probe's uptime counter
+	// and record timestamps when comparing boot instants (core.DetectReboots).
+	bootSlackSecs = 90
+	// minConnectedDays is the paper's Table 2 pre-filter (core.Filter).
+	minConnectedDays = 30
+)
+
+// recentEvidence bounds the per-probe ring buffers of closed outages and
+// reboots kept for gap correlation. Changes arrive close in time to the
+// outage that caused them, so a short memory suffices.
+const recentEvidence = 8
