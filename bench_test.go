@@ -304,6 +304,36 @@ func BenchmarkFullReport(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeSequential is the staged engine's baseline: the
+// deprecated sequential pipeline over the paper-scale world.
+func BenchmarkAnalyzeSequential(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(w.Dataset, Options{})
+	}
+}
+
+// BenchmarkAnalyzeParallel runs the staged engine at several pool
+// sizes over the same world. The per-stage wall times land in
+// Report.Metrics; the headline comparison is against
+// BenchmarkAnalyzeSequential (speedup needs real cores — a single-CPU
+// runner shows parity, not gains).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			an := NewAnalyzer(WithParallelism(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Analyze(w.Dataset); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamIngest measures the live-ingest subsystem: replaying
 // the paper-scale world's record stream through the sharded ingester at
 // several shard counts, reporting sustained records/sec.

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	churnctl -data DIR [table1|table2|table5|table6|table7|fig1..fig9|linktype|admin|churn|all]
+//	churnctl -data DIR [-parallel N] [-stages LIST] [table1|table2|table5|table6|table7|fig1..fig9|linktype|admin|churn|metrics|all]
 //
-// With no artefact argument, churnctl prints a short summary.
+// With no artefact argument, churnctl prints a short summary. The
+// analysis runs on the staged parallel engine; -parallel bounds its
+// worker pool (default GOMAXPROCS) and -stages restricts the run to a
+// comma-separated stage subset plus dependencies (default all).
 package main
 
 import (
@@ -28,10 +31,16 @@ func main() {
 	url := flag.String("url", "", "scrape an atlasd server instead of loading a directory")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	svgDir := flag.String("svg", "", "also write every figure as SVG into this directory")
+	parallel := flag.Int("parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	stagesFlag := flag.String("stages", "", "comma-separated analysis stages to run (empty or \"all\" = every stage)")
 	flag.Parse()
 
+	stages, err := dynaddr.ParseStages(*stagesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	var ds *dynaddr.Dataset
-	var err error
 	switch {
 	case *data != "" && *url != "":
 		fmt.Fprintln(os.Stderr, "churnctl: -data and -url are mutually exclusive")
@@ -52,7 +61,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := dynaddr.Analyze(ds, dynaddr.Options{})
+	rep, err := dynaddr.NewAnalyzer(
+		dynaddr.WithParallelism(*parallel),
+		dynaddr.WithStages(stages...),
+	).Analyze(ds)
+	if err != nil {
+		fatal(err)
+	}
 	names := dynaddr.ProfileNames(dynaddr.PaperProfiles())
 
 	if *svgDir != "" {
@@ -102,6 +117,7 @@ func main() {
 		"country":   func() { emit(rep.RenderByCountry(3)) },
 		"blacklist": func() { emit(core.RenderBlacklist(core.AdviseBlacklist(rep, 5), names)) },
 		"lease":     func() { emit(core.RenderLeaseEstimates(core.EstimateLeases(rep.Outage, rep.Filter), names)) },
+		"metrics":   func() { emit(renderMetrics(rep.Metrics)) },
 	}
 
 	switch what {
@@ -224,28 +240,30 @@ func drilldown(ds *dynaddr.Dataset, rep *dynaddr.Report, names core.NameFunc, id
 		fmt.Println("periodic: no")
 	}
 
-	var nw, pw, no, changed int
-	for _, g := range rep.Outage.Gaps[id] {
-		switch g.Cause {
-		case core.NetworkCause:
-			nw++
-		case core.PowerCause:
-			pw++
-		default:
-			no++
+	if rep.Outage != nil {
+		var nw, pw, no, changed int
+		for _, g := range rep.Outage.Gaps[id] {
+			switch g.Cause {
+			case core.NetworkCause:
+				nw++
+			case core.PowerCause:
+				pw++
+			default:
+				no++
+			}
+			if g.Changed {
+				changed++
+			}
 		}
-		if g.Changed {
-			changed++
-		}
-	}
-	fmt.Printf("gaps: %d network-outage, %d power-outage, %d no-outage; %d with an address change\n",
-		nw, pw, no, changed)
-	if st, ok := rep.Outage.Stats[id]; ok {
-		if p, has := st.PacNetwork(); has {
-			fmt.Printf("P(ac|nw) = %.2f over %d outages\n", p, st.NetworkGaps)
-		}
-		if p, has := st.PacPower(); has {
-			fmt.Printf("P(ac|pw) = %.2f over %d outages\n", p, st.PowerGaps)
+		fmt.Printf("gaps: %d network-outage, %d power-outage, %d no-outage; %d with an address change\n",
+			nw, pw, no, changed)
+		if st, ok := rep.Outage.Stats[id]; ok {
+			if p, has := st.PacNetwork(); has {
+				fmt.Printf("P(ac|nw) = %.2f over %d outages\n", p, st.NetworkGaps)
+			}
+			if p, has := st.PacPower(); has {
+				fmt.Printf("P(ac|pw) = %.2f over %d outages\n", p, st.PowerGaps)
+			}
 		}
 	}
 
@@ -258,6 +276,16 @@ func drilldown(ds *dynaddr.Dataset, rep *dynaddr.Report, names core.NameFunc, id
 	for _, ch := range changes[start:] {
 		fmt.Printf("  %s  %s -> %s\n", ch.NextStart, ch.From, ch.To)
 	}
+}
+
+// renderMetrics tabulates the engine's per-stage execution record.
+func renderMetrics(m *dynaddr.RunMetrics) *tables.Table {
+	t := tables.New(fmt.Sprintf("Engine metrics (%d workers)", m.Parallelism),
+		"Stage", "Wall", "Records")
+	for _, s := range m.Stages {
+		t.AddRow(s.Stage, s.Wall.String(), fmt.Sprintf("%d", s.Records))
+	}
+	return t
 }
 
 func fatal(err error) {

@@ -9,7 +9,8 @@
 //
 //	world, err := dynaddr.Generate(dynaddr.DefaultConfig())
 //	if err != nil { ... }
-//	report := dynaddr.Analyze(world.Dataset, dynaddr.Options{})
+//	report, err := dynaddr.NewAnalyzer().Analyze(world.Dataset)
+//	if err != nil { ... }
 //	report.RenderTable5(dynaddr.Names(world)).Render(os.Stdout)
 //
 // Datasets round-trip through directories with SaveDataset/LoadDataset,
@@ -88,7 +89,17 @@ func GenerateTo(cfg Config, sink RecordSink) (*World, error) { return sim.Genera
 // order (probes ascending, records per probe merged by time).
 func ReplayDataset(ds *Dataset, sink RecordSink) error { return sim.ReplayDataset(ds, sink) }
 
-// Analyze runs the full analysis pipeline over a dataset.
+// Analyze runs the full analysis pipeline over a dataset, sequentially
+// on the calling goroutine.
+//
+// Deprecated: use NewAnalyzer with functional options instead; it runs
+// the staged parallel engine, supports context cancellation and stage
+// selection, and produces a byte-identical Report. Analyze remains so
+// existing callers keep compiling:
+//
+//	rep := dynaddr.Analyze(ds, opts)              // before
+//	rep, err := dynaddr.NewAnalyzer(              // after
+//		dynaddr.WithOptions(opts)).Analyze(ds)
 func Analyze(ds *Dataset, opts Options) *Report { return core.Run(ds, opts) }
 
 // SaveDataset writes a dataset to a directory.

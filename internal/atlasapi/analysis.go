@@ -1,0 +1,94 @@
+package atlasapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dynaddr/internal/core"
+	"dynaddr/internal/engine"
+)
+
+// analysisSummary is the JSON shape of /api/v1/analysis: the report's
+// headline numbers plus the engine's run metrics. Fields owned by
+// stages the request excluded stay at their zero values.
+type analysisSummary struct {
+	GeoProbes     int              `json:"geo_probes"`
+	ASProbes      int              `json:"as_probes"`
+	Categories    map[string]int   `json:"categories,omitempty"`
+	Table5Rows    int              `json:"table5_rows"`
+	Table6Rows    int              `json:"table6_rows"`
+	Table7Changes int              `json:"table7_changes"`
+	LinkTypeRows  int              `json:"linktype_rows"`
+	AdminEvents   int              `json:"admin_events"`
+	ChurnMean     float64          `json:"churn_mean"`
+	Metrics       *core.RunMetrics `json:"metrics"`
+}
+
+// analysis runs the staged engine over the served dataset under the
+// request's context, so a disconnecting client aborts the run at the
+// next stage or probe boundary instead of computing a report nobody
+// will read.
+//
+//	GET /api/v1/analysis?parallel=4&stages=filter,outage
+//
+// Both parameters are optional: parallel defaults to GOMAXPROCS,
+// stages to all (dependencies of the named stages join automatically).
+func (s *Server) analysis(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	workers := 0
+	if v := q.Get("parallel"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad parallel %q", v), http.StatusBadRequest)
+			return
+		}
+		workers = n
+	}
+	stages, err := engine.ParseStages(q.Get("stages"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := engine.Run(r.Context(), s.ds, engine.Config{
+		Parallelism: workers,
+		Stages:      stages,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone; there is nobody to answer.
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	out := analysisSummary{
+		Table5Rows:   len(rep.Table5),
+		Table6Rows:   len(rep.Table6),
+		LinkTypeRows: len(rep.LinkTypes),
+		AdminEvents:  len(rep.AdminEvents),
+		ChurnMean:    rep.ChurnMean,
+		Metrics:      rep.Metrics,
+	}
+	out.Table7Changes = rep.Table7All.Changes
+	if rep.Filter != nil {
+		out.GeoProbes = len(rep.Filter.GeoProbes)
+		out.ASProbes = len(rep.Filter.ASProbes)
+		out.Categories = make(map[string]int, len(rep.Table2))
+		for cat, n := range rep.Table2 {
+			out.Categories[cat.String()] = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,126 @@
+package atlasapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dynaddr/internal/sim"
+)
+
+func analysisWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 515
+	cfg.Scale = 0.05
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+func TestAnalysisEndpoint(t *testing.T) {
+	world := analysisWorld(t)
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/analysis?parallel=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out analysisSummary
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.GeoProbes == 0 || out.Table7Changes == 0 {
+		t.Fatalf("empty analysis: %+v", out)
+	}
+	if out.Metrics == nil || out.Metrics.Parallelism != 2 {
+		t.Fatalf("metrics missing or wrong: %+v", out.Metrics)
+	}
+	if out.Metrics.Stage("filter") == nil {
+		t.Fatal("no filter stage metric")
+	}
+}
+
+func TestAnalysisEndpointStageSubset(t *testing.T) {
+	world := analysisWorld(t)
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/analysis?stages=filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out analysisSummary
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.GeoProbes == 0 {
+		t.Fatal("filter stage did not run")
+	}
+	if out.Table7Changes != 0 || out.ChurnMean != 0 {
+		t.Fatalf("unselected stages ran: %+v", out)
+	}
+	if n := len(out.Metrics.Stages); n != 1 {
+		t.Fatalf("%d stage metrics, want 1", n)
+	}
+}
+
+func TestAnalysisEndpointErrors(t *testing.T) {
+	world := analysisWorld(t)
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	for _, q := range []string{"?stages=bogus", "?parallel=x", "?parallel=-1"} {
+		resp, err := http.Get(srv.URL + "/api/v1/analysis" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/api/v1/analysis", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAnalysisEndpointCancelled(t *testing.T) {
+	world := analysisWorld(t)
+	srv := httptest.NewServer(NewServer(world.Dataset))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/api/v1/analysis", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		// The run may have finished before the cancel landed; both
+		// outcomes are fine — the property under test is no hang/panic.
+		resp.Body.Close()
+	}
+}

@@ -71,7 +71,7 @@ func (s *LiveServer) postProbes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, m := range probes {
-		if err := s.ing.Meta(m); err != nil {
+		if err := s.ing.MetaContext(r.Context(), m); err != nil {
 			ingestError(w, fmt.Errorf("probe %d of %d: %w", i+1, len(probes), err))
 			return
 		}
@@ -96,7 +96,7 @@ func (s *LiveServer) postConnLogs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, e := range entries {
-		if err := s.ing.ConnLog(e); err != nil {
+		if err := s.ing.ConnLogContext(r.Context(), e); err != nil {
 			ingestError(w, fmt.Errorf("entry %d of %d: %w", i+1, len(entries), err))
 			return
 		}
@@ -115,7 +115,7 @@ func (s *LiveServer) postKRoot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, k := range rounds {
-		if err := s.ing.KRoot(k); err != nil {
+		if err := s.ing.KRootContext(r.Context(), k); err != nil {
 			ingestError(w, fmt.Errorf("round %d of %d: %w", i+1, len(rounds), err))
 			return
 		}
@@ -134,7 +134,7 @@ func (s *LiveServer) postUptime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, u := range recs {
-		if err := s.ing.Uptime(u); err != nil {
+		if err := s.ing.UptimeContext(r.Context(), u); err != nil {
 			ingestError(w, fmt.Errorf("record %d of %d: %w", i+1, len(recs), err))
 			return
 		}

@@ -18,6 +18,7 @@ import (
 //	GET /api/v1/measurements/kroot/{id}/       ping results (NDJSON)
 //	GET /api/v1/measurements/uptime/{id}/      uptime reports (NDJSON)
 //	GET /caida/pfx2as/{yyyymm}.txt             monthly pfx2as snapshot
+//	GET /api/v1/analysis                       staged analysis summary
 //
 // Server is an http.Handler; mount it on any mux or serve it directly.
 type Server struct {
@@ -34,6 +35,7 @@ func NewServer(ds *atlasdata.Dataset) *Server {
 	s.mux.HandleFunc("/api/v1/measurements/kroot/", s.kroot)
 	s.mux.HandleFunc("/api/v1/measurements/uptime/", s.uptime)
 	s.mux.HandleFunc("/caida/pfx2as/", s.pfx2as)
+	s.mux.HandleFunc("/api/v1/analysis", s.analysis)
 	return s
 }
 

@@ -95,17 +95,42 @@ func (r *FilterResult) Count(c Category) int { return len(r.ByCategory[c]) }
 
 // Filter runs the paper's probe-filtering pipeline over a dataset.
 func Filter(ds *atlasdata.Dataset) *FilterResult {
+	ids := ds.ProbeIDs()
+	cats := make([]Category, len(ids))
+	views := make([]*ProbeView, len(ids))
+	for i, id := range ids {
+		cats[i], views[i] = classify(ds, ds.Probes[id])
+	}
+	return AssembleFilter(ids, cats, views)
+}
+
+// ClassifyProbe runs the Table 2 pipeline over one probe: the category
+// it lands in and, for analyzable probes, the cleaned per-probe view.
+// It reads the dataset without mutating it, so classifications of
+// distinct probes may run concurrently — the parallel engine's per-probe
+// fan-out seam.
+func ClassifyProbe(ds *atlasdata.Dataset, meta atlasdata.ProbeMeta) (Category, *ProbeView) {
+	return classify(ds, meta)
+}
+
+// AssembleFilter builds a FilterResult from per-probe classifications,
+// one slot per probe, listed in ascending probe-ID order (the order
+// ds.ProbeIDs returns). views[i] must be non-nil exactly when cats[i]
+// is CatAnalyzable. Splitting classification from assembly lets callers
+// classify probes on any schedule while the assembled result stays
+// identical to the sequential Filter.
+func AssembleFilter(ids []atlasdata.ProbeID, cats []Category, views []*ProbeView) *FilterResult {
 	res := &FilterResult{
 		ByCategory: make(map[Category][]atlasdata.ProbeID),
 		Views:      make(map[atlasdata.ProbeID]*ProbeView),
 	}
-	for _, id := range ds.ProbeIDs() {
-		meta := ds.Probes[id]
-		cat, view := classify(ds, meta)
+	for i, id := range ids {
+		cat := cats[i]
 		res.ByCategory[cat] = append(res.ByCategory[cat], id)
 		if cat != CatAnalyzable {
 			continue
 		}
+		view := views[i]
 		res.Views[id] = view
 		res.GeoProbes = append(res.GeoProbes, id)
 		if !view.MultiAS {

@@ -59,54 +59,79 @@ type OutageAnalysis struct {
 // detect network outages and reboots, find and filter firmware pushes,
 // detect power outages, associate everything with inter-connection gaps.
 func AnalyzeOutages(ds *atlasdata.Dataset, res *FilterResult) *OutageAnalysis {
-	oa := &OutageAnalysis{
-		Gaps:  make(map[atlasdata.ProbeID][]Gap, len(res.Views)),
-		Stats: make(map[atlasdata.ProbeID]ProbeOutageStats, len(res.Views)),
-	}
-
 	// Pass 1: reboots for every analyzable probe, to locate firmware
 	// pushes from the global daily spike profile.
+	reboots := RebootsByProbe(ds, res)
+	oa := OutageScaffold(res, reboots)
+
+	// Pass 2: per-probe detection and gap association.
+	for id, view := range res.Views {
+		oa.Gaps[id], oa.Stats[id] = ProbeOutage(ds, view, reboots[id], oa.FirmwareDays)
+	}
+	return oa
+}
+
+// RebootsByProbe detects uptime-counter resets for every analyzable
+// probe — pass 1 of the outage pipeline, whose global daily profile
+// locates firmware pushes.
+func RebootsByProbe(ds *atlasdata.Dataset, res *FilterResult) map[atlasdata.ProbeID][]Reboot {
 	reboots := make(map[atlasdata.ProbeID][]Reboot, len(res.Views))
 	for id := range res.Views {
 		reboots[id] = DetectReboots(ds.Uptime[id])
 	}
+	return reboots
+}
+
+// OutageScaffold builds an OutageAnalysis with the global state filled
+// in — the Figure 6 reboot series and the firmware push days — and
+// empty per-probe maps for callers to populate via ProbeOutage. The
+// firmware profile is global by nature (a push shows up as a
+// population-wide spike), so it must exist before any per-probe pass.
+func OutageScaffold(res *FilterResult, reboots map[atlasdata.ProbeID][]Reboot) *OutageAnalysis {
+	oa := &OutageAnalysis{
+		Gaps:  make(map[atlasdata.ProbeID][]Gap, len(res.Views)),
+		Stats: make(map[atlasdata.ProbeID]ProbeOutageStats, len(res.Views)),
+	}
 	oa.RebootsPerDay = RebootsPerDay(reboots)
 	oa.FirmwareDays = DetectFirmwareDays(oa.RebootsPerDay)
+	return oa
+}
 
-	// Pass 2: per-probe detection and gap association.
-	for id, view := range res.Views {
-		networks := DetectNetworkOutages(ds.KRoot[id])
-		kept := FilterFirmwareReboots(reboots[id], oa.FirmwareDays)
-		powers := DetectPowerOutages(kept, ds.KRoot[id])
-		gaps := AssociateGaps(view.Entries, networks, powers)
-		oa.Gaps[id] = gaps
+// ProbeOutage runs pass 2 of the outage pipeline for one probe: detect
+// network outages, filter firmware reboots, detect power outages, and
+// classify every inter-connection gap. It only reads shared state, so
+// distinct probes may run concurrently once the firmware days are known.
+func ProbeOutage(ds *atlasdata.Dataset, view *ProbeView, reboots []Reboot, firmwareDays []int) ([]Gap, ProbeOutageStats) {
+	id := view.Meta.ID
+	networks := DetectNetworkOutages(ds.KRoot[id])
+	kept := FilterFirmwareReboots(reboots, firmwareDays)
+	powers := DetectPowerOutages(kept, ds.KRoot[id])
+	gaps := AssociateGaps(view.Entries, networks, powers)
 
-		st := ProbeOutageStats{Probe: id}
-		v3 := view.Meta.Version == atlasdata.V3
-		for _, g := range gaps {
-			switch g.Cause {
-			case NetworkCause:
-				st.NetworkGaps++
+	st := ProbeOutageStats{Probe: id}
+	v3 := view.Meta.Version == atlasdata.V3
+	for _, g := range gaps {
+		switch g.Cause {
+		case NetworkCause:
+			st.NetworkGaps++
+			if g.Changed {
+				st.NetworkChanged++
+			}
+		case PowerCause:
+			if v3 {
+				st.PowerGaps++
 				if g.Changed {
-					st.NetworkChanged++
-				}
-			case PowerCause:
-				if v3 {
-					st.PowerGaps++
-					if g.Changed {
-						st.PowerChanged++
-					}
-				}
-			default:
-				st.NoOutageGaps++
-				if g.Changed {
-					st.NoOutageChange++
+					st.PowerChanged++
 				}
 			}
+		default:
+			st.NoOutageGaps++
+			if g.Changed {
+				st.NoOutageChange++
+			}
 		}
-		oa.Stats[id] = st
 	}
-	return oa
+	return gaps, st
 }
 
 // MinOutagesForPac is the paper's sample floor: conditional

@@ -129,13 +129,27 @@ const (
 // Rows are sorted by NPeriodic descending, then ASN, then D — the
 // paper's presentation order.
 func PeriodicByAS(res *FilterResult) []ASPeriodicRow {
-	groups := ByAS(res)
+	return PeriodicRows(res, ClassifyPeriodicProbes(res))
+}
+
+// ClassifyPeriodicProbes runs the per-probe periodic classifier over
+// every analyzable probe, returning only the probes that classified as
+// periodic. Each probe is independent — the parallel engine's fan-out
+// seam for the periodic stage.
+func ClassifyPeriodicProbes(res *FilterResult) map[atlasdata.ProbeID]PeriodicProbe {
 	perProbe := make(map[atlasdata.ProbeID]PeriodicProbe)
 	for id, view := range res.Views {
 		if pp, ok := ClassifyPeriodic(V4Durations(view.Entries)); ok {
 			perProbe[id] = pp
 		}
 	}
+	return perProbe
+}
+
+// PeriodicRows aggregates a precomputed per-probe classification into
+// Table 5 rows (see PeriodicByAS for the ordering contract).
+func PeriodicRows(res *FilterResult, perProbe map[atlasdata.ProbeID]PeriodicProbe) []ASPeriodicRow {
+	groups := ByAS(res)
 	var rows []ASPeriodicRow
 	for asn, ids := range groups {
 		if len(ids) < Table5MinProbes {
@@ -190,10 +204,17 @@ func PeriodicByAS(res *FilterResult) []ASPeriodicRow {
 // PeriodicAll computes the Table 5 "All" summary row for one duration d
 // (hours) across every AS-analyzable probe.
 func PeriodicAll(res *FilterResult, d float64) ASPeriodicRow {
+	return PeriodicAllFrom(res, ClassifyPeriodicProbes(res), d)
+}
+
+// PeriodicAllFrom computes the "All" row from a precomputed per-probe
+// classification, so one classification pass serves every summary
+// duration.
+func PeriodicAllFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PeriodicProbe, d float64) ASPeriodicRow {
 	row := ASPeriodicRow{D: d, N: len(res.ASProbes)}
 	var over50, over75, maxLe, harmonic int
 	for _, id := range res.ASProbes {
-		pp, ok := ClassifyPeriodic(V4Durations(res.Views[id].Entries))
+		pp, ok := perProbe[id]
 		if !ok || pp.D != d {
 			continue
 		}

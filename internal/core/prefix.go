@@ -36,6 +36,25 @@ func (r PrefixChangeRow) FracS16() float64 { return frac(r.DiffS16, r.Changes) }
 // FracS8 returns the share of changes that crossed /8s.
 func (r PrefixChangeRow) FracS8() float64 { return frac(r.DiffS8, r.Changes) }
 
+// ProbePrefixChanges computes one probe's Table 7 counters. Counters
+// are integers, so summing per-probe rows in any order reproduces the
+// sequential accumulation exactly — the parallel engine's fan-out seam
+// for the prefix stage.
+func ProbePrefixChanges(ds *atlasdata.Dataset, view *ProbeView) PrefixChangeRow {
+	var row PrefixChangeRow
+	analyzePrefixChanges(ds, view, &row)
+	return row
+}
+
+// Accumulate folds another row's counters into r (the ASN is kept).
+func (r *PrefixChangeRow) Accumulate(o PrefixChangeRow) {
+	r.Changes += o.Changes
+	r.DiffBGP += o.DiffBGP
+	r.DiffS16 += o.DiffS16
+	r.DiffS8 += o.DiffS8
+	r.Unrouted += o.Unrouted
+}
+
 // analyzePrefixChanges accumulates Table 7 counters over one probe's
 // changes. The BGP prefix of each endpoint comes from the month-matched
 // pfx2as snapshot, the paper's §6 procedure.
@@ -84,11 +103,44 @@ func PrefixChangesByAS(ds *atlasdata.Dataset, res *FilterResult) []PrefixChangeR
 			rows = append(rows, row)
 		}
 	}
+	sortPrefixRows(rows)
+	return rows
+}
+
+func sortPrefixRows(rows []PrefixChangeRow) {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Changes != rows[j].Changes {
 			return rows[i].Changes > rows[j].Changes
 		}
 		return rows[i].ASN < rows[j].ASN
 	})
+}
+
+// PrefixAllFrom computes the Table 7 summary row from precomputed
+// per-probe rows. Counters are integers, so the result matches
+// PrefixChangesAll exactly whatever schedule produced perProbe.
+func PrefixAllFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PrefixChangeRow) PrefixChangeRow {
+	var row PrefixChangeRow
+	for _, id := range res.ASProbes {
+		row.Accumulate(perProbe[id])
+	}
+	return row
+}
+
+// PrefixRowsFrom aggregates precomputed per-probe rows into the per-AS
+// Table 7 rows (see PrefixChangesByAS for the ordering contract).
+func PrefixRowsFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PrefixChangeRow) []PrefixChangeRow {
+	groups := ByAS(res)
+	var rows []PrefixChangeRow
+	for asn, ids := range groups {
+		row := PrefixChangeRow{ASN: asn}
+		for _, id := range ids {
+			row.Accumulate(perProbe[id])
+		}
+		if row.Changes > 0 {
+			rows = append(rows, row)
+		}
+	}
+	sortPrefixRows(rows)
 	return rows
 }

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"sort"
-
 	"dynaddr/internal/atlasdata"
-	"dynaddr/internal/geo"
 	"dynaddr/internal/stats"
 )
 
@@ -98,6 +95,12 @@ type Report struct {
 	// V6 is the IPv6 ephemerality analysis over the probes the IPv4
 	// pipeline filters out.
 	V6 *V6Report
+
+	// Metrics records how the report was computed (per-stage wall time
+	// and record counts). The sequential Run leaves it nil; the staged
+	// engine fills it. Excluded from report equality — two reports over
+	// the same dataset are equal whatever schedule produced them.
+	Metrics *RunMetrics
 }
 
 // Options tune report generation.
@@ -126,191 +129,40 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Run executes the complete analysis pipeline.
+// Run executes the complete analysis pipeline sequentially. The staged
+// engine (internal/engine) runs the same stage builders on a worker
+// pool; the two produce byte-identical reports.
 func Run(ds *atlasdata.Dataset, opts Options) *Report {
 	opts.setDefaults()
 	rep := &Report{}
 	rep.Filter = Filter(ds)
 	res := rep.Filter
-
-	rep.Table2 = make(map[Category]int)
-	for _, c := range Categories {
-		rep.Table2[c] = res.Count(c)
-	}
-
-	ttfs := ProbeTTFs(res)
-
-	// Figure 1: continents in the paper's legend order.
-	byCont := ByContinent(res)
-	for _, cont := range geo.Continents {
-		ids := byCont[cont]
-		if len(ids) == 0 {
-			continue
-		}
-		g := GroupTTF(ttfs, ids)
-		rep.Figure1 = append(rep.Figure1, ASCDF{
-			Label:      string(cont),
-			Probes:     len(ids),
-			TotalYears: g.Total() / (24 * 365),
-			CDF:        g.CDF(),
-		})
-	}
-
-	// Figure 2: top ASes by probes yielding at least one duration.
+	rep.Table2 = BuildTable2(res)
 	byAS := ByAS(res)
-	type asSize struct {
-		asn      uint32
-		yielding int
-	}
-	var sizes []asSize
-	for asn, ids := range byAS {
-		y := 0
-		for _, id := range ids {
-			if ttfs[id].Len() > 0 {
-				y++
-			}
-		}
-		if y > 0 {
-			sizes = append(sizes, asSize{asn, y})
-		}
-	}
-	sort.Slice(sizes, func(i, j int) bool {
-		if sizes[i].yielding != sizes[j].yielding {
-			return sizes[i].yielding > sizes[j].yielding
-		}
-		return sizes[i].asn < sizes[j].asn
-	})
-	for i := 0; i < len(sizes) && i < opts.TopASes; i++ {
-		asn := sizes[i].asn
-		g := GroupTTF(ttfs, byAS[asn])
-		rep.Figure2 = append(rep.Figure2, ASCDF{
-			ASN:        asn,
-			Probes:     sizes[i].yielding,
-			TotalYears: g.Total() / (24 * 365),
-			CDF:        g.CDF(),
-		})
-	}
 
-	// Figure 3: ASes of the chosen country with enough total time.
-	countryAS := make(map[uint32][]atlasdata.ProbeID)
-	for asn, ids := range byAS {
-		var in []atlasdata.ProbeID
-		for _, id := range ids {
-			if res.Views[id].Meta.Country == opts.Figure3Country {
-				in = append(in, id)
-			}
-		}
-		if len(in) > 0 {
-			countryAS[asn] = in
-		}
-	}
-	var f3ASNs []uint32
-	for asn, ids := range countryAS {
-		g := GroupTTF(ttfs, ids)
-		if g.Total()/(24*365) >= opts.Figure3MinYears {
-			f3ASNs = append(f3ASNs, asn)
-			_ = g
-		}
-	}
-	sort.Slice(f3ASNs, func(i, j int) bool { return f3ASNs[i] < f3ASNs[j] })
-	for _, asn := range f3ASNs {
-		g := GroupTTF(ttfs, countryAS[asn])
-		rep.Figure3 = append(rep.Figure3, ASCDF{
-			ASN:        asn,
-			Probes:     len(countryAS[asn]),
-			TotalYears: g.Total() / (24 * 365),
-			CDF:        g.CDF(),
-		})
-	}
+	// Figures 1-3: total-time-fraction CDFs by continent, top AS, and
+	// country AS.
+	ttfs := ProbeTTFs(res)
+	rep.Figure1 = BuildFigure1(res, ttfs)
+	rep.Figure2 = BuildFigure2(res, ttfs, byAS, opts.TopASes)
+	rep.Figure3 = BuildFigure3(res, ttfs, byAS, opts.Figure3Country, opts.Figure3MinYears)
 
-	// Table 5 and the All rows.
-	rep.Table5 = PeriodicByAS(res)
+	// Table 5, the All rows, and the Figures 4/5 hour histograms.
+	periodic := ClassifyPeriodicProbes(res)
+	rep.Table5 = PeriodicRows(res, periodic)
 	rep.Table5All = []ASPeriodicRow{
-		PeriodicAll(res, 24),
-		PeriodicAll(res, 168),
+		PeriodicAllFrom(res, periodic, 24),
+		PeriodicAllFrom(res, periodic, 168),
 	}
-
-	// Figures 4/5: hour histograms for the two rows with most periodic
-	// probes.
-	for i := 0; i < len(rep.Table5) && i < 2; i++ {
-		row := rep.Table5[i]
-		rep.HourHists = append(rep.HourHists, HourHist{
-			ASN:   row.ASN,
-			D:     row.D,
-			Hours: HourHistogram(res, byAS[row.ASN], row.D),
-		})
-	}
+	rep.HourHists = BuildHourHists(res, byAS, rep.Table5)
 
 	// Outage pipeline: Table 6, Figures 6-9.
 	rep.Outage = AnalyzeOutages(ds, res)
 	rep.Figure6RebootsPerDay = rep.Outage.RebootsPerDay
 	rep.Figure6FirmwareDays = rep.Outage.FirmwareDays
-
-	// Figures 7/8 for the top ASes by qualifying probes.
-	type pacSize struct {
-		asn uint32
-		n   int
-	}
-	var pacSizes []pacSize
-	for asn, ids := range byAS {
-		n := 0
-		for _, id := range ids {
-			st := rep.Outage.Stats[id]
-			if len(res.Views[id].Changes) > 0 && st.NetworkGaps >= MinOutagesForPac {
-				n++
-			}
-		}
-		if n > 0 {
-			pacSizes = append(pacSizes, pacSize{asn, n})
-		}
-	}
-	sort.Slice(pacSizes, func(i, j int) bool {
-		if pacSizes[i].n != pacSizes[j].n {
-			return pacSizes[i].n > pacSizes[j].n
-		}
-		return pacSizes[i].asn < pacSizes[j].asn
-	})
-	for i := 0; i < len(pacSizes) && i < opts.TopASes; i++ {
-		asn := pacSizes[i].asn
-		nw := rep.Outage.PacSample(byAS[asn], false)
-		pw := rep.Outage.PacSample(byAS[asn], true)
-		rep.Figure7 = append(rep.Figure7, PacECDF{ASN: asn, Probes: nw.Len(), Points: nw.ECDF()})
-		rep.Figure8 = append(rep.Figure8, PacECDF{ASN: asn, Probes: pw.Len(), Points: pw.ECDF()})
-	}
-
+	rep.Figure7, rep.Figure8 = BuildPacFigures(rep.Outage, res, byAS, opts.TopASes)
 	rep.Table6 = OutagesByAS(rep.Outage, res)
-
-	// Figure 9 contrast ASes: the paper pins LGI (AS6830, DHCP) against
-	// Orange (AS3215, PPP). Use that pair when both exist in the data;
-	// otherwise fall back to the Table 6 extremes.
-	f9 := opts.Figure9ASNs
-	if len(f9) == 0 {
-		if _, okL := byAS[6830]; okL {
-			if _, okO := byAS[3215]; okO {
-				f9 = []uint32{6830, 3215}
-			}
-		}
-	}
-	if len(f9) == 0 && len(rep.Table6) > 0 {
-		hi, lo := rep.Table6[0], rep.Table6[0]
-		for _, r := range rep.Table6 {
-			if r.NwOver80 > hi.NwOver80 {
-				hi = r
-			}
-			if r.NwOver80 < lo.NwOver80 {
-				lo = r
-			}
-		}
-		f9 = []uint32{lo.ASN, hi.ASN}
-	}
-	for _, asn := range f9 {
-		if ids, ok := byAS[asn]; ok {
-			rep.Figure9 = append(rep.Figure9, Figure9AS{
-				ASN:  asn,
-				Bins: rep.Outage.DurationBins(res, ids),
-			})
-		}
-	}
+	rep.Figure9 = BuildFigure9(rep.Outage, res, byAS, rep.Table6, opts.Figure9ASNs)
 
 	// Table 7.
 	rep.Table7All = PrefixChangesAll(ds, res)

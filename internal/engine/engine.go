@@ -1,0 +1,383 @@
+// Package engine runs the analysis pipeline as a staged DAG on a
+// bounded worker pool. Each stage is an explicit node whose
+// dependencies mirror the data flow of core.Run; independent stages run
+// concurrently, and per-probe stages fan their probes out across the
+// pool. Every artefact is produced by the same builder functions the
+// sequential core.Run composes, and per-probe results are written into
+// indexed slots then assembled in ascending probe-ID order, so the
+// resulting Report is byte-identical to the sequential pipeline's
+// whatever the schedule — only Report.Metrics (wall times, worker
+// count) differs.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/stats"
+)
+
+// Config tunes a staged run.
+type Config struct {
+	// Parallelism bounds the worker pool shared by all stages; at most
+	// this many per-probe tasks execute at once, engine-wide. Zero or
+	// negative means GOMAXPROCS.
+	Parallelism int
+	// Stages selects which stages to run; dependencies are added
+	// automatically (Closure). Nil means all. Report fields owned by
+	// unselected stages stay zero.
+	Stages []Stage
+	// Options are the analysis options shared with core.Run.
+	Options core.Options
+}
+
+// runState carries the DAG's intermediate artefacts between stages.
+// Each field is written by exactly one stage and read only by stages
+// that declare it as a dependency; the scheduler's done-channel
+// synchronisation orders the accesses.
+type runState struct {
+	ds      *atlasdata.Dataset
+	opts    core.Options
+	rep     *core.Report
+	sem     chan struct{} // engine-wide worker pool
+	workers int
+
+	res      *core.FilterResult
+	byAS     map[uint32][]atlasdata.ProbeID
+	ttfs     map[atlasdata.ProbeID]*stats.Weighted
+	periodic map[atlasdata.ProbeID]core.PeriodicProbe
+}
+
+// stageFunc runs one stage and reports how many records it processed.
+type stageFunc func(ctx context.Context, st *runState) (records int, err error)
+
+var stageFuncs = map[Stage]stageFunc{
+	StageFilter:     stageFilter,
+	StageTTF:        stageTTF,
+	StagePeriodic:   stagePeriodic,
+	StageOutage:     stageOutage,
+	StagePac:        stagePac,
+	StageLinkType:   stageLinkType,
+	StagePrefix:     stagePrefix,
+	StageFigures:    stageFigures,
+	StageExtensions: stageExtensions,
+}
+
+// Run executes the selected stages over a dataset. It returns the first
+// stage error, or ctx.Err() when the context is cancelled; cancellation
+// is observed at stage boundaries and between per-probe tasks, and
+// in-flight stages stop before the next task. On success the Report
+// carries Metrics describing the run.
+func Run(ctx context.Context, ds *atlasdata.Dataset, cfg Config) (*core.Report, error) {
+	stages, err := Closure(cfg.Stages)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := &runState{
+		ds:      ds,
+		opts:    cfg.Options.WithDefaults(),
+		rep:     &core.Report{},
+		sem:     make(chan struct{}, workers),
+		workers: workers,
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	done := make(map[Stage]chan struct{}, len(stages))
+	for _, s := range stages {
+		done[s] = make(chan struct{})
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		metrics  = make(map[Stage]core.StageMetric, len(stages))
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range stages {
+		wg.Add(1)
+		go func(s Stage) {
+			defer wg.Done()
+			defer close(done[s])
+			for _, dep := range stageDeps[s] {
+				select {
+				case <-done[dep]:
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
+			}
+			// A dependency may close its channel after failing; check the
+			// run is still live before starting.
+			if ctx.Err() != nil {
+				fail(ctx.Err())
+				return
+			}
+			start := time.Now()
+			records, err := stageFuncs[s](ctx, st)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			metrics[s] = core.StageMetric{
+				Stage:   string(s),
+				Wall:    time.Since(start),
+				Records: records,
+			}
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rm := &core.RunMetrics{Parallelism: workers}
+	for _, s := range stages {
+		rm.Stages = append(rm.Stages, metrics[s])
+	}
+	st.rep.Metrics = rm
+	return st.rep, nil
+}
+
+// forEach fans n index-addressed tasks out over the engine-wide worker
+// pool. Each task acquires a pool slot, so concurrent stages together
+// never exceed cfg.Parallelism running tasks. The first task error (or
+// the context error) stops the remaining tasks and is returned.
+func (st *runState) forEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	k := st.workers
+	if k > n {
+		k = n
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				select {
+				case st.sem <- struct{}{}:
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
+				err := fn(i)
+				<-st.sem
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// stageFilter classifies every probe (fan-out) and assembles the
+// FilterResult, Table 2, and the per-AS grouping shared downstream.
+func stageFilter(ctx context.Context, st *runState) (int, error) {
+	ids := st.ds.ProbeIDs()
+	cats := make([]core.Category, len(ids))
+	views := make([]*core.ProbeView, len(ids))
+	err := st.forEach(ctx, len(ids), func(i int) error {
+		cats[i], views[i] = core.ClassifyProbe(st.ds, st.ds.Probes[ids[i]])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	st.res = core.AssembleFilter(ids, cats, views)
+	st.rep.Filter = st.res
+	st.rep.Table2 = core.BuildTable2(st.res)
+	st.byAS = core.ByAS(st.res)
+	return len(ids), nil
+}
+
+// stageTTF computes each analyzable probe's TTF distribution (fan-out).
+func stageTTF(ctx context.Context, st *runState) (int, error) {
+	ids := st.res.GeoProbes
+	out := make([]*stats.Weighted, len(ids))
+	err := st.forEach(ctx, len(ids), func(i int) error {
+		out[i] = core.TTF(core.V4Durations(st.res.Views[ids[i]].Entries))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	st.ttfs = make(map[atlasdata.ProbeID]*stats.Weighted, len(ids))
+	for i, id := range ids {
+		st.ttfs[id] = out[i]
+	}
+	return len(ids), nil
+}
+
+// stagePeriodic classifies each probe's periodicity (fan-out) and
+// aggregates Table 5 and its All rows.
+func stagePeriodic(ctx context.Context, st *runState) (int, error) {
+	ids := st.res.GeoProbes
+	type slot struct {
+		pp core.PeriodicProbe
+		ok bool
+	}
+	out := make([]slot, len(ids))
+	err := st.forEach(ctx, len(ids), func(i int) error {
+		out[i].pp, out[i].ok = core.ClassifyPeriodic(core.V4Durations(st.res.Views[ids[i]].Entries))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	st.periodic = make(map[atlasdata.ProbeID]core.PeriodicProbe)
+	for i, id := range ids {
+		if out[i].ok {
+			st.periodic[id] = out[i].pp
+		}
+	}
+	st.rep.Table5 = core.PeriodicRows(st.res, st.periodic)
+	st.rep.Table5All = []core.ASPeriodicRow{
+		core.PeriodicAllFrom(st.res, st.periodic, 24),
+		core.PeriodicAllFrom(st.res, st.periodic, 168),
+	}
+	return len(ids), nil
+}
+
+// stageOutage runs the two outage passes: reboot detection per probe
+// (fan-out), the global firmware profile, then per-probe gap
+// classification (fan-out).
+func stageOutage(ctx context.Context, st *runState) (int, error) {
+	ids := st.res.GeoProbes
+	rb := make([][]core.Reboot, len(ids))
+	err := st.forEach(ctx, len(ids), func(i int) error {
+		rb[i] = core.DetectReboots(st.ds.Uptime[ids[i]])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	reboots := make(map[atlasdata.ProbeID][]core.Reboot, len(ids))
+	for i, id := range ids {
+		reboots[id] = rb[i]
+	}
+	oa := core.OutageScaffold(st.res, reboots)
+
+	gaps := make([][]core.Gap, len(ids))
+	sts := make([]core.ProbeOutageStats, len(ids))
+	err = st.forEach(ctx, len(ids), func(i int) error {
+		id := ids[i]
+		gaps[i], sts[i] = core.ProbeOutage(st.ds, st.res.Views[id], reboots[id], oa.FirmwareDays)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range ids {
+		oa.Gaps[id] = gaps[i]
+		oa.Stats[id] = sts[i]
+	}
+	st.rep.Outage = oa
+	st.rep.Figure6RebootsPerDay = oa.RebootsPerDay
+	st.rep.Figure6FirmwareDays = oa.FirmwareDays
+	return len(ids), nil
+}
+
+// stagePac builds the conditional-probability artefacts: Figures 7/8,
+// Table 6, Figure 9.
+func stagePac(ctx context.Context, st *runState) (int, error) {
+	st.rep.Figure7, st.rep.Figure8 = core.BuildPacFigures(st.rep.Outage, st.res, st.byAS, st.opts.TopASes)
+	st.rep.Table6 = core.OutagesByAS(st.rep.Outage, st.res)
+	st.rep.Figure9 = core.BuildFigure9(st.rep.Outage, st.res, st.byAS, st.rep.Table6, st.opts.Figure9ASNs)
+	return len(st.res.ASProbes), nil
+}
+
+// stageLinkType infers per-AS access technology from outage response.
+func stageLinkType(ctx context.Context, st *runState) (int, error) {
+	st.rep.LinkTypes = core.LinkTypesByAS(st.rep.Outage, st.res)
+	return len(st.res.ASProbes), nil
+}
+
+// stagePrefix computes each probe's Table 7 counters (fan-out) and
+// aggregates the summary and per-AS rows.
+func stagePrefix(ctx context.Context, st *runState) (int, error) {
+	ids := st.res.ASProbes
+	rows := make([]core.PrefixChangeRow, len(ids))
+	err := st.forEach(ctx, len(ids), func(i int) error {
+		rows[i] = core.ProbePrefixChanges(st.ds, st.res.Views[ids[i]])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	perProbe := make(map[atlasdata.ProbeID]core.PrefixChangeRow, len(ids))
+	for i, id := range ids {
+		perProbe[id] = rows[i]
+	}
+	st.rep.Table7All = core.PrefixAllFrom(st.res, perProbe)
+	st.rep.Table7ByAS = core.PrefixRowsFrom(st.res, perProbe)
+	return len(ids), nil
+}
+
+// stageFigures builds the TTF figures (1-3) and the Figure 4/5 hour
+// histograms from the classification stages' outputs.
+func stageFigures(ctx context.Context, st *runState) (int, error) {
+	st.rep.Figure1 = core.BuildFigure1(st.res, st.ttfs)
+	st.rep.Figure2 = core.BuildFigure2(st.res, st.ttfs, st.byAS, st.opts.TopASes)
+	st.rep.Figure3 = core.BuildFigure3(st.res, st.ttfs, st.byAS, st.opts.Figure3Country, st.opts.Figure3MinYears)
+	st.rep.HourHists = core.BuildHourHists(st.res, st.byAS, st.rep.Table5)
+	return len(st.res.GeoProbes), nil
+}
+
+// stageExtensions runs the beyond-the-paper analyses.
+func stageExtensions(ctx context.Context, st *runState) (int, error) {
+	st.rep.AdminEvents = core.DetectAdminRenumbering(st.res)
+	st.rep.ChurnMean = core.MeanTurnover(core.DailyChurn(st.ds, st.res.GeoProbes))
+	st.rep.V6 = core.AnalyzeV6(st.ds)
+	return len(st.res.GeoProbes), nil
+}

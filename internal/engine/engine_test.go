@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dynaddr/internal/core"
+	"dynaddr/internal/sim"
+)
+
+func testDataset(t *testing.T, seed uint64) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = 0.1
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// stripMetrics returns a copy of rep with the schedule-dependent
+// Metrics cleared, for equality against the sequential pipeline.
+func stripMetrics(rep *core.Report) *core.Report {
+	c := *rep
+	c.Metrics = nil
+	return &c
+}
+
+func TestRunMatchesSequential(t *testing.T) {
+	world := testDataset(t, 11)
+	want := core.Run(world.Dataset, core.Options{})
+	for _, workers := range []int{1, 4} {
+		got, err := Run(context.Background(), world.Dataset, Config{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Metrics == nil || got.Metrics.Parallelism != workers {
+			t.Fatalf("workers=%d: missing or wrong metrics: %+v", workers, got.Metrics)
+		}
+		if !reflect.DeepEqual(stripMetrics(got), want) {
+			t.Fatalf("workers=%d: parallel report differs from sequential", workers)
+		}
+	}
+}
+
+func TestRunMetricsCoverStages(t *testing.T) {
+	world := testDataset(t, 12)
+	rep, err := Run(context.Background(), world.Dataset, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Metrics.Stages), len(All); got != want {
+		t.Fatalf("metrics cover %d stages, want %d", got, want)
+	}
+	for i, s := range All {
+		m := rep.Metrics.Stages[i]
+		if m.Stage != string(s) {
+			t.Fatalf("stage %d = %q, want %q (canonical order)", i, m.Stage, s)
+		}
+		if m.Records == 0 {
+			t.Errorf("stage %q processed no records", m.Stage)
+		}
+	}
+	if rep.Metrics.Stage("filter") == nil || rep.Metrics.Stage("nope") != nil {
+		t.Fatal("Stage lookup broken")
+	}
+}
+
+func TestRunStageSubset(t *testing.T) {
+	world := testDataset(t, 13)
+	rep, err := Run(context.Background(), world.Dataset, Config{
+		Parallelism: 2,
+		Stages:      []Stage{StagePrefix},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix pulls in filter transitively; nothing else runs.
+	if rep.Filter == nil || rep.Table7All.Changes == 0 {
+		t.Fatal("selected stages did not run")
+	}
+	if rep.Outage != nil || rep.Figure1 != nil || rep.Table5 != nil {
+		t.Fatal("unselected stages ran")
+	}
+	want := []string{"filter", "prefix"}
+	if len(rep.Metrics.Stages) != len(want) {
+		t.Fatalf("metrics list %d stages, want %d", len(rep.Metrics.Stages), len(want))
+	}
+	for i, name := range want {
+		if rep.Metrics.Stages[i].Stage != name {
+			t.Fatalf("metrics[%d] = %q, want %q", i, rep.Metrics.Stages[i].Stage, name)
+		}
+	}
+}
+
+func TestRunUnknownStage(t *testing.T) {
+	world := testDataset(t, 13)
+	if _, err := Run(context.Background(), world.Dataset, Config{Stages: []Stage{"bogus"}}); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	world := testDataset(t, 14)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, world.Dataset, Config{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("cancelled run returned a report")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	got, err := Closure([]Stage{StageFigures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{StageFilter, StageTTF, StagePeriodic, StageFigures}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Closure(figures) = %v, want %v", got, want)
+	}
+	all, err := Closure(nil)
+	if err != nil || !reflect.DeepEqual(all, All) {
+		t.Fatalf("Closure(nil) = %v, %v", all, err)
+	}
+	if _, err := Closure([]Stage{"bogus"}); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestParseStages(t *testing.T) {
+	got, err := ParseStages(" ttf, outage ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []Stage{StageTTF, StageOutage}) {
+		t.Fatalf("ParseStages = %v", got)
+	}
+	for _, empty := range []string{"", "all"} {
+		if got, err := ParseStages(empty); err != nil || got != nil {
+			t.Fatalf("ParseStages(%q) = %v, %v", empty, got, err)
+		}
+	}
+	if _, err := ParseStages("filter,bogus"); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}

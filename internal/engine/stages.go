@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage names one node of the analysis DAG. The graph follows the data
+// dependencies of core.Run: filtering feeds everything; the TTF and
+// periodic classifications feed the figures; the outage pipeline feeds
+// the conditional-probability figures and the link-type inference.
+type Stage string
+
+// The analysis stages, in canonical (topological) order.
+const (
+	// StageFilter runs the Table 2 probe-filtering pipeline.
+	StageFilter Stage = "filter"
+	// StageTTF computes per-probe total-time-fraction distributions.
+	StageTTF Stage = "ttf"
+	// StagePeriodic classifies periodic probes and builds Table 5.
+	StagePeriodic Stage = "periodic"
+	// StageOutage runs the §5 outage pipeline (reboots, firmware,
+	// network/power outages, gap association) and Figure 6.
+	StageOutage Stage = "outage"
+	// StagePac builds the P(ac|·) artefacts: Figures 7-9 and Table 6.
+	StagePac Stage = "pac"
+	// StageLinkType infers per-AS access technology from outage response.
+	StageLinkType Stage = "linktype"
+	// StagePrefix computes Table 7's prefix-crossing counters.
+	StagePrefix Stage = "prefix"
+	// StageFigures builds the TTF figures (1-3) and the hour histograms
+	// (Figures 4/5).
+	StageFigures Stage = "figures"
+	// StageExtensions runs the beyond-the-paper analyses: administrative
+	// renumbering, churn turnover, IPv6 ephemerality.
+	StageExtensions Stage = "extensions"
+)
+
+// All lists every stage in canonical order. Run executes the stages in
+// dependency order regardless of slice order; this order is also how
+// Report.Metrics lists executed stages.
+var All = []Stage{
+	StageFilter, StageTTF, StagePeriodic, StageOutage, StagePac,
+	StageLinkType, StagePrefix, StageFigures, StageExtensions,
+}
+
+// stageDeps is the dependency edge set of the DAG.
+var stageDeps = map[Stage][]Stage{
+	StageFilter:     nil,
+	StageTTF:        {StageFilter},
+	StagePeriodic:   {StageFilter},
+	StageOutage:     {StageFilter},
+	StagePac:        {StageOutage},
+	StageLinkType:   {StageOutage},
+	StagePrefix:     {StageFilter},
+	StageFigures:    {StageTTF, StagePeriodic},
+	StageExtensions: {StageFilter},
+}
+
+// Closure expands a stage selection to include every transitive
+// dependency, returned in canonical order. A nil or empty selection
+// means all stages. Unknown stage names are an error.
+func Closure(stages []Stage) ([]Stage, error) {
+	if len(stages) == 0 {
+		out := make([]Stage, len(All))
+		copy(out, All)
+		return out, nil
+	}
+	want := make(map[Stage]bool)
+	var add func(s Stage) error
+	add = func(s Stage) error {
+		deps, ok := stageDeps[s]
+		if !ok {
+			return fmt.Errorf("engine: unknown stage %q", s)
+		}
+		if want[s] {
+			return nil
+		}
+		want[s] = true
+		for _, d := range deps {
+			if err := add(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range stages {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+	var out []Stage
+	for _, s := range All {
+		if want[s] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// ParseStages parses a comma-separated stage list, as accepted by
+// churnctl's -stages flag. Empty input and "all" select every stage.
+func ParseStages(s string) ([]Stage, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []Stage
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		st := Stage(part)
+		if _, ok := stageDeps[st]; !ok {
+			return nil, fmt.Errorf("engine: unknown stage %q (have %v)", part, All)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -38,10 +38,18 @@ func (w *Weighted) Add(value, weight float64) {
 	w.total += weight
 }
 
-// AddDist merges another distribution into w.
+// AddDist merges another distribution into w. Values are merged in
+// ascending order so the floating-point accumulation of the total is
+// deterministic: merging the same distributions in the same sequence
+// yields bitwise-equal totals regardless of how the inputs were built —
+// the property the parallel analysis engine relies on to produce
+// byte-identical reports on any schedule.
 func (w *Weighted) AddDist(other *Weighted) {
-	for v, m := range other.mass {
-		w.Add(v, m)
+	if len(other.mass) == 0 {
+		return
+	}
+	for _, v := range other.Values() {
+		w.Add(v, other.mass[v])
 	}
 }
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -118,48 +119,75 @@ func (in *Ingester) shardFor(id atlasdata.ProbeID) *shard {
 
 // send routes one record, blocking while the target shard's buffer is
 // full — the backpressure that keeps a slow shard from being buried.
-func (in *Ingester) send(id atlasdata.ProbeID, rec record) error {
+// Cancelling ctx releases a blocked producer instead of leaving it
+// stuck behind the full buffer.
+func (in *Ingester) send(ctx context.Context, id atlasdata.ProbeID, rec record) error {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if in.closed {
 		return ErrClosed
 	}
-	in.shardFor(id).in <- rec
-	return nil
+	select {
+	case in.shardFor(id).in <- rec:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Meta registers (or refreshes) a probe's archive metadata. Records for
 // unregistered probes are tracked but stay out of the classified
 // aggregates until metadata arrives.
 func (in *Ingester) Meta(m atlasdata.ProbeMeta) error {
+	return in.MetaContext(context.Background(), m)
+}
+
+// MetaContext is Meta under a context: a blocked send returns ctx.Err()
+// on cancellation instead of waiting out the backpressure.
+func (in *Ingester) MetaContext(ctx context.Context, m atlasdata.ProbeMeta) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	return in.send(m.ID, record{kind: kindMeta, meta: m})
+	return in.send(ctx, m.ID, record{kind: kindMeta, meta: m})
 }
 
 // ConnLog ingests one connection-log entry.
 func (in *Ingester) ConnLog(e atlasdata.ConnLogEntry) error {
+	return in.ConnLogContext(context.Background(), e)
+}
+
+// ConnLogContext is ConnLog under a context (see MetaContext).
+func (in *Ingester) ConnLogContext(ctx context.Context, e atlasdata.ConnLogEntry) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	return in.send(e.Probe, record{kind: kindConn, conn: e})
+	return in.send(ctx, e.Probe, record{kind: kindConn, conn: e})
 }
 
 // KRoot ingests one k-root measurement round.
 func (in *Ingester) KRoot(k atlasdata.KRootRound) error {
+	return in.KRootContext(context.Background(), k)
+}
+
+// KRootContext is KRoot under a context (see MetaContext).
+func (in *Ingester) KRootContext(ctx context.Context, k atlasdata.KRootRound) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
-	return in.send(k.Probe, record{kind: kindKRoot, kroot: k})
+	return in.send(ctx, k.Probe, record{kind: kindKRoot, kroot: k})
 }
 
 // Uptime ingests one SOS-uptime record.
 func (in *Ingester) Uptime(u atlasdata.UptimeRecord) error {
+	return in.UptimeContext(context.Background(), u)
+}
+
+// UptimeContext is Uptime under a context (see MetaContext).
+func (in *Ingester) UptimeContext(ctx context.Context, u atlasdata.UptimeRecord) error {
 	if err := u.Validate(); err != nil {
 		return err
 	}
-	return in.send(u.Probe, record{kind: kindUptime, uptime: u})
+	return in.send(ctx, u.Probe, record{kind: kindUptime, uptime: u})
 }
 
 // Snapshot returns a consistent point-in-time view of the analysis

@@ -1,0 +1,72 @@
+package stream
+
+// White-box: the backpressure-cancellation test needs to park a shard
+// goroutine so a producer genuinely blocks on a full buffer.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// TestIngestContextCancelled checks that a producer blocked on shard
+// backpressure is released with ctx.Err() when its context is
+// cancelled, instead of waiting for the shard to drain.
+func TestIngestContextCancelled(t *testing.T) {
+	in := NewIngester(Config{Shards: 1, Buffer: 1})
+
+	// Park the shard goroutine: it picks up the snapshot marker and
+	// blocks writing the view to an unbuffered channel nobody reads yet.
+	snapCh := make(chan *shardView)
+	in.shards[0].in <- record{kind: kindSnapshot, snap: snapCh}
+
+	// Fill the single buffer slot. This send completes once the shard
+	// has taken the marker, so afterwards the shard is parked and the
+	// buffer is full: the next send must block.
+	m := atlasdata.ProbeMeta{ID: 1, Country: "DE", Version: atlasdata.V3, ConnectedDays: 200}
+	if err := in.Meta(m); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	entry := atlasdata.ConnLogEntry{
+		Probe:  1,
+		Start:  simclock.StudyStart,
+		End:    simclock.StudyStart.Add(simclock.Hour),
+		Family: atlasdata.V4,
+		Addr:   ip4.MustParseAddr("10.0.0.1"),
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- in.ConnLogContext(ctx, entry) }()
+
+	select {
+	case err := <-errCh:
+		t.Fatalf("send returned %v before cancellation; backpressure not engaged", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled producer still blocked")
+	}
+
+	// Unpark the shard and shut down cleanly; the buffered Meta record
+	// must still be processed (cancellation lost only the blocked send).
+	<-snapCh
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := in.Snapshot(); snap.Records.Meta != 1 {
+		t.Fatalf("meta records = %d, want 1", snap.Records.Meta)
+	}
+}
