@@ -11,6 +11,14 @@
 //	atlasd -seed 7 -scale 0.3 -addr :8042 # generate in memory and serve
 //	atlasd -seed 7 -live -shards 8        # batch endpoints + live ingest
 //	atlasd -live                          # live ingest only (no AS mapping)
+//
+// The -chaos-* flags wrap every endpoint in the deterministic
+// fault-injection middleware (internal/faultinject): request drops,
+// injected 503s, truncated response bodies and added latency, for
+// exercising scrape clients' retry/backoff/error-budget behaviour
+// against a live server:
+//
+//	atlasd -seed 7 -chaos-drop 0.1 -chaos-truncate 0.05 -chaos-seed 42
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"dynaddr"
 	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/faultinject"
 	"dynaddr/internal/stream"
 )
 
@@ -35,6 +44,12 @@ func main() {
 	addr := flag.String("addr", ":8042", "listen address")
 	live := flag.Bool("live", false, "mount streaming ingest and live query endpoints")
 	shards := flag.Int("shards", 4, "ingest shard count in -live mode")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection PRNG seed (0 = fixed default)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability a request's connection is dropped with no response")
+	chaosError := flag.Float64("chaos-error", 0, "probability a request gets an injected 503")
+	chaosTruncate := flag.Float64("chaos-truncate", 0, "probability a response body is truncated mid-stream")
+	chaosDelayProb := flag.Float64("chaos-delay-prob", 0, "probability a request is delayed by -chaos-delay")
+	chaosDelay := flag.Duration("chaos-delay", 0, "latency injected when -chaos-delay-prob fires")
 	flag.Parse()
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
@@ -90,9 +105,26 @@ func main() {
 		fmt.Printf("atlasd: live ingest on %s (%d shards)\n", *addr, ing.Shards())
 	}
 
+	var handler http.Handler = mux
+	chaos := faultinject.Config{
+		Seed:      *chaosSeed,
+		Drop:      *chaosDrop,
+		Error:     *chaosError,
+		Truncate:  *chaosTruncate,
+		DelayProb: *chaosDelayProb,
+		DelayBy:   *chaosDelay,
+	}
+	var injector *faultinject.Injector
+	if chaos.Enabled() {
+		injector = faultinject.New(chaos, mux)
+		handler = injector
+		fmt.Printf("atlasd: fault injection on (drop=%.2f error=%.2f truncate=%.2f delay=%v@%.2f seed=%d)\n",
+			chaos.Drop, chaos.Error, chaos.Truncate, chaos.DelayBy, chaos.DelayProb, chaos.Seed)
+	}
+
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      mux,
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
@@ -120,6 +152,11 @@ func main() {
 		if err := ing.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "atlasd: draining ingester:", err)
 		}
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("atlasd: chaos stats: %d requests, %d dropped, %d errored, %d truncated, %d delayed\n",
+			st.Requests, st.Drops, st.Errors, st.Truncates, st.Delays)
 	}
 }
 

@@ -10,18 +10,28 @@
 // analysis runs on the staged parallel engine; -parallel bounds its
 // worker pool (default GOMAXPROCS) and -stages restricts the run to a
 // comma-separated stage subset plus dependencies (default all).
+//
+// When scraping with -url, the -retry-* flags tune per-fetch retries
+// and their jittered exponential backoff, and -allow-failures sets the
+// per-scrape error budget: that many probes may fail permanently and be
+// skipped (yielding a partial dataset, reported on stderr) before the
+// scrape aborts. SIGINT/SIGTERM cancel a scrape promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"dynaddr"
 	"dynaddr/internal/atlasapi"
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/backoff"
 	"dynaddr/internal/core"
 	"dynaddr/internal/tables"
 )
@@ -33,6 +43,10 @@ func main() {
 	svgDir := flag.String("svg", "", "also write every figure as SVG into this directory")
 	parallel := flag.Int("parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
 	stagesFlag := flag.String("stages", "", "comma-separated analysis stages to run (empty or \"all\" = every stage)")
+	retryMax := flag.Int("retry-max", 0, "scrape: retries per failed fetch (0 = default 2)")
+	retryBase := flag.Duration("retry-base", 0, "scrape: first backoff delay (0 = default 200ms)")
+	retryCap := flag.Duration("retry-cap", 0, "scrape: backoff delay ceiling (0 = default 5s)")
+	allowFailures := flag.Int("allow-failures", 0, "scrape: probes allowed to fail before aborting (-1 = unlimited)")
 	flag.Parse()
 
 	stages, err := dynaddr.ParseStages(*stagesFlag)
@@ -48,10 +62,25 @@ func main() {
 	case *data != "":
 		ds, err = dynaddr.LoadDataset(*data)
 	case *url != "":
-		client := &atlasapi.Client{BaseURL: *url}
-		client.Months, err = client.FetchMonths()
+		// Ctrl-C aborts the scrape promptly, mid-request or mid-backoff.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		client := &atlasapi.Client{
+			BaseURL:       *url,
+			Retries:       *retryMax,
+			Backoff:       backoff.Policy{Base: *retryBase, Max: *retryCap},
+			AllowFailures: *allowFailures,
+		}
+		client.Months, err = client.FetchMonthsContext(ctx)
 		if err == nil {
-			ds, err = client.ScrapeAll()
+			var srep *atlasapi.ScrapeReport
+			ds, srep, err = client.ScrapeAllContext(ctx)
+			// The report goes to stderr — stdout stays artefact-only —
+			// and only when it has something to say, so clean scrapes
+			// remain byte-comparable with -data runs.
+			if srep != nil && (srep.Partial() || err != nil) {
+				fmt.Fprintln(os.Stderr, "churnctl:", srep)
+			}
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "churnctl: one of -data or -url is required")

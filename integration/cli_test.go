@@ -148,6 +148,36 @@ func TestAtlasdServeAndScrape(t *testing.T) {
 	}
 }
 
+// TestChaosScrapeWithinBudget is the chaos smoke: atlasd injects 10%
+// dropped connections, 5% truncated bodies and 5% 503s, and churnctl's
+// retry/backoff/error-budget machinery still assembles the same
+// analysis a clean disk load produces.
+func TestChaosScrapeWithinBudget(t *testing.T) {
+	bins := buildBinaries(t)
+	dataDir := filepath.Join(t.TempDir(), "ds")
+	run(t, filepath.Join(bins, "atlasgen"), "-out", dataDir, "-seed", "19", "-scale", "0.08")
+
+	addr := pickAddr(t)
+	srv := exec.Command(filepath.Join(bins, "atlasd"), "-data", dataDir, "-addr", addr,
+		"-chaos-seed", "42", "-chaos-drop", "0.10", "-chaos-truncate", "0.05", "-chaos-error", "0.05")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitForListen(t, addr)
+
+	scraped := run(t, filepath.Join(bins, "churnctl"), "-url", "http://"+addr,
+		"-retry-max", "8", "-retry-base", "20ms", "-retry-cap", "200ms", "-allow-failures", "5",
+		"summary")
+	local := run(t, filepath.Join(bins, "churnctl"), "-data", dataDir, "summary")
+	if scraped != local {
+		t.Errorf("chaos-scraped summary differs from local:\n%s\nvs\n%s", scraped, local)
+	}
+}
+
 func TestExperimentsBinaryPasses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale experiments run")

@@ -1,14 +1,20 @@
 package atlasapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/backoff"
 	"dynaddr/internal/pfx2as"
 )
 
@@ -16,7 +22,12 @@ func jsonDecode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) 
 
 // Client scrapes a Server's endpoints and reassembles a dataset — the
 // paper's collection step (§3.1: "we scraped each active probe's
-// connection logs directly from the probe's webpage").
+// connection logs directly from the probe's webpage"). A year-long
+// scrape of ~11k probe pages meets transient failures as a matter of
+// course, so the client retries with jittered exponential backoff,
+// classifies failures as transient or permanent, and (via
+// AllowFailures) can trade isolated probe losses for a partial dataset
+// instead of aborting the whole collection.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://atlas.example.org".
 	BaseURL string
@@ -30,9 +41,25 @@ type Client struct {
 	// sequential fetching does not survive that scale.
 	Concurrency int
 	// Retries is how many times a failed fetch is retried before giving
-	// up; zero means 2. Long scrapes hit transient failures; a parse
-	// error is retried too, since truncated responses parse badly.
+	// up; zero means 2. Only transient failures are retried: transport
+	// errors, 5xx responses, and truncated bodies (a response that dies
+	// mid-read). 4xx responses and validation errors in a complete body
+	// are permanent and fail immediately.
 	Retries int
+	// Backoff spaces retry attempts with jittered exponential delays;
+	// the zero value waits ~100-200ms before the first retry, doubling
+	// per attempt up to 5s. Retries never run in a tight loop.
+	Backoff backoff.Policy
+	// AllowFailures is the per-scrape error budget: how many probes may
+	// fail permanently (after retries) before the scrape as a whole is
+	// abandoned. Failed probes are skipped — their records are simply
+	// absent from the assembled dataset — and listed in the
+	// ScrapeReport. Zero keeps the historical all-or-nothing behaviour;
+	// negative means unlimited.
+	AllowFailures int
+
+	// jitter feeds Backoff; the zero value is ready to use.
+	jitter backoff.Jitter
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -42,10 +69,31 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+// scrapeStats accumulates request counters across the fetches of one
+// scrape. A nil *scrapeStats is valid and counts nothing.
+type scrapeStats struct {
+	attempts atomic.Int64
+	retries  atomic.Int64
+}
+
+func (s *scrapeStats) attempt() {
+	if s != nil {
+		s.attempts.Add(1)
+	}
+}
+
+func (s *scrapeStats) retry() {
+	if s != nil {
+		s.retries.Add(1)
+	}
+}
+
 // get fetches a URL and hands the body to parse, converting HTTP errors
 // into Go errors with the response text attached. Transient failures
-// (transport errors, 5xx) are retried; 4xx are permanent.
-func get[T any](c *Client, path string, parse func(io.Reader) (T, error)) (T, error) {
+// (transport errors, 5xx, truncated bodies) are retried with jittered
+// exponential backoff; 4xx and validation errors are permanent.
+// Cancelling ctx aborts the in-flight request and any backoff sleep.
+func get[T any](ctx context.Context, c *Client, path string, parse func(io.Reader) (T, error), st *scrapeStats) (T, error) {
 	var zero T
 	retries := c.Retries
 	if retries <= 0 {
@@ -53,20 +101,47 @@ func get[T any](c *Client, path string, parse func(io.Reader) (T, error)) (T, er
 	}
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
-		v, retriable, err := getOnce(c, path, parse)
+		if attempt > 0 {
+			st.retry()
+			if err := c.Backoff.Sleep(ctx, attempt-1, c.jitter.Uint64()); err != nil {
+				return zero, fmt.Errorf("atlasapi: GET %s: cancelled during retry backoff: %w (last error: %v)", path, err, lastErr)
+			}
+		}
+		st.attempt()
+		v, retriable, err := getOnce(ctx, c, path, parse)
 		if err == nil {
 			return v, nil
 		}
 		lastErr = err
-		if !retriable {
+		if !retriable || ctx.Err() != nil {
 			break
 		}
 	}
 	return zero, lastErr
 }
 
-func getOnce[T any](c *Client, path string, parse func(io.Reader) (T, error)) (v T, retriable bool, err error) {
-	resp, err := c.httpClient().Get(c.BaseURL + path)
+// trackedReader remembers whether the underlying body reader failed, so
+// a parse error caused by a dying transfer can be told apart from a
+// validation error in a complete body.
+type trackedReader struct {
+	r       io.Reader
+	readErr error
+}
+
+func (t *trackedReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.readErr = err
+	}
+	return n, err
+}
+
+func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.Reader) (T, error)) (v T, retriable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return v, false, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return v, true, err
 	}
@@ -76,36 +151,79 @@ func getOnce[T any](c *Client, path string, parse func(io.Reader) (T, error)) (v
 		err := fmt.Errorf("atlasapi: GET %s: %s: %s", path, resp.Status, msg)
 		return v, resp.StatusCode >= 500, err
 	}
-	v, err = parse(resp.Body)
-	return v, err != nil, err
+	body := &trackedReader{r: resp.Body}
+	v, err = parse(body)
+	if err != nil {
+		// A truncated body (transport died mid-read, or a framed
+		// response that stops mid-value) is transient; a deterministic
+		// validation error in a complete body is permanent and must not
+		// burn the retry budget.
+		truncated := body.readErr != nil || errors.Is(err, io.ErrUnexpectedEOF)
+		return v, truncated, fmt.Errorf("atlasapi: GET %s: %w", path, err)
+	}
+	return v, false, nil
 }
 
-// FetchProbeArchive retrieves all probe metadata.
+// FetchProbeArchiveContext retrieves all probe metadata.
+func (c *Client) FetchProbeArchiveContext(ctx context.Context) ([]atlasdata.ProbeMeta, error) {
+	return get(ctx, c, "/api/v1/probe-archive/", ParseProbeArchive, nil)
+}
+
+// FetchProbeArchive is FetchProbeArchiveContext with a background context.
 func (c *Client) FetchProbeArchive() ([]atlasdata.ProbeMeta, error) {
-	return get(c, "/api/v1/probe-archive/", ParseProbeArchive)
+	return c.FetchProbeArchiveContext(context.Background())
 }
 
-// FetchConnectionHistory retrieves one probe's sessions.
-func (c *Client) FetchConnectionHistory(id atlasdata.ProbeID) ([]atlasdata.ConnLogEntry, error) {
-	return get(c, fmt.Sprintf("/probes/%d/connection-history/", id),
+// FetchConnectionHistoryContext retrieves one probe's sessions.
+func (c *Client) FetchConnectionHistoryContext(ctx context.Context, id atlasdata.ProbeID) ([]atlasdata.ConnLogEntry, error) {
+	return c.fetchConnectionHistory(ctx, id, nil)
+}
+
+func (c *Client) fetchConnectionHistory(ctx context.Context, id atlasdata.ProbeID, st *scrapeStats) ([]atlasdata.ConnLogEntry, error) {
+	return get(ctx, c, fmt.Sprintf("/probes/%d/connection-history/", id),
 		func(r io.Reader) ([]atlasdata.ConnLogEntry, error) {
 			return ParseConnectionHistory(r, id)
-		})
+		}, st)
 }
 
-// FetchKRoot retrieves one probe's k-root ping rounds.
+// FetchConnectionHistory is FetchConnectionHistoryContext with a
+// background context.
+func (c *Client) FetchConnectionHistory(id atlasdata.ProbeID) ([]atlasdata.ConnLogEntry, error) {
+	return c.FetchConnectionHistoryContext(context.Background(), id)
+}
+
+// FetchKRootContext retrieves one probe's k-root ping rounds.
+func (c *Client) FetchKRootContext(ctx context.Context, id atlasdata.ProbeID) ([]atlasdata.KRootRound, error) {
+	return c.fetchKRoot(ctx, id, nil)
+}
+
+func (c *Client) fetchKRoot(ctx context.Context, id atlasdata.ProbeID, st *scrapeStats) ([]atlasdata.KRootRound, error) {
+	return get(ctx, c, fmt.Sprintf("/api/v1/measurements/kroot/%d/", id), ParseKRootResults, st)
+}
+
+// FetchKRoot is FetchKRootContext with a background context.
 func (c *Client) FetchKRoot(id atlasdata.ProbeID) ([]atlasdata.KRootRound, error) {
-	return get(c, fmt.Sprintf("/api/v1/measurements/kroot/%d/", id), ParseKRootResults)
+	return c.FetchKRootContext(context.Background(), id)
 }
 
-// FetchUptime retrieves one probe's uptime reports.
+// FetchUptimeContext retrieves one probe's uptime reports.
+func (c *Client) FetchUptimeContext(ctx context.Context, id atlasdata.ProbeID) ([]atlasdata.UptimeRecord, error) {
+	return c.fetchUptime(ctx, id, nil)
+}
+
+func (c *Client) fetchUptime(ctx context.Context, id atlasdata.ProbeID, st *scrapeStats) ([]atlasdata.UptimeRecord, error) {
+	return get(ctx, c, fmt.Sprintf("/api/v1/measurements/uptime/%d/", id), ParseUptimeResults, st)
+}
+
+// FetchUptime is FetchUptimeContext with a background context.
 func (c *Client) FetchUptime(id atlasdata.ProbeID) ([]atlasdata.UptimeRecord, error) {
-	return get(c, fmt.Sprintf("/api/v1/measurements/uptime/%d/", id), ParseUptimeResults)
+	return c.FetchUptimeContext(context.Background(), id)
 }
 
-// FetchMonths discovers which pfx2as snapshot months the server offers.
-func (c *Client) FetchMonths() ([]pfx2as.Month, error) {
-	return get(c, "/caida/pfx2as/", func(r io.Reader) ([]pfx2as.Month, error) {
+// FetchMonthsContext discovers which pfx2as snapshot months the server
+// offers.
+func (c *Client) FetchMonthsContext(ctx context.Context) ([]pfx2as.Month, error) {
+	return get(ctx, c, "/caida/pfx2as/", func(r io.Reader) ([]pfx2as.Month, error) {
 		var raw []int
 		if err := jsonDecode(r, &raw); err != nil {
 			return nil, err
@@ -115,27 +233,118 @@ func (c *Client) FetchMonths() ([]pfx2as.Month, error) {
 			out[i] = pfx2as.Month(m)
 		}
 		return out, nil
-	})
+	}, nil)
 }
 
-// FetchPfx2AS retrieves one monthly routing snapshot.
-func (c *Client) FetchPfx2AS(m pfx2as.Month) (*pfx2as.Table, error) {
-	entries, err := get(c, fmt.Sprintf("/caida/pfx2as/%d.txt", int(m)), pfx2as.ParseText)
+// FetchMonths is FetchMonthsContext with a background context.
+func (c *Client) FetchMonths() ([]pfx2as.Month, error) {
+	return c.FetchMonthsContext(context.Background())
+}
+
+// FetchPfx2ASContext retrieves one monthly routing snapshot.
+func (c *Client) FetchPfx2ASContext(ctx context.Context, m pfx2as.Month) (*pfx2as.Table, error) {
+	return c.fetchPfx2AS(ctx, m, nil)
+}
+
+func (c *Client) fetchPfx2AS(ctx context.Context, m pfx2as.Month, st *scrapeStats) (*pfx2as.Table, error) {
+	entries, err := get(ctx, c, fmt.Sprintf("/caida/pfx2as/%d.txt", int(m)), pfx2as.ParseText, st)
 	if err != nil {
 		return nil, err
 	}
 	return pfx2as.NewTable(entries)
 }
 
-// ScrapeAll reassembles a complete dataset: the probe archive, then all
+// FetchPfx2AS is FetchPfx2ASContext with a background context.
+func (c *Client) FetchPfx2AS(m pfx2as.Month) (*pfx2as.Table, error) {
+	return c.FetchPfx2ASContext(context.Background(), m)
+}
+
+// ProbeFailure records one probe the scrape gave up on after exhausting
+// its retries.
+type ProbeFailure struct {
+	Probe atlasdata.ProbeID
+	Err   error
+}
+
+// ScrapeReport summarises how a scrape went: how many probes the
+// archive listed, how many were fetched, which were skipped under the
+// error budget, and the request totals behind it.
+type ScrapeReport struct {
+	// Probes is the number of probes the archive listed.
+	Probes int
+	// Scraped is the number of probes whose records were all fetched.
+	Scraped int
+	// Skipped lists probes abandoned after exhausting retries, in
+	// ascending probe-ID order.
+	Skipped []ProbeFailure
+	// Attempts counts HTTP requests issued, including retries.
+	Attempts int64
+	// Retries counts attempts beyond the first per fetch.
+	Retries int64
+	// Elapsed is the wall time of the scrape.
+	Elapsed time.Duration
+}
+
+// Partial reports whether the dataset is missing any probe's records.
+func (r *ScrapeReport) Partial() bool { return len(r.Skipped) > 0 }
+
+// String renders a one-or-two-line human summary.
+func (r *ScrapeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scraped %d/%d probes in %v (%d requests, %d retries)",
+		r.Scraped, r.Probes, r.Elapsed.Round(time.Millisecond), r.Attempts, r.Retries)
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, "; skipped %d:", len(r.Skipped))
+		for i, f := range r.Skipped {
+			if i == 5 {
+				fmt.Fprintf(&b, " … (%d more)", len(r.Skipped)-i)
+				break
+			}
+			fmt.Fprintf(&b, " probe %d (%v)", f.Probe, f.Err)
+		}
+	}
+	return b.String()
+}
+
+// ScrapeAll reassembles a complete dataset with a background context;
+// see ScrapeAllContext. The report is discarded — with the default
+// zero error budget any probe failure aborts the scrape, so this keeps
+// the historical all-or-nothing semantics.
+func (c *Client) ScrapeAll() (*atlasdata.Dataset, error) {
+	ds, _, err := c.ScrapeAllContext(context.Background())
+	return ds, err
+}
+
+// ScrapeAllContext reassembles a dataset: the probe archive, then all
 // three record streams per probe (fetched Concurrency probes at a
 // time), then the configured pfx2as months. The result validates before
 // returning; the assembled dataset is independent of fetch order.
-func (c *Client) ScrapeAll() (*atlasdata.Dataset, error) {
-	probes, err := c.FetchProbeArchive()
+//
+// Failure semantics: a probe whose fetch fails permanently (after
+// retries) consumes one unit of the AllowFailures error budget and is
+// skipped — the scrape degrades to a partial dataset rather than
+// aborting. Once the budget is blown the scrape cancels its in-flight
+// workers, stops dispatching new ones, and returns an error. The
+// ScrapeReport is non-nil whenever the archive fetch succeeded, even
+// alongside an error, so callers can see how far the scrape got.
+// Cancelling ctx aborts in-flight requests and backoff sleeps promptly.
+func (c *Client) ScrapeAllContext(ctx context.Context) (*atlasdata.Dataset, *ScrapeReport, error) {
+	start := time.Now()
+	st := &scrapeStats{}
+	probes, err := get(ctx, c, "/api/v1/probe-archive/", ParseProbeArchive, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	report := &ScrapeReport{Probes: len(probes)}
+	finish := func() {
+		report.Attempts = st.attempts.Load()
+		report.Retries = st.retries.Load()
+		report.Elapsed = time.Since(start)
+		sort.Slice(report.Skipped, func(i, j int) bool {
+			return report.Skipped[i].Probe < report.Skipped[j].Probe
+		})
+	}
+
 	ds := atlasdata.NewDataset()
 	for _, p := range probes {
 		ds.Probes[p.ID] = p
@@ -145,41 +354,58 @@ func (c *Client) ScrapeAll() (*atlasdata.Dataset, error) {
 	if workers <= 0 {
 		workers = 8
 	}
+	scrapeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		mu       sync.Mutex
-		firstErr error
+		fatalErr error
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, workers)
 	)
-	fail := func(err error) {
+	blown := func() bool {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+		defer mu.Unlock()
+		return fatalErr != nil
 	}
+	// skip charges one probe failure against the error budget; blowing
+	// the budget cancels every in-flight worker.
+	skip := func(id atlasdata.ProbeID, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		report.Skipped = append(report.Skipped, ProbeFailure{Probe: id, Err: err})
+		if c.AllowFailures >= 0 && len(report.Skipped) > c.AllowFailures && fatalErr == nil {
+			fatalErr = fmt.Errorf("atlasapi: scrape error budget exhausted (%d probes failed, %d allowed): %w",
+				len(report.Skipped), c.AllowFailures, err)
+			cancel()
+		}
+	}
+dispatch:
 	for _, p := range probes {
+		// Stop dispatching as soon as the budget is blown or the caller
+		// cancelled — don't queue fetches that are doomed anyway.
+		if blown() {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-scrapeCtx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(p atlasdata.ProbeMeta) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			conns, err := c.FetchConnectionHistory(p.ID)
+			conns, kroot, uptime, err := c.fetchProbeRecords(scrapeCtx, p.ID, st)
 			if err != nil {
-				fail(fmt.Errorf("probe %d history: %w", p.ID, err))
-				return
-			}
-			kroot, err := c.FetchKRoot(p.ID)
-			if err != nil {
-				fail(fmt.Errorf("probe %d k-root: %w", p.ID, err))
-				return
-			}
-			uptime, err := c.FetchUptime(p.ID)
-			if err != nil {
-				fail(fmt.Errorf("probe %d uptime: %w", p.ID, err))
+				if scrapeCtx.Err() != nil {
+					// Aborted by cancellation, not a probe failure.
+					return
+				}
+				skip(p.ID, err)
 				return
 			}
 			mu.Lock()
+			report.Scraped++
 			if len(conns) > 0 {
 				ds.ConnLogs[p.ID] = conns
 			}
@@ -193,20 +419,48 @@ func (c *Client) ScrapeAll() (*atlasdata.Dataset, error) {
 		}(p)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		finish()
+		return nil, report, err
+	}
+	if blown() {
+		finish()
+		return nil, report, fatalErr
+	}
+	// Drop skipped probes' metadata so the partial dataset stays
+	// internally consistent: every probe present is fully present.
+	for _, f := range report.Skipped {
+		delete(ds.Probes, f.Probe)
 	}
 
 	for _, m := range c.Months {
-		tbl, err := c.FetchPfx2AS(m)
+		tbl, err := c.fetchPfx2AS(ctx, m, st)
 		if err != nil {
-			return nil, fmt.Errorf("pfx2as %v: %w", m, err)
+			finish()
+			return nil, report, fmt.Errorf("pfx2as %v: %w", m, err)
 		}
 		ds.Pfx2AS.Put(m, tbl)
 	}
 	ds.SortRecords()
 	if err := ds.Validate(); err != nil {
-		return nil, err
+		finish()
+		return nil, report, err
 	}
-	return ds, nil
+	finish()
+	return ds, report, nil
+}
+
+// fetchProbeRecords pulls one probe's three record streams.
+func (c *Client) fetchProbeRecords(ctx context.Context, id atlasdata.ProbeID, st *scrapeStats) (
+	conns []atlasdata.ConnLogEntry, kroot []atlasdata.KRootRound, uptime []atlasdata.UptimeRecord, err error) {
+	if conns, err = c.fetchConnectionHistory(ctx, id, st); err != nil {
+		return nil, nil, nil, fmt.Errorf("probe %d history: %w", id, err)
+	}
+	if kroot, err = c.fetchKRoot(ctx, id, st); err != nil {
+		return nil, nil, nil, fmt.Errorf("probe %d k-root: %w", id, err)
+	}
+	if uptime, err = c.fetchUptime(ctx, id, st); err != nil {
+		return nil, nil, nil, fmt.Errorf("probe %d uptime: %w", id, err)
+	}
+	return conns, kroot, uptime, nil
 }

@@ -147,8 +147,10 @@ func WriteProbeArchive(w io.Writer, probes []atlasdata.ProbeMeta) error {
 // ParseProbeArchive parses the archive API shape into probe metadata.
 func ParseProbeArchive(r io.Reader) ([]atlasdata.ProbeMeta, error) {
 	var in []archiveProbe
+	// %w keeps io.ErrUnexpectedEOF visible so the scrape client can
+	// classify a truncated body as transient rather than permanent.
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("atlasapi: probe archive: %v", err)
+		return nil, fmt.Errorf("atlasapi: probe archive: %w", err)
 	}
 	out := make([]atlasdata.ProbeMeta, 0, len(in))
 	for _, ap := range in {
@@ -228,7 +230,7 @@ func ParseKRootResults(r io.Reader) ([]atlasdata.KRootRound, error) {
 		if err := dec.Decode(&pr); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("atlasapi: ping results: %v", err)
+			return nil, fmt.Errorf("atlasapi: ping results: %w", err)
 		}
 		k := atlasdata.KRootRound{
 			Probe:     atlasdata.ProbeID(pr.PrbID),
@@ -276,7 +278,7 @@ func ParseUptimeResults(r io.Reader) ([]atlasdata.UptimeRecord, error) {
 		if err := dec.Decode(&ur); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("atlasapi: uptime results: %v", err)
+			return nil, fmt.Errorf("atlasapi: uptime results: %w", err)
 		}
 		u := atlasdata.UptimeRecord{
 			Probe:     atlasdata.ProbeID(ur.PrbID),

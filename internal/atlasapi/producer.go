@@ -1,0 +1,234 @@
+package atlasapi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/backoff"
+)
+
+// StreamProducer pushes records into a LiveServer's ingest endpoints
+// over HTTP. It implements the generator's RecordSink shape (Meta,
+// ConnLog, KRoot, Uptime), so sim.GenerateTo and sim.ReplayDataset can
+// drive a remote ingester directly — the producer side of the live
+// collection pipeline. Records are buffered in arrival order and POSTed
+// as runs of consecutive same-kind records, which preserves the
+// cross-stream interleaving the ingester's per-probe state machines
+// observe: streaming through the producer is equivalent to feeding the
+// ingester in process. Transient failures (transport errors, 5xx) are
+// retried with the same jittered exponential backoff the scrape client
+// uses; 4xx responses are permanent.
+//
+// The producer is not safe for concurrent use; drive it from one
+// goroutine (RecordSink deliveries are sequential by contract) and call
+// Flush when the stream ends to drain the buffer.
+type StreamProducer struct {
+	// BaseURL is the server root, e.g. "http://atlas.example.org".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Retries is how many times a failed POST is retried before giving
+	// up; zero means 2.
+	Retries int
+	// Backoff spaces retry attempts; the zero value uses the package
+	// defaults (see backoff.Policy).
+	Backoff backoff.Policy
+	// BatchSize is the number of records buffered before the producer
+	// flushes; zero means 128.
+	BatchSize int
+
+	ctx    context.Context
+	jitter backoff.Jitter
+	buf    []streamRecord
+}
+
+type recordKind int
+
+const (
+	kindMeta recordKind = iota
+	kindConn
+	kindKRoot
+	kindUptime
+)
+
+// streamRecord is one buffered record of any kind.
+type streamRecord struct {
+	kind   recordKind
+	meta   atlasdata.ProbeMeta
+	conn   atlasdata.ConnLogEntry
+	kroot  atlasdata.KRootRound
+	uptime atlasdata.UptimeRecord
+}
+
+// NewStreamProducer returns a producer that POSTs to baseURL under ctx:
+// cancelling the context aborts in-flight POSTs and backoff sleeps.
+func NewStreamProducer(ctx context.Context, baseURL string) *StreamProducer {
+	return &StreamProducer{BaseURL: baseURL, ctx: ctx}
+}
+
+func (p *StreamProducer) context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
+}
+
+func (p *StreamProducer) batchSize() int {
+	if p.BatchSize > 0 {
+		return p.BatchSize
+	}
+	return 128
+}
+
+func (p *StreamProducer) push(r streamRecord) error {
+	p.buf = append(p.buf, r)
+	if len(p.buf) >= p.batchSize() {
+		return p.Flush()
+	}
+	return nil
+}
+
+// Meta buffers one probe's metadata.
+func (p *StreamProducer) Meta(m atlasdata.ProbeMeta) error {
+	return p.push(streamRecord{kind: kindMeta, meta: m})
+}
+
+// ConnLog buffers one session record.
+func (p *StreamProducer) ConnLog(e atlasdata.ConnLogEntry) error {
+	return p.push(streamRecord{kind: kindConn, conn: e})
+}
+
+// KRoot buffers one ping round.
+func (p *StreamProducer) KRoot(k atlasdata.KRootRound) error {
+	return p.push(streamRecord{kind: kindKRoot, kroot: k})
+}
+
+// Uptime buffers one uptime report.
+func (p *StreamProducer) Uptime(u atlasdata.UptimeRecord) error {
+	return p.push(streamRecord{kind: kindUptime, uptime: u})
+}
+
+// Flush delivers the buffer as POSTs of consecutive same-kind runs
+// (connection-log runs additionally break on probe changes — the
+// endpoint is per-probe). Call it when the stream ends; a failed flush
+// leaves the undelivered tail buffered, so it is safe to retry.
+func (p *StreamProducer) Flush() error {
+	for len(p.buf) > 0 {
+		n, err := p.sendRun()
+		if err != nil {
+			return err
+		}
+		p.buf = p.buf[n:]
+	}
+	p.buf = nil
+	return nil
+}
+
+// sendRun posts the longest prefix of the buffer that shares one
+// endpoint and returns its length.
+func (p *StreamProducer) sendRun() (int, error) {
+	kind := p.buf[0].kind
+	n := 1
+	for n < len(p.buf) && p.buf[n].kind == kind {
+		if kind == kindConn && p.buf[n].conn.Probe != p.buf[0].conn.Probe {
+			break
+		}
+		n++
+	}
+	run := p.buf[:n]
+	var buf bytes.Buffer
+	var path, contentType string
+	switch kind {
+	case kindMeta:
+		probes := make([]atlasdata.ProbeMeta, n)
+		for i, r := range run {
+			probes[i] = r.meta
+		}
+		if err := WriteProbeArchive(&buf, probes); err != nil {
+			return 0, err
+		}
+		path, contentType = "/api/v1/stream/probes", "application/json"
+	case kindConn:
+		entries := make([]atlasdata.ConnLogEntry, n)
+		for i, r := range run {
+			entries[i] = r.conn
+		}
+		if err := WriteConnectionHistory(&buf, run[0].conn.Probe, entries); err != nil {
+			return 0, err
+		}
+		path = fmt.Sprintf("/api/v1/stream/connlogs?probe=%d", run[0].conn.Probe)
+		contentType = "text/plain; charset=utf-8"
+	case kindKRoot:
+		rounds := make([]atlasdata.KRootRound, n)
+		for i, r := range run {
+			rounds[i] = r.kroot
+		}
+		if err := WriteKRootResults(&buf, rounds); err != nil {
+			return 0, err
+		}
+		path, contentType = "/api/v1/stream/kroot", "application/x-ndjson"
+	case kindUptime:
+		recs := make([]atlasdata.UptimeRecord, n)
+		for i, r := range run {
+			recs[i] = r.uptime
+		}
+		if err := WriteUptimeResults(&buf, recs); err != nil {
+			return 0, err
+		}
+		path, contentType = "/api/v1/stream/uptime", "application/x-ndjson"
+	}
+	if err := p.post(path, contentType, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// post sends one batch, retrying transient failures with backoff. The
+// body is replayed from memory on each attempt; an attempt that failed
+// before the server processed it is safe to resend.
+func (p *StreamProducer) post(path, contentType string, body []byte) error {
+	ctx := p.context()
+	client := p.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	retries := p.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			if err := p.Backoff.Sleep(ctx, attempt-1, p.jitter.Uint64()); err != nil {
+				return fmt.Errorf("atlasapi: POST %s: cancelled during retry backoff: %w (last error: %v)", path, err, lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("atlasapi: POST %s: %s: %s", path, resp.Status, msg)
+		if resp.StatusCode < 500 {
+			break // permanent: the payload or the request is wrong
+		}
+	}
+	return lastErr
+}

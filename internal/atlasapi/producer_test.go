@@ -1,0 +1,103 @@
+package atlasapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dynaddr/internal/sim"
+	"dynaddr/internal/stream"
+)
+
+// The producer must satisfy the generator's sink contract, so
+// sim.GenerateTo / sim.ReplayDataset can drive a remote ingester.
+var _ sim.RecordSink = (*StreamProducer)(nil)
+
+// TestStreamProducerReplayEquivalence drives a dataset into a live
+// ingester over HTTP — through a flaky front that 503s the first two
+// requests to every path — and requires the resulting snapshot to match
+// an in-process replay exactly.
+func TestStreamProducerReplayEquivalence(t *testing.T) {
+	world := smallWorld(t, 17, 0.02)
+	ds := world.Dataset
+
+	remote := stream.NewIngester(stream.Config{Shards: 3, Pfx2AS: ds.Pfx2AS})
+	defer remote.Close()
+	flaky := &flakyHandler{inner: NewLiveServer(remote), failures: make(map[string]int), failN: 2}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	p := NewStreamProducer(context.Background(), srv.URL)
+	p.Retries = 4
+	p.Backoff = fastBackoff
+	p.BatchSize = 32
+	if err := sim.ReplayDataset(ds, p); err != nil {
+		t.Fatalf("replay through producer: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	local := stream.NewIngester(stream.Config{Shards: 3, Pfx2AS: ds.Pfx2AS})
+	defer local.Close()
+	if err := sim.ReplayDataset(ds, local); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := remote.Snapshot(), local.Snapshot()
+	if got.Records != want.Records {
+		t.Errorf("record counts differ over the wire: %+v vs %+v", got.Records, want.Records)
+	}
+	if got.Probes != want.Probes || got.Changes != want.Changes ||
+		got.NetworkOutages != want.NetworkOutages || got.Reboots != want.Reboots ||
+		got.OutageLinkedChanges != want.OutageLinkedChanges {
+		t.Errorf("stream tallies differ over the wire:\n%+v\nvs\n%+v", got, want)
+	}
+	if !reflect.DeepEqual(got.ASNs(), want.ASNs()) {
+		t.Errorf("AS sets differ: %v vs %v", got.ASNs(), want.ASNs())
+	}
+}
+
+// TestStreamProducerPermanentErrorsSurface: a 4xx from the ingest
+// endpoint (bad payload, bad probe id) must fail fast, not retry.
+func TestStreamProducerPermanentErrorsSurface(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, "no such endpoint", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	world := smallWorld(t, 17, 0.02)
+	p := NewStreamProducer(context.Background(), srv.URL)
+	p.Retries = 5
+	p.Backoff = fastBackoff
+	p.BatchSize = 1
+	err := p.Meta(world.Dataset.Probes[world.Dataset.ProbeIDs()[0]])
+	if err == nil {
+		t.Fatal("404 from ingest endpoint should fail the producer")
+	}
+	if hits != 1 {
+		t.Errorf("producer POSTed %d times against a 404; 4xx must not retry", hits)
+	}
+}
+
+// TestStreamProducerCancellation: cancelling the producer's context
+// releases a retry loop promptly.
+func TestStreamProducerCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	world := smallWorld(t, 17, 0.02)
+	p := NewStreamProducer(ctx, srv.URL)
+	p.BatchSize = 1
+	if err := p.Meta(world.Dataset.Probes[world.Dataset.ProbeIDs()[0]]); err == nil {
+		t.Fatal("cancelled producer should fail to deliver")
+	}
+}

@@ -1,0 +1,388 @@
+package atlasapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/backoff"
+	"dynaddr/internal/faultinject"
+	"dynaddr/internal/sim"
+)
+
+// fastBackoff keeps retry tests quick while still exercising the sleep
+// path.
+var fastBackoff = backoff.Policy{Base: time.Millisecond, Max: 4 * time.Millisecond}
+
+func smallWorld(t *testing.T, seed uint64, scale float64) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// TestRetryAttemptsAreSpaced is the regression test for the old
+// zero-delay retry loop: consecutive attempts against a struggling
+// server must be separated by at least half the nominal backoff delay
+// (the jitter floor), growing exponentially.
+func TestRetryAttemptsAreSpaced(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		times []time.Time
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "[]")
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Retries: 3,
+		Backoff: backoff.Policy{Base: 60 * time.Millisecond, Max: time.Second}}
+	if _, err := c.FetchProbeArchive(); err != nil {
+		t.Fatalf("fetch after transient failures: %v", err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(times))
+	}
+	// Jitter floor: attempt n+1 waits at least Base<<n / 2.
+	if gap := times[1].Sub(times[0]); gap < 25*time.Millisecond {
+		t.Errorf("first retry after %v; want >= ~30ms backoff", gap)
+	}
+	if gap := times[2].Sub(times[1]); gap < 50*time.Millisecond {
+		t.Errorf("second retry after %v; want >= ~60ms backoff", gap)
+	}
+}
+
+// TestPermanentParseErrorsNotRetried: a deterministically malformed 200
+// body must not burn the retry budget — validation errors are permanent.
+func TestPermanentParseErrorsNotRetried(t *testing.T) {
+	cases := []struct {
+		name, path, body string
+		fetch            func(c *Client) error
+	}{
+		{"archive syntax", "/api/v1/probe-archive/", "this is not JSON",
+			func(c *Client) error { _, err := c.FetchProbeArchive(); return err }},
+		{"history fields", "/probes/5/connection-history/", "only two\tfields\n",
+			func(c *Client) error { _, err := c.FetchConnectionHistory(5); return err }},
+		{"kroot validation", "/api/v1/measurements/kroot/5/", `{"prb_id": 5, "sent": 1, "rcvd": 3}` + "\n",
+			func(c *Client) error { _, err := c.FetchKRoot(5); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hits := 0
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				hits++
+				io.WriteString(w, tc.body)
+			}))
+			defer srv.Close()
+			c := &Client{BaseURL: srv.URL, Retries: 5, Backoff: fastBackoff}
+			if err := tc.fetch(c); err == nil {
+				t.Fatal("malformed body should fail")
+			}
+			if hits != 1 {
+				t.Errorf("malformed 200 body fetched %d times; validation errors must not retry", hits)
+			}
+		})
+	}
+}
+
+// truncatingHandler serves the inner handler but cuts the body of the
+// first request to each path mid-stream, like a dying transfer.
+type truncatingHandler struct {
+	inner http.Handler
+	mu    sync.Mutex
+	seen  map[string]bool
+}
+
+func (h *truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	first := !h.seen[r.URL.Path]
+	h.seen[r.URL.Path] = true
+	h.mu.Unlock()
+	if !first {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	h.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if len(body) < 2 {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.Code)
+	w.Write(body[:len(body)/2])
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// TestTruncatedBodiesAreRetried: a 200 whose body dies mid-read is
+// transient — unlike a validation error — and must be retried.
+func TestTruncatedBodiesAreRetried(t *testing.T) {
+	world := smallWorld(t, 5, 0.02)
+	h := &truncatingHandler{inner: NewServer(world.Dataset), seen: make(map[string]bool)}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(),
+		Retries: 3, Backoff: fastBackoff}
+	scraped, err := c.ScrapeAll()
+	if err != nil {
+		t.Fatalf("scrape through truncated-then-clean responses: %v", err)
+	}
+	if !reflect.DeepEqual(scraped.ConnLogs, world.Dataset.ConnLogs) {
+		t.Error("connection logs differ after truncation retries")
+	}
+}
+
+// TestCancellationMidBackoffReturnsPromptly: a context cancelled while
+// the client sleeps between retries must abort the fetch immediately,
+// not after the (long) backoff delay.
+func TestCancellationMidBackoffReturnsPromptly(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Retries: 5,
+		Backoff: backoff.Policy{Base: 30 * time.Second, Max: 30 * time.Second}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.FetchProbeArchiveContext(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the backoff start
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled fetch returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error does not carry context.Canceled: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("cancelled fetch took %v to return", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled fetch never returned")
+	}
+}
+
+// probe404Handler permanently 404s the connection-history page of the
+// given probes, leaving everything else intact.
+type probe404Handler struct {
+	inner http.Handler
+	bad   map[atlasdata.ProbeID]bool
+	mu    sync.Mutex
+	hits  int
+}
+
+func (h *probe404Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/probes/") {
+		h.mu.Lock()
+		h.hits++
+		h.mu.Unlock()
+		for id := range h.bad {
+			if strings.HasPrefix(r.URL.Path, fmt.Sprintf("/probes/%d/", id)) {
+				http.NotFound(w, r)
+				return
+			}
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func (h *probe404Handler) historyHits() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits
+}
+
+// TestScrapeErrorBudgetYieldsPartialDataset: isolated permanent probe
+// failures within the budget degrade the scrape to a partial dataset
+// with a structured report instead of aborting.
+func TestScrapeErrorBudgetYieldsPartialDataset(t *testing.T) {
+	world := smallWorld(t, 9, 0.04)
+	ids := world.Dataset.ProbeIDs()
+	if len(ids) < 4 {
+		t.Fatalf("world too small: %d probes", len(ids))
+	}
+	bad := map[atlasdata.ProbeID]bool{ids[0]: true, ids[2]: true}
+	h := &probe404Handler{inner: NewServer(world.Dataset), bad: bad}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(),
+		Retries: 2, Backoff: fastBackoff, AllowFailures: 2}
+	ds, rep, err := c.ScrapeAllContext(context.Background())
+	if err != nil {
+		t.Fatalf("scrape within budget failed: %v", err)
+	}
+	if !rep.Partial() || len(rep.Skipped) != 2 {
+		t.Fatalf("report = %v, want exactly 2 skipped probes", rep)
+	}
+	if rep.Skipped[0].Probe != ids[0] || rep.Skipped[1].Probe != ids[2] {
+		t.Errorf("skipped %v, want probes %d and %d (ascending)", rep.Skipped, ids[0], ids[2])
+	}
+	if rep.Scraped != len(ids)-2 || rep.Probes != len(ids) {
+		t.Errorf("report counts %d/%d, want %d/%d", rep.Scraped, rep.Probes, len(ids)-2, len(ids))
+	}
+	for id := range bad {
+		if _, ok := ds.Probes[id]; ok {
+			t.Errorf("skipped probe %d still present in dataset", id)
+		}
+		if _, ok := ds.ConnLogs[id]; ok {
+			t.Errorf("skipped probe %d has connection logs", id)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("partial dataset does not validate: %v", err)
+	}
+
+	// The same scrape with a zero budget must abort.
+	c2 := &Client{BaseURL: srv.URL, Retries: 2, Backoff: fastBackoff}
+	if _, _, err := c2.ScrapeAllContext(context.Background()); err == nil {
+		t.Error("zero error budget should abort on the first failed probe")
+	}
+}
+
+// TestScrapeStopsDispatchingAfterBudgetBlown is the regression test for
+// the old behaviour of queueing fetches for every remaining probe after
+// the scrape was already doomed.
+func TestScrapeStopsDispatchingAfterBudgetBlown(t *testing.T) {
+	world := smallWorld(t, 9, 0.04)
+	ids := world.Dataset.ProbeIDs()
+	bad := make(map[atlasdata.ProbeID]bool, len(ids))
+	for _, id := range ids {
+		bad[id] = true // every probe's history 404s permanently
+	}
+	h := &probe404Handler{inner: NewServer(world.Dataset), bad: bad}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Concurrency: 1, Retries: 2, Backoff: fastBackoff}
+	if _, _, err := c.ScrapeAllContext(context.Background()); err == nil {
+		t.Fatal("scrape should fail with every probe broken")
+	}
+	if hits := h.historyHits(); hits > 3 {
+		t.Errorf("server saw %d history fetches after the budget was blown on the first; want early stop (got %d probes total)",
+			hits, len(ids))
+	}
+}
+
+// TestScrapeUnderFaultInjection is the acceptance bar: 10% dropped
+// connections plus 5% truncated bodies, and the scrape still assembles
+// a complete, validating dataset.
+func TestScrapeUnderFaultInjection(t *testing.T) {
+	world := smallWorld(t, 21, 0.03)
+	inj := faultinject.New(faultinject.Config{Seed: 1234, Drop: 0.10, Truncate: 0.05},
+		NewServer(world.Dataset))
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:       srv.URL,
+		Months:        world.Dataset.Pfx2AS.Months(),
+		Retries:       8,
+		Backoff:       backoff.Policy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+		AllowFailures: 3,
+	}
+	ds, rep, err := c.ScrapeAllContext(context.Background())
+	if err != nil {
+		t.Fatalf("scrape under chaos failed: %v (report: %v)", err, rep)
+	}
+	if rep.Scraped+len(rep.Skipped) != rep.Probes {
+		t.Errorf("report doesn't account for all probes: %v", rep)
+	}
+	st := inj.Stats()
+	if st.Drops == 0 && st.Truncates == 0 {
+		t.Errorf("fault injector fired nothing over %d requests; test proves too little", st.Requests)
+	}
+	if rep.Retries == 0 {
+		t.Error("no retries recorded despite injected faults")
+	}
+	if !rep.Partial() {
+		// The common case: retries absorbed every fault and the scraped
+		// dataset is byte-identical to the source.
+		if !reflect.DeepEqual(ds.ConnLogs, world.Dataset.ConnLogs) {
+			t.Error("connection logs differ after chaos scrape")
+		}
+		if !reflect.DeepEqual(ds.Uptime, world.Dataset.Uptime) {
+			t.Error("uptime records differ after chaos scrape")
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("chaos-scraped dataset does not validate: %v", err)
+	}
+}
+
+// TestScrapeCancelMidScrape: cancelling the scrape context while
+// workers are mid-flight returns promptly and reports the cancellation.
+func TestScrapeCancelMidScrape(t *testing.T) {
+	world := smallWorld(t, 13, 0.05)
+	inj := faultinject.New(faultinject.Config{Seed: 5, DelayProb: 1, DelayBy: 25 * time.Millisecond},
+		NewServer(world.Dataset))
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(),
+		Retries: 3, Backoff: backoff.Policy{Base: 500 * time.Millisecond, Max: time.Second}}
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		ds  *atlasdata.Dataset
+		err error
+	}
+	done := make(chan result, 1)
+	start := time.Now()
+	go func() {
+		ds, _, err := c.ScrapeAllContext(ctx)
+		done <- result{ds, err}
+	}()
+	time.Sleep(80 * time.Millisecond) // some probe fetches are in flight now
+	cancel()
+	select {
+	case res := <-done:
+		if res.err == nil || !errors.Is(res.err, context.Canceled) {
+			t.Errorf("cancelled scrape returned %v, want context.Canceled", res.err)
+		}
+		if res.ds != nil {
+			t.Error("cancelled scrape returned a dataset")
+		}
+		// "Within one backoff interval": the slowest exit path is a
+		// worker sleeping out its current backoff check plus one
+		// in-flight request; well under 2 * Base here.
+		if elapsed := time.Since(start); elapsed > 80*time.Millisecond+2*c.Backoff.Base {
+			t.Errorf("cancelled scrape took %v to return", elapsed)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cancelled scrape never returned")
+	}
+}

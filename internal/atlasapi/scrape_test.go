@@ -6,7 +6,9 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
+	"dynaddr/internal/backoff"
 	"dynaddr/internal/core"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/sim"
@@ -88,7 +90,8 @@ func TestScrapeReproducesAnalysis(t *testing.T) {
 // TestClientErrorPropagation exercises the failure paths: missing
 // server, missing months.
 func TestClientErrorPropagation(t *testing.T) {
-	c := &Client{BaseURL: "http://127.0.0.1:1"} // nothing listens here
+	c := &Client{BaseURL: "http://127.0.0.1:1", // nothing listens here
+		Backoff: backoff.Policy{Base: time.Millisecond, Max: 4 * time.Millisecond}}
 	if _, err := c.FetchProbeArchive(); err == nil {
 		t.Error("unreachable server should fail")
 	}
@@ -145,7 +148,8 @@ func TestScrapeRetriesTransientFailures(t *testing.T) {
 	srv := httptest.NewServer(flaky)
 	defer srv.Close()
 
-	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(), Retries: 3}
+	c := &Client{BaseURL: srv.URL, Months: world.Dataset.Pfx2AS.Months(), Retries: 3,
+		Backoff: backoff.Policy{Base: time.Millisecond, Max: 4 * time.Millisecond}}
 	scraped, err := c.ScrapeAll()
 	if err != nil {
 		t.Fatalf("scrape with retries failed: %v", err)
@@ -158,7 +162,8 @@ func TestScrapeRetriesTransientFailures(t *testing.T) {
 	flaky2 := &flakyHandler{inner: NewServer(world.Dataset), failures: make(map[string]int), failN: 5}
 	srv2 := httptest.NewServer(flaky2)
 	defer srv2.Close()
-	c2 := &Client{BaseURL: srv2.URL, Retries: 1}
+	c2 := &Client{BaseURL: srv2.URL, Retries: 1,
+		Backoff: backoff.Policy{Base: time.Millisecond, Max: 4 * time.Millisecond}}
 	if _, err := c2.ScrapeAll(); err == nil {
 		t.Error("persistent failures should defeat limited retries")
 	}
@@ -174,7 +179,8 @@ func TestClientDoesNotRetry404(t *testing.T) {
 		http.NotFound(w, r)
 	}))
 	defer srv.Close()
-	c := &Client{BaseURL: srv.URL, Retries: 5}
+	c := &Client{BaseURL: srv.URL, Retries: 5,
+		Backoff: backoff.Policy{Base: time.Millisecond, Max: 4 * time.Millisecond}}
 	if _, err := c.FetchProbeArchive(); err == nil {
 		t.Fatal("404 should fail")
 	}

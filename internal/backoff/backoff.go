@@ -1,0 +1,117 @@
+// Package backoff implements jittered exponential backoff for retry
+// loops that talk to struggling servers. The paper's collection step
+// scraped ~11k probe pages repeatedly for a year (§3.1); at that scale
+// transient failures are the norm and tight retry loops amplify them.
+// Policy spaces attempts exponentially with "equal jitter" (each delay
+// is drawn uniformly from [d/2, d]), so synchronized clients spread out
+// instead of hammering a recovering server in lockstep.
+//
+// Policy is a pure value: the jitter word is passed in by the caller,
+// usually from a Jitter source, which keeps the schedule testable and
+// the package free of hidden global randomness.
+package backoff
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Defaults used when a Policy field is zero.
+const (
+	DefaultBase = 200 * time.Millisecond
+	DefaultMax  = 5 * time.Second
+)
+
+// Policy describes a jittered exponential backoff schedule. The zero
+// value is ready to use: 200ms before the first retry, doubling per
+// attempt, capped at 5s, each delay jittered down to no less than half
+// its nominal value.
+type Policy struct {
+	// Base is the nominal delay before the first retry; zero means
+	// DefaultBase.
+	Base time.Duration
+	// Max caps the exponential growth; zero means DefaultMax.
+	Max time.Duration
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return DefaultBase
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	max := DefaultMax
+	if b := p.base(); b > max {
+		max = b
+	}
+	return max
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (0-based: attempt 0 is the wait before the first retry). u supplies
+// the jitter entropy; any uint64 works, typically from a Jitter source.
+// The result lies in [d/2, d] where d = min(Base<<attempt, Max).
+func (p Policy) Delay(attempt int, u uint64) time.Duration {
+	d := p.base()
+	max := p.max()
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(u%uint64(half+1))
+}
+
+// Sleep waits Delay(attempt, u) or until ctx is done, whichever comes
+// first, returning ctx.Err() in the latter case. Cancellation mid-sleep
+// returns promptly — this is what makes retry loops abortable.
+func (p Policy) Sleep(ctx context.Context, attempt int, u uint64) error {
+	t := time.NewTimer(p.Delay(attempt, u))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Jitter is a concurrency-safe deterministic source of jitter words
+// (SplitMix64). The zero value is ready to use with a fixed default
+// seed; NewJitter picks an explicit seed for reproducible schedules.
+type Jitter struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewJitter returns a source seeded with seed (zero selects the default
+// seed, so NewJitter(0) and a zero-value Jitter agree).
+func NewJitter(seed uint64) *Jitter {
+	j := &Jitter{state: seed}
+	return j
+}
+
+// Uint64 returns the next jitter word.
+func (j *Jitter) Uint64() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

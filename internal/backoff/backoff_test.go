@@ -1,0 +1,76 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	// u = 0 selects the minimum of the jitter range: exactly d/2.
+	wantMin := []time.Duration{50, 100, 200, 400, 400, 400} // ms, capped at Max/2
+	for attempt, want := range wantMin {
+		got := p.Delay(attempt, 0)
+		if got != want*time.Millisecond {
+			t.Errorf("Delay(%d, 0) = %v, want %v", attempt, got, want*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterStaysInRange(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second}
+	j := NewJitter(7)
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(2, j.Uint64()) // nominal 400ms
+		if d < 200*time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [200ms, 400ms]", d)
+		}
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if d := p.Delay(0, 0); d != DefaultBase/2 {
+		t.Errorf("zero policy Delay(0,0) = %v, want %v", d, DefaultBase/2)
+	}
+	// A Base above DefaultMax must not produce Max < Base.
+	big := Policy{Base: 10 * time.Second}
+	if d := big.Delay(0, 0); d != 5*time.Second {
+		t.Errorf("big-base Delay(0,0) = %v, want 5s", d)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	p := Policy{Base: time.Minute, Max: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- p.Sleep(ctx, 0, 0) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Sleep returned %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("Sleep took %v to notice cancellation", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	a, b := NewJitter(42), NewJitter(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same seed diverged at word %d: %d vs %d", i, av, bv)
+		}
+	}
+	var zero Jitter
+	if zero.Uint64() != NewJitter(0).Uint64() {
+		t.Error("zero-value Jitter disagrees with NewJitter(0)")
+	}
+}

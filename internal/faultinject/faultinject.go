@@ -1,0 +1,224 @@
+// Package faultinject is a deterministic, seedable HTTP fault-injection
+// middleware: it wraps any http.Handler and probabilistically drops
+// connections, injects latency, answers 503, or truncates response
+// bodies mid-stream. It exists so the scrape client's retry, backoff
+// and error-budget behaviour can be exercised against a real server
+// in-process — the repo's stand-in for the flaky year-long probe-page
+// scrapes of the paper's §3.1 — and is exposed on atlasd via the
+// -chaos-* flags.
+//
+// Faults are drawn from a seeded SplitMix64 stream, so a given seed
+// yields the same fault sequence across runs. (With concurrent clients
+// the mapping of faults onto requests still depends on arrival order;
+// sequential request streams are fully reproducible.)
+package faultinject
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config sets per-request fault probabilities. Drop, Error and Truncate
+// are mutually exclusive fates drawn from a single uniform variate (so
+// their sum must not exceed 1); Delay fires independently and composes
+// with any fate.
+type Config struct {
+	// Seed keys the fault PRNG; zero selects a fixed default seed, so
+	// the middleware is always deterministic.
+	Seed uint64
+	// Drop is the probability a request's connection is severed with no
+	// response at all — the client sees a transport error.
+	Drop float64
+	// Error is the probability of an injected "503 Service Unavailable"
+	// instead of the real response.
+	Error float64
+	// Truncate is the probability the real response body is cut at the
+	// halfway point and the connection aborted, so the client reads a
+	// syntactically broken prefix and then a transport error.
+	Truncate float64
+	// DelayProb is the probability DelayBy of extra latency is injected
+	// before the request proceeds.
+	DelayProb float64
+	// DelayBy is the injected latency when a delay fires.
+	DelayBy time.Duration
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.Drop > 0 || c.Error > 0 || c.Truncate > 0 || (c.DelayProb > 0 && c.DelayBy > 0)
+}
+
+// Stats counts what the injector has done so far.
+type Stats struct {
+	Requests  uint64
+	Drops     uint64
+	Errors    uint64
+	Truncates uint64
+	Delays    uint64
+}
+
+// Injector is the middleware; it implements http.Handler.
+type Injector struct {
+	cfg   Config
+	inner http.Handler
+
+	mu    sync.Mutex
+	state uint64
+	stats Stats
+}
+
+// New wraps inner with fault injection per cfg.
+func New(cfg Config, inner http.Handler) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed5eed
+	}
+	return &Injector{cfg: cfg, inner: inner, state: seed}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+type fate int
+
+const (
+	fatePass fate = iota
+	fateDrop
+	fateError
+	fateTruncate
+)
+
+// next draws one uniform variate in [0, 1) from the seeded stream.
+func (in *Injector) next() float64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// decide draws the fate of one request and updates the counters.
+func (in *Injector) decide() (delay time.Duration, f fate) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Requests++
+	if in.cfg.DelayProb > 0 && in.cfg.DelayBy > 0 && in.next() < in.cfg.DelayProb {
+		in.stats.Delays++
+		delay = in.cfg.DelayBy
+	}
+	u := in.next()
+	switch {
+	case u < in.cfg.Drop:
+		in.stats.Drops++
+		f = fateDrop
+	case u < in.cfg.Drop+in.cfg.Error:
+		in.stats.Errors++
+		f = fateError
+	case u < in.cfg.Drop+in.cfg.Error+in.cfg.Truncate:
+		in.stats.Truncates++
+		f = fateTruncate
+	}
+	return delay, f
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	delay, f := in.decide()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+	switch f {
+	case fateDrop:
+		// ErrAbortHandler makes net/http sever the connection without
+		// writing a response; the client sees a transport error.
+		panic(http.ErrAbortHandler)
+	case fateError:
+		http.Error(w, "faultinject: injected failure", http.StatusServiceUnavailable)
+	case fateTruncate:
+		in.truncate(w, r)
+	default:
+		in.inner.ServeHTTP(w, r)
+	}
+}
+
+// truncate serves the real response's headers with the real body
+// length, writes only the first half of the body, and aborts — so the
+// client's read fails partway through a framed response, exactly the
+// failure a dying transfer produces.
+func (in *Injector) truncate(w http.ResponseWriter, r *http.Request) {
+	rec := &recorder{hdr: make(http.Header)}
+	in.inner.ServeHTTP(rec, r)
+	if rec.status() != http.StatusOK || rec.body.Len() < 2 {
+		// Nothing worth truncating; replay the real response.
+		rec.replay(w)
+		return
+	}
+	for k, vs := range rec.hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
+	w.WriteHeader(rec.status())
+	w.Write(rec.body.Bytes()[:rec.body.Len()/2]) //nolint:errcheck // aborting anyway
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// recorder buffers the inner handler's response so truncate can frame
+// a partial copy of it.
+type recorder struct {
+	hdr  http.Header
+	code int
+	body bytes.Buffer
+}
+
+func (rec *recorder) Header() http.Header { return rec.hdr }
+
+func (rec *recorder) WriteHeader(code int) {
+	if rec.code == 0 {
+		rec.code = code
+	}
+}
+
+func (rec *recorder) Write(p []byte) (int, error) {
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return rec.body.Write(p)
+}
+
+func (rec *recorder) status() int {
+	if rec.code == 0 {
+		return http.StatusOK
+	}
+	return rec.code
+}
+
+func (rec *recorder) replay(w http.ResponseWriter) {
+	for k, vs := range rec.hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.status())
+	w.Write(rec.body.Bytes()) //nolint:errcheck // best-effort replay
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+// collectFates drives n sequential requests through a fresh injector
+// and classifies each outcome from the client's point of view.
+func collectFates(t *testing.T, cfg Config, n int, body string) (ok, transport, fivehundred, truncated int) {
+	t.Helper()
+	srv := httptest.NewServer(New(cfg, okHandler(body)))
+	defer srv.Close()
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			transport++
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 500:
+			fivehundred++
+		case err != nil || len(b) < len(body):
+			truncated++
+		default:
+			ok++
+		}
+	}
+	return
+}
+
+func TestFaultMixObserved(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	cfg := Config{Seed: 99, Drop: 0.1, Error: 0.1, Truncate: 0.1}
+	ok, transport, fivehundred, truncated := collectFates(t, cfg, 400, body)
+	if ok == 0 || transport == 0 || fivehundred == 0 || truncated == 0 {
+		t.Errorf("expected every fault kind at 10%% each over 400 requests; got ok=%d transport=%d 5xx=%d truncated=%d",
+			ok, transport, fivehundred, truncated)
+	}
+	// 30% combined fault rate: ok should dominate but not be total.
+	if ok < 200 || ok > 390 {
+		t.Errorf("ok=%d out of 400, outside plausible range for 30%% fault rate", ok)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	body := strings.Repeat("y", 1024)
+	cfg := Config{Seed: 7, Drop: 0.2, Error: 0.2, Truncate: 0.2}
+	type tally struct{ ok, tr, fh, tc int }
+	var runs [2]tally
+	for i := range runs {
+		a, b, c, d := collectFates(t, cfg, 100, body)
+		runs[i] = tally{a, b, c, d}
+	}
+	if runs[0] != runs[1] {
+		t.Errorf("same seed produced different fault sequences: %+v vs %+v", runs[0], runs[1])
+	}
+}
+
+func TestTruncationIsAMidBodyTransportError(t *testing.T) {
+	body := strings.Repeat("z", 8192)
+	srv := httptest.NewServer(New(Config{Truncate: 1}, okHandler(body)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("truncation must deliver headers: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read of truncated body succeeded with %d bytes", len(b))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") &&
+		!strings.Contains(err.Error(), "reset") {
+		t.Errorf("unexpected truncation error: %v", err)
+	}
+	if len(b) == 0 || len(b) >= len(body) {
+		t.Errorf("truncated read returned %d of %d bytes", len(b), len(body))
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	inj := New(Config{Drop: 1}, okHandler("hi"))
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := http.Get(srv.URL); err == nil {
+			t.Fatal("drop fate should sever the connection")
+		}
+	}
+	st := inj.Stats()
+	if st.Requests != 5 || st.Drops != 5 {
+		t.Errorf("stats = %+v, want 5 requests / 5 drops", st)
+	}
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	ok, transport, fivehundred, truncated := collectFates(t, cfg, 50, "hello")
+	if ok != 50 || transport+fivehundred+truncated != 0 {
+		t.Errorf("zero config injected faults: ok=%d transport=%d 5xx=%d truncated=%d",
+			ok, transport, fivehundred, truncated)
+	}
+}
