@@ -159,3 +159,17 @@ var ErrIngesterClosed = stream.ErrClosed
 // NewIngester starts a live ingester; an Ingester satisfies RecordSink,
 // so GenerateTo and ReplayDataset can feed it directly.
 func NewIngester(cfg StreamConfig) *Ingester { return stream.NewIngester(cfg) }
+
+// RecoverStats summarises what a Recover call restored: shard count,
+// probes loaded from checkpoints and WAL records replayed.
+type RecoverStats = stream.RecoverStats
+
+// ProbeCursor is a probe's durable resume position — how many records
+// of each kind have been made durable, counting rejected ones — which a
+// producer uses to skip the already-persisted prefix after a crash.
+type ProbeCursor = stream.ProbeCursor
+
+// Recover builds an Ingester from the WAL directory in cfg, restoring
+// shard checkpoints and replaying each shard's log tail. On a fresh
+// directory it is equivalent to NewIngester with durability enabled.
+func Recover(cfg StreamConfig) (*Ingester, *RecoverStats, error) { return stream.Recover(cfg) }

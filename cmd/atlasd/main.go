@@ -11,6 +11,14 @@
 //	atlasd -seed 7 -scale 0.3 -addr :8042 # generate in memory and serve
 //	atlasd -seed 7 -live -shards 8        # batch endpoints + live ingest
 //	atlasd -live                          # live ingest only (no AS mapping)
+//	atlasd -live -wal-dir DIR -fsync 64   # durable ingest, crash-recoverable
+//
+// With -wal-dir the ingest tier is durable: every record is appended to
+// a per-shard write-ahead log before being applied, shards checkpoint
+// their state every -checkpoint-every records, and on boot the state is
+// recovered from checkpoints plus WAL replay before the live endpoints
+// are mounted. /healthz answers as soon as the listener is up;
+// /readyz stays 503 until recovery has finished.
 //
 // The -chaos-* flags wrap every endpoint in the deterministic
 // fault-injection middleware (internal/faultinject): request drops,
@@ -35,6 +43,7 @@ import (
 	"dynaddr/internal/atlasapi"
 	"dynaddr/internal/faultinject"
 	"dynaddr/internal/stream"
+	"dynaddr/internal/wal"
 )
 
 func main() {
@@ -44,6 +53,9 @@ func main() {
 	addr := flag.String("addr", ":8042", "listen address")
 	live := flag.Bool("live", false, "mount streaming ingest and live query endpoints")
 	shards := flag.Int("shards", 4, "ingest shard count in -live mode")
+	walDir := flag.String("wal-dir", "", "durable ingest: per-shard WAL and checkpoint directory (requires -live)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy with -wal-dir: always, off, or an integer N (sync every N appends)")
+	ckptEvery := flag.Int("checkpoint-every", 4096, "records between shard checkpoints with -wal-dir (negative disables)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection PRNG seed (0 = fixed default)")
 	chaosDrop := flag.Float64("chaos-drop", 0, "probability a request's connection is dropped with no response")
 	chaosError := flag.Float64("chaos-error", 0, "probability a request gets an injected 503")
@@ -87,22 +99,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *walDir != "" && !*live {
+		fmt.Fprintln(os.Stderr, "atlasd: -wal-dir requires -live")
+		os.Exit(2)
+	}
+	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery}
+	if ds != nil {
+		scfg.Pfx2AS = ds.Pfx2AS
+	}
+	if *walDir != "" {
+		scfg.WALDir = *walDir
+		pol, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Sync = pol
+	}
+
 	mux := http.NewServeMux()
 	if ds != nil {
 		mux.Handle("/", atlasapi.NewServer(ds))
 		fmt.Printf("atlasd: serving %d probes on %s\n", len(ds.Probes), *addr)
-	}
-	var ing *stream.Ingester
-	if *live {
-		scfg := stream.Config{Shards: *shards}
-		if ds != nil {
-			scfg.Pfx2AS = ds.Pfx2AS
-		}
-		ing = stream.NewIngester(scfg)
-		ls := atlasapi.NewLiveServer(ing)
-		mux.Handle("/api/v1/stream/", ls)
-		mux.Handle("/api/v1/live/", ls)
-		fmt.Printf("atlasd: live ingest on %s (%d shards)\n", *addr, ing.Shards())
 	}
 
 	var handler http.Handler = mux
@@ -122,9 +139,18 @@ func main() {
 			chaos.Drop, chaos.Error, chaos.Truncate, chaos.DelayBy, chaos.DelayProb, chaos.Seed)
 	}
 
+	// Health endpoints live on the root mux outside the fault injector —
+	// an orchestrator's liveness probe must never eat an injected 503 —
+	// and the panic-recovery middleware wraps everything, so one bad
+	// request can't take the server down.
+	health := &atlasapi.Health{}
+	root := http.NewServeMux()
+	health.Register(root)
+	root.Handle("/", handler)
+
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      handler,
+		Handler:      atlasapi.RecoverPanics(root, nil),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
@@ -134,6 +160,31 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
+	// The live tier mounts after the listener is up: /healthz answers
+	// while WAL recovery replays, and /readyz flips to 200 only once the
+	// recovered ingest endpoints exist. (ServeMux registration is
+	// locked, so mounting after serving has begun is safe; pre-mount
+	// requests see 404 and should gate on /readyz.)
+	var ing *stream.Ingester
+	if *live {
+		if scfg.WALDir != "" {
+			recovered, st, err := stream.Recover(scfg)
+			if err != nil {
+				fatal(fmt.Errorf("recovering %s: %w", scfg.WALDir, err))
+			}
+			ing = recovered
+			fmt.Printf("atlasd: recovered ingest state from %s (%d checkpointed probes, %d WAL records replayed, fsync=%s)\n",
+				scfg.WALDir, st.CheckpointProbes, st.Replayed, scfg.Sync)
+		} else {
+			ing = stream.NewIngester(scfg)
+		}
+		ls := atlasapi.NewLiveServer(ing)
+		mux.Handle("/api/v1/stream/", ls)
+		mux.Handle("/api/v1/live/", ls)
+		fmt.Printf("atlasd: live ingest on %s (%d shards)\n", *addr, ing.Shards())
+	}
+	health.SetReady(true)
+
 	select {
 	case err := <-errCh:
 		fatal(err)
@@ -141,8 +192,11 @@ func main() {
 	}
 
 	// Graceful exit: stop accepting connections and let in-flight ingest
-	// requests finish, then drain the shard queues.
+	// requests finish, then drain the shard queues and flush the WALs
+	// (Close syncs and closes each shard's log; it does not checkpoint —
+	// the next boot replays the tail, which must always work anyway).
 	fmt.Println("atlasd: shutting down")
+	health.SetReady(false)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,312 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/isp"
+	"dynaddr/internal/sim"
+	"dynaddr/internal/simclock"
+)
+
+// crashWorld is a small mixed world (PPP nightly resets, DHCP lease
+// churn, a static control) the crash test streams over HTTP.
+func crashWorld(t *testing.T, seed uint64) *atlasdata.Dataset {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = 1
+	cfg.Profiles = []isp.Profile{
+		{
+			Name: "PeriodicNet", ASN: 100, Country: "DE", Kind: isp.PPP,
+			Cohorts:  []isp.Cohort{{Period: 24 * simclock.Hour, Weight: 1}},
+			SkipProb: 0.01, SameAddrProb: 0.01,
+			OutageRenumberFrac: 1.0,
+			NumPrefixes:        2, PrefixBits: 16, CrossPrefixProb: 0.5,
+			DefaultProbes: 4,
+		},
+		{
+			Name: "LeaseNet", ASN: 200, Country: "US", Kind: isp.DHCP,
+			Lease: 4 * simclock.Hour, ReclaimMean: 30 * simclock.Day,
+			NumPrefixes: 2, PrefixBits: 16, CrossPrefixProb: 0.3,
+			DefaultProbes: 4,
+		},
+		{
+			Name: "StaticNet", ASN: 300, Country: "FR", Kind: isp.Static,
+			NumPrefixes: 1, PrefixBits: 16,
+			DefaultProbes: 2,
+		},
+	}
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world.Dataset
+}
+
+// errStopFeed ends a replay mid-stream, simulating the moment the
+// process will be killed.
+var errStopFeed = errors.New("stop feeding")
+
+// prefixSink forwards the first n records to a producer, then fails.
+type prefixSink struct {
+	p    *atlasapi.StreamProducer
+	left int
+}
+
+func (s *prefixSink) take() bool { s.left--; return s.left >= 0 }
+
+func (s *prefixSink) Meta(m atlasdata.ProbeMeta) error {
+	if !s.take() {
+		return errStopFeed
+	}
+	return s.p.Meta(m)
+}
+
+func (s *prefixSink) ConnLog(e atlasdata.ConnLogEntry) error {
+	if !s.take() {
+		return errStopFeed
+	}
+	return s.p.ConnLog(e)
+}
+
+func (s *prefixSink) KRoot(k atlasdata.KRootRound) error {
+	if !s.take() {
+		return errStopFeed
+	}
+	return s.p.KRoot(k)
+}
+
+func (s *prefixSink) Uptime(u atlasdata.UptimeRecord) error {
+	if !s.take() {
+		return errStopFeed
+	}
+	return s.p.Uptime(u)
+}
+
+// probeCursor mirrors the /api/v1/live/cursor JSON shape.
+type probeCursor struct {
+	Probe    atlasdata.ProbeID `json:"probe"`
+	Meta     int64             `json:"meta"`
+	ConnLogs int64             `json:"connlogs"`
+	KRoot    int64             `json:"kroot"`
+	Uptime   int64             `json:"uptime"`
+}
+
+// resumeSink replays the full stream against a restarted server,
+// skipping each probe's durable prefix as reported by the server's
+// cursor endpoint — the producer side of crash recovery.
+type resumeSink struct {
+	t       *testing.T
+	p       *atlasapi.StreamProducer
+	base    string
+	cursors map[atlasdata.ProbeID]*probeCursor
+}
+
+func (s *resumeSink) cursor(id atlasdata.ProbeID) *probeCursor {
+	if c, ok := s.cursors[id]; ok {
+		return c
+	}
+	var c probeCursor
+	getJSON(s.t, fmt.Sprintf("%s/api/v1/live/cursor?probe=%d", s.base, id), &c)
+	s.cursors[id] = &c
+	return &c
+}
+
+func (s *resumeSink) Meta(m atlasdata.ProbeMeta) error {
+	if c := s.cursor(m.ID); c.Meta > 0 {
+		c.Meta--
+		return nil
+	}
+	return s.p.Meta(m)
+}
+
+func (s *resumeSink) ConnLog(e atlasdata.ConnLogEntry) error {
+	if c := s.cursor(e.Probe); c.ConnLogs > 0 {
+		c.ConnLogs--
+		return nil
+	}
+	return s.p.ConnLog(e)
+}
+
+func (s *resumeSink) KRoot(k atlasdata.KRootRound) error {
+	if c := s.cursor(k.Probe); c.KRoot > 0 {
+		c.KRoot--
+		return nil
+	}
+	return s.p.KRoot(k)
+}
+
+func (s *resumeSink) Uptime(u atlasdata.UptimeRecord) error {
+	if c := s.cursor(u.Probe); c.Uptime > 0 {
+		c.Uptime--
+		return nil
+	}
+	return s.p.Uptime(u)
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}
+
+// waitForReady polls /readyz until the server reports ready.
+func waitForReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+func totalRecords(ds *atlasdata.Dataset) int {
+	n := len(ds.Probes)
+	for id := range ds.Probes {
+		n += len(ds.ConnLogs[id]) + len(ds.KRoot[id]) + len(ds.Uptime[id])
+	}
+	return n
+}
+
+// TestCrashRecoveryOverHTTP is the durability smoke end to end: a
+// durable atlasd is SIGKILLed mid-stream, restarted on the same
+// -wal-dir, and after a cursor-guided producer resume its live summary
+// is byte-identical to a server that ingested the whole stream without
+// interruption.
+func TestCrashRecoveryOverHTTP(t *testing.T) {
+	bins := buildBinaries(t)
+	atlasd := filepath.Join(bins, "atlasd")
+	ds := crashWorld(t, 23)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	startDurable := func(addr string) *exec.Cmd {
+		srv := exec.Command(atlasd, "-live", "-shards", "2",
+			"-wal-dir", walDir, "-fsync", "always", "-checkpoint-every", "64",
+			"-addr", addr)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	// Phase 1: stream ~40% of the records, then SIGKILL with records
+	// still queued inside the server (acks only mean "accepted into a
+	// shard queue"; durability is the WAL's job, resume is the cursor's).
+	addr := pickAddr(t)
+	srv := startDurable(addr)
+	waitForListen(t, addr)
+	base := "http://" + addr
+	waitForReady(t, base)
+
+	ctx := context.Background()
+	prod := atlasapi.NewStreamProducer(ctx, base)
+	if err := sim.ReplayDataset(ds, &prefixSink{p: prod, left: totalRecords(ds) * 2 / 5}); !errors.Is(err, errStopFeed) {
+		t.Fatalf("prefix feed ended with %v, want errStopFeed", err)
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatalf("flushing prefix: %v", err)
+	}
+	if err := srv.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	// Phase 2: restart on the same WAL directory; recovery runs before
+	// readiness flips.
+	addr = pickAddr(t)
+	srv = startDurable(addr)
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitForListen(t, addr)
+	base = "http://" + addr
+	if body := getBody(t, base+"/healthz"); len(body) == 0 {
+		t.Error("empty /healthz response")
+	}
+	waitForReady(t, base)
+
+	// Phase 3: resume the producer from the per-probe cursors and finish
+	// the stream.
+	prod = atlasapi.NewStreamProducer(ctx, base)
+	rs := &resumeSink{t: t, p: prod, base: base, cursors: make(map[atlasdata.ProbeID]*probeCursor)}
+	if err := sim.ReplayDataset(ds, rs); err != nil {
+		t.Fatalf("resumed feed: %v", err)
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatalf("flushing resumed feed: %v", err)
+	}
+	got := getBody(t, base+"/api/v1/live/summary")
+
+	// Reference: a second server ingests the whole stream uninterrupted.
+	refAddr := pickAddr(t)
+	ref := exec.Command(atlasd, "-live", "-shards", "2", "-addr", refAddr)
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ref.Process.Kill()
+		ref.Wait()
+	}()
+	waitForListen(t, refAddr)
+	refBase := "http://" + refAddr
+	waitForReady(t, refBase)
+	refProd := atlasapi.NewStreamProducer(ctx, refBase)
+	if err := sim.ReplayDataset(ds, refProd); err != nil {
+		t.Fatal(err)
+	}
+	if err := refProd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := getBody(t, refBase+"/api/v1/live/summary")
+
+	if string(got) != string(want) {
+		t.Errorf("recovered summary differs from uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package atlasapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 //	POST /api/v1/stream/uptime            uptime reports (NDJSON)
 //	GET  /api/v1/live/summary             stream-wide snapshot (JSON)
 //	GET  /api/v1/live/as/{asn}            one AS's aggregates (JSON)
+//	GET  /api/v1/live/cursor?probe=N      a probe's resume cursor (JSON)
 //
 // LiveServer is an http.Handler; mount it on any mux.
 type LiveServer struct {
@@ -40,6 +42,7 @@ func NewLiveServer(ing *stream.Ingester) *LiveServer {
 	s.mux.HandleFunc("/api/v1/stream/uptime", s.postUptime)
 	s.mux.HandleFunc("/api/v1/live/summary", s.summary)
 	s.mux.HandleFunc("/api/v1/live/as/", s.asDetail)
+	s.mux.HandleFunc("/api/v1/live/cursor", s.cursor)
 	return s
 }
 
@@ -48,7 +51,13 @@ func (s *LiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.S
 
 func ingestError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
-	if errors.Is(err, stream.ErrClosed) {
+	switch {
+	case errors.Is(err, stream.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or the deadline fired while the send was
+		// blocked on backpressure — a capacity condition, not a malformed
+		// request. 503 tells a well-behaved producer to back off and retry.
 		code = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), code)
@@ -159,8 +168,24 @@ type liveSummary struct {
 	ASes                []uint32            `json:"ases"`
 }
 
+// snapshot takes a point-in-time view bound to the request: if the
+// client disconnects while the snapshot marker is queued behind
+// backpressure, the handler returns 503 instead of blocking a server
+// goroutine indefinitely.
+func (s *LiveServer) snapshot(w http.ResponseWriter, r *http.Request) *stream.Snapshot {
+	snap, err := s.ing.SnapshotContext(r.Context())
+	if err != nil {
+		ingestError(w, err)
+		return nil
+	}
+	return snap
+}
+
 func (s *LiveServer) summary(w http.ResponseWriter, r *http.Request) {
-	snap := s.ing.Snapshot()
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
+	}
 	out := liveSummary{
 		Shards:              snap.Shards,
 		Records:             snap.Records,
@@ -181,6 +206,28 @@ func (s *LiveServer) summary(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// cursor answers a producer's resume query after a restart: how many
+// records of each kind the ingester has durably consumed for a probe.
+// A producer that skips that many records per kind resumes gap-free and
+// duplicate-free (the per-shard WAL preserves per-probe order).
+func (s *LiveServer) cursor(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("probe")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id <= 0 {
+		http.Error(w, fmt.Sprintf("bad probe id %q", idStr), http.StatusBadRequest)
+		return
+	}
+	cur, err := s.ing.Cursor(r.Context(), atlasdata.ProbeID(id))
+	if err != nil {
+		ingestError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(cur); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -211,7 +258,10 @@ func (s *LiveServer) asDetail(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad asn %q", rest), http.StatusBadRequest)
 		return
 	}
-	snap := s.ing.Snapshot()
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
+	}
 	agg := snap.AS(uint32(asn))
 	if agg == nil {
 		http.Error(w, fmt.Sprintf("no analyzable probes in AS%d", asn), http.StatusNotFound)

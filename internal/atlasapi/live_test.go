@@ -2,7 +2,10 @@ package atlasapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -148,6 +151,57 @@ func TestLiveServerEndToEnd(t *testing.T) {
 	}
 	if len(det.CDF) == 0 {
 		t.Error("as detail missing CDF")
+	}
+
+	// Cursor: the probe's resume position reflects every record above.
+	resp, err = http.Get(srv.URL + "/api/v1/live/cursor?probe=206")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur stream.ProbeCursor
+	if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantCur := stream.ProbeCursor{Probe: 206, Meta: 1, ConnLogs: 3, KRoot: 2, Uptime: 2}
+	if cur != wantCur {
+		t.Errorf("cursor = %+v, want %+v", cur, wantCur)
+	}
+	// An unseen probe has the zero cursor, not an error.
+	resp, err = http.Get(srv.URL + "/api/v1/live/cursor?probe=999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cur != (stream.ProbeCursor{Probe: 999}) {
+		t.Errorf("unseen probe cursor = %+v, want zero counts", cur)
+	}
+	if resp, err := http.Get(srv.URL + "/api/v1/live/cursor?probe=bogus"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cursor probe id: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestErrorStatusMapping pins the status codes the ingest error
+// translator hands producers: capacity conditions (closed ingester,
+// cancelled or timed-out context) are 503 retry-later, only malformed
+// input is 400.
+func TestIngestErrorStatusMapping(t *testing.T) {
+	for _, err := range []error{stream.ErrClosed, context.Canceled, context.DeadlineExceeded} {
+		rec := httptest.NewRecorder()
+		ingestError(rec, fmt.Errorf("entry 3 of 9: %w", err))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%v mapped to %d, want 503", err, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	ingestError(rec, errors.New("probe 3: bad record"))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("validation error mapped to %d, want 400", rec.Code)
 	}
 }
 

@@ -1,0 +1,70 @@
+package atlasapi
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+)
+
+// RecoverPanics wraps a handler so a panic in request handling answers
+// 500 and is logged instead of killing the serving goroutine's
+// connection with an opaque reset — one bad request must not take the
+// ingest tier down. http.ErrAbortHandler is re-panicked: it is the
+// sanctioned way to abort a response, not a defect.
+func RecoverPanics(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && err == http.ErrAbortHandler {
+				panic(v)
+			}
+			logf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+			// If the handler already wrote a status this is a no-op write
+			// on a broken response; nothing better is possible.
+			http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Health serves the liveness and readiness endpoints:
+//
+//	GET /healthz  200 as long as the process serves HTTP (liveness)
+//	GET /readyz   200 once SetReady(true), 503 before (readiness)
+//
+// atlasd starts its listener before WAL recovery so orchestrators see
+// liveness immediately, and flips readiness only after recovery
+// finishes and the live endpoints are mounted.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the readiness state.
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports the current readiness state.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// Register mounts /healthz and /readyz on mux.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status": "ok"}`)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status": "starting"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status": "ready"}`)
+	})
+}

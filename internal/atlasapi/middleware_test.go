@@ -1,0 +1,81 @@
+package atlasapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecoverPanics(t *testing.T) {
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, format)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fine"))
+	})
+	h := RecoverPanics(mux, logf)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panicking handler answered %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "kaboom") {
+		t.Errorf("500 body %q does not name the panic", rec.Body.String())
+	}
+	if len(logged) != 1 {
+		t.Errorf("panic logged %d times, want 1", len(logged))
+	}
+
+	// Normal handlers pass through untouched.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/ok", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "fine" {
+		t.Errorf("wrapped handler: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRecoverPanicsPassesAbortHandler(t *testing.T) {
+	h := RecoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), func(string, ...any) { t.Error("ErrAbortHandler must not be logged as a defect") })
+	defer func() {
+		if v := recover(); v != http.ErrAbortHandler {
+			t.Errorf("recovered %v, want re-panicked ErrAbortHandler", v)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	var h Health
+	mux := http.NewServeMux()
+	h.Register(mux)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", rec.Code)
+	}
+	h.SetReady(true)
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("/readyz after ready = %d, want 200", rec.Code)
+	}
+	h.SetReady(false)
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after un-ready = %d, want 503", rec.Code)
+	}
+}

@@ -21,6 +21,55 @@ import (
 //
 // IPv6 addresses are recognised by containing ':'.
 
+// formatConnLog renders one entry as its text-format line (no newline).
+func formatConnLog(e ConnLogEntry) string {
+	addr := e.V6Addr
+	if e.Family == V4 {
+		addr = e.Addr.String()
+	}
+	return fmt.Sprintf("%d\t%d\t%d\t%s", e.Probe, int64(e.Start), int64(e.End), addr)
+}
+
+// parseConnLogFields assembles and validates an entry from the four
+// text-format fields.
+func parseConnLogFields(f []string) (ConnLogEntry, error) {
+	probe, start, end, err := parseCommonHead(f)
+	if err != nil {
+		return ConnLogEntry{}, err
+	}
+	e := ConnLogEntry{Probe: probe, Start: start, End: end}
+	if strings.Contains(f[3], ":") {
+		e.Family = V6
+		e.V6Addr = f[3]
+	} else {
+		addr, err := ip4.ParseAddr(f[3])
+		if err != nil {
+			return ConnLogEntry{}, err
+		}
+		e.Family = V4
+		e.Addr = addr
+	}
+	return e, e.Validate()
+}
+
+// MarshalConnLog serialises one entry as a self-contained text record —
+// the single-record codec the ingest WAL frames its payloads with.
+func MarshalConnLog(e ConnLogEntry) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(formatConnLog(e)), nil
+}
+
+// UnmarshalConnLog parses a record written by MarshalConnLog.
+func UnmarshalConnLog(b []byte) (ConnLogEntry, error) {
+	f := strings.Fields(string(b))
+	if len(f) != 4 {
+		return ConnLogEntry{}, fmt.Errorf("atlasdata: connlog record: want 4 fields, got %d", len(f))
+	}
+	return parseConnLogFields(f)
+}
+
 // WriteConnLogs serialises connection-log entries.
 func WriteConnLogs(w io.Writer, entries []ConnLogEntry) error {
 	bw := bufio.NewWriter(w)
@@ -28,11 +77,7 @@ func WriteConnLogs(w io.Writer, entries []ConnLogEntry) error {
 		if err := e.Validate(); err != nil {
 			return err
 		}
-		addr := e.V6Addr
-		if e.Family == V4 {
-			addr = e.Addr.String()
-		}
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%s\n", e.Probe, int64(e.Start), int64(e.End), addr); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s\n", formatConnLog(e)); err != nil {
 			return err
 		}
 	}
@@ -43,29 +88,57 @@ func WriteConnLogs(w io.Writer, entries []ConnLogEntry) error {
 func ParseConnLogs(r io.Reader) ([]ConnLogEntry, error) {
 	var out []ConnLogEntry
 	err := scanLines(r, 4, func(lineno int, f []string) error {
-		probe, start, end, err := parseCommonHead(f)
+		e, err := parseConnLogFields(f)
 		if err != nil {
-			return err
-		}
-		e := ConnLogEntry{Probe: probe, Start: start, End: end}
-		if strings.Contains(f[3], ":") {
-			e.Family = V6
-			e.V6Addr = f[3]
-		} else {
-			addr, err := ip4.ParseAddr(f[3])
-			if err != nil {
-				return err
-			}
-			e.Family = V4
-			e.Addr = addr
-		}
-		if err := e.Validate(); err != nil {
 			return err
 		}
 		out = append(out, e)
 		return nil
 	})
 	return out, err
+}
+
+// formatKRoot renders one round as its text-format line (no newline).
+func formatKRoot(k KRootRound) string {
+	return fmt.Sprintf("%d\t%d\t%d\t%d\t%d", k.Probe, int64(k.Timestamp), k.Sent, k.Success, k.LTS)
+}
+
+// parseKRootFields assembles and validates a round from the five
+// text-format fields.
+func parseKRootFields(f []string) (KRootRound, error) {
+	probe, err := parseProbeID(f[0])
+	if err != nil {
+		return KRootRound{}, err
+	}
+	ts, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return KRootRound{}, fmt.Errorf("bad timestamp %q", f[1])
+	}
+	sent, err1 := strconv.Atoi(f[2])
+	success, err2 := strconv.Atoi(f[3])
+	lts, err3 := strconv.ParseInt(f[4], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return KRootRound{}, fmt.Errorf("bad numeric field in %v", f)
+	}
+	k := KRootRound{Probe: probe, Timestamp: simclock.Time(ts), Sent: sent, Success: success, LTS: lts}
+	return k, k.Validate()
+}
+
+// MarshalKRoot serialises one round as a self-contained text record.
+func MarshalKRoot(k KRootRound) ([]byte, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(formatKRoot(k)), nil
+}
+
+// UnmarshalKRoot parses a record written by MarshalKRoot.
+func UnmarshalKRoot(b []byte) (KRootRound, error) {
+	f := strings.Fields(string(b))
+	if len(f) != 5 {
+		return KRootRound{}, fmt.Errorf("atlasdata: kroot record: want 5 fields, got %d", len(f))
+	}
+	return parseKRootFields(f)
 }
 
 // WriteKRoot serialises k-root rounds.
@@ -75,7 +148,7 @@ func WriteKRoot(w io.Writer, rounds []KRootRound) error {
 		if err := k.Validate(); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n", k.Probe, int64(k.Timestamp), k.Sent, k.Success, k.LTS); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s\n", formatKRoot(k)); err != nil {
 			return err
 		}
 	}
@@ -86,28 +159,55 @@ func WriteKRoot(w io.Writer, rounds []KRootRound) error {
 func ParseKRoot(r io.Reader) ([]KRootRound, error) {
 	var out []KRootRound
 	err := scanLines(r, 5, func(lineno int, f []string) error {
-		probe, err := parseProbeID(f[0])
+		k, err := parseKRootFields(f)
 		if err != nil {
-			return err
-		}
-		ts, err := strconv.ParseInt(f[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad timestamp %q", f[1])
-		}
-		sent, err1 := strconv.Atoi(f[2])
-		success, err2 := strconv.Atoi(f[3])
-		lts, err3 := strconv.ParseInt(f[4], 10, 64)
-		if err1 != nil || err2 != nil || err3 != nil {
-			return fmt.Errorf("bad numeric field in %v", f)
-		}
-		k := KRootRound{Probe: probe, Timestamp: simclock.Time(ts), Sent: sent, Success: success, LTS: lts}
-		if err := k.Validate(); err != nil {
 			return err
 		}
 		out = append(out, k)
 		return nil
 	})
 	return out, err
+}
+
+// formatUptime renders one record as its text-format line (no newline).
+func formatUptime(u UptimeRecord) string {
+	return fmt.Sprintf("%d\t%d\t%d", u.Probe, int64(u.Timestamp), u.Uptime)
+}
+
+// parseUptimeFields assembles and validates a record from the three
+// text-format fields.
+func parseUptimeFields(f []string) (UptimeRecord, error) {
+	probe, err := parseProbeID(f[0])
+	if err != nil {
+		return UptimeRecord{}, err
+	}
+	ts, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return UptimeRecord{}, fmt.Errorf("bad timestamp %q", f[1])
+	}
+	up, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return UptimeRecord{}, fmt.Errorf("bad uptime %q", f[2])
+	}
+	u := UptimeRecord{Probe: probe, Timestamp: simclock.Time(ts), Uptime: up}
+	return u, u.Validate()
+}
+
+// MarshalUptime serialises one record as a self-contained text record.
+func MarshalUptime(u UptimeRecord) ([]byte, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(formatUptime(u)), nil
+}
+
+// UnmarshalUptime parses a record written by MarshalUptime.
+func UnmarshalUptime(b []byte) (UptimeRecord, error) {
+	f := strings.Fields(string(b))
+	if len(f) != 3 {
+		return UptimeRecord{}, fmt.Errorf("atlasdata: uptime record: want 3 fields, got %d", len(f))
+	}
+	return parseUptimeFields(f)
 }
 
 // WriteUptime serialises uptime records.
@@ -117,7 +217,7 @@ func WriteUptime(w io.Writer, recs []UptimeRecord) error {
 		if err := u.Validate(); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", u.Probe, int64(u.Timestamp), u.Uptime); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s\n", formatUptime(u)); err != nil {
 			return err
 		}
 	}
@@ -128,20 +228,8 @@ func WriteUptime(w io.Writer, recs []UptimeRecord) error {
 func ParseUptime(r io.Reader) ([]UptimeRecord, error) {
 	var out []UptimeRecord
 	err := scanLines(r, 3, func(lineno int, f []string) error {
-		probe, err := parseProbeID(f[0])
+		u, err := parseUptimeFields(f)
 		if err != nil {
-			return err
-		}
-		ts, err := strconv.ParseInt(f[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad timestamp %q", f[1])
-		}
-		up, err := strconv.ParseInt(f[2], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad uptime %q", f[2])
-		}
-		u := UptimeRecord{Probe: probe, Timestamp: simclock.Time(ts), Uptime: up}
-		if err := u.Validate(); err != nil {
 			return err
 		}
 		out = append(out, u)
@@ -164,6 +252,24 @@ func WriteProbeArchive(w io.Writer, probes []ProbeMeta) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(sorted)
+}
+
+// MarshalProbeMeta serialises one probe's metadata as a self-contained
+// JSON record.
+func MarshalProbeMeta(p ProbeMeta) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(p)
+}
+
+// UnmarshalProbeMeta parses a record written by MarshalProbeMeta.
+func UnmarshalProbeMeta(b []byte) (ProbeMeta, error) {
+	var p ProbeMeta
+	if err := json.Unmarshal(b, &p); err != nil {
+		return ProbeMeta{}, fmt.Errorf("atlasdata: probe meta record: %v", err)
+	}
+	return p, p.Validate()
 }
 
 // ParseProbeArchive parses probe metadata written by WriteProbeArchive.

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestWeightedJSONRoundTripExact checks the checkpoint-codec contract:
+// a marshal/unmarshal cycle reproduces every mass and the accumulated
+// total bitwise, including totals whose float accumulation order left
+// them off the "ideal" sum.
+func TestWeightedJSONRoundTripExact(t *testing.T) {
+	w := &Weighted{}
+	// Accumulate in an order that exercises float rounding: repeated
+	// small irrational-ish weights at hour-quantised values.
+	for i := 1; i <= 500; i++ {
+		w.Add(float64(i%7)*24+1, 0.1*float64(i))
+		w.Add(168, 1.0/float64(i))
+	}
+
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Weighted
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := back.Total(), w.Total(); got != want {
+		t.Errorf("total: %v, want bitwise-equal %v (diff %g)", got, want, math.Abs(got-want))
+	}
+	if back.Len() != w.Len() {
+		t.Fatalf("len: %d, want %d", back.Len(), w.Len())
+	}
+	for _, v := range w.Values() {
+		if got, want := back.MassOf(v), w.MassOf(v); got != want {
+			t.Errorf("mass at %v: %v, want bitwise-equal %v", v, got, want)
+		}
+	}
+
+	// A second round trip must be byte-identical output (deterministic
+	// encoding).
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("re-marshal not byte-identical")
+	}
+}
+
+func TestWeightedJSONEmptyAndErrors(t *testing.T) {
+	var w Weighted
+	b, err := json.Marshal(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Weighted
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || back.Total() != 0 {
+		t.Errorf("empty round trip: len=%d total=%v", back.Len(), back.Total())
+	}
+	if err := json.Unmarshal([]byte(`{"values":[1,2],"masses":[3],"total":3}`), &back); err == nil {
+		t.Error("mismatched values/masses lengths accepted")
+	}
+}

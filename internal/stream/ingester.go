@@ -9,6 +9,7 @@ import (
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/wal"
 )
 
 // ErrClosed is returned by ingest calls after Close.
@@ -22,6 +23,7 @@ const (
 	kindKRoot
 	kindUptime
 	kindSnapshot
+	kindCursor
 )
 
 // record is the envelope travelling through a shard's channel. Exactly
@@ -33,11 +35,14 @@ type record struct {
 	kroot  atlasdata.KRootRound
 	uptime atlasdata.UptimeRecord
 	snap   chan<- *shardView
+	probe  atlasdata.ProbeID  // kindCursor: which probe
+	cur    chan<- ProbeCursor // kindCursor: reply channel
 }
 
 // shard owns the state machines for a subset of probes. Only the
-// shard's goroutine touches its fields after start-up, so no locking is
-// needed on the hot path; coordination happens through the channel.
+// shard's goroutine touches its fields after start-up (walErr excepted,
+// see errMu), so no locking is needed on the hot path; coordination
+// happens through the channel.
 type shard struct {
 	in     chan record
 	states map[atlasdata.ProbeID]*probeState
@@ -47,6 +52,42 @@ type shard struct {
 	sessionsByAS map[uint32]int64
 	counts       RecordCounts
 	pfx          *pfx2as.SnapshotStore
+
+	// index is the shard's position in Ingester.shards — part of the
+	// on-disk identity of a durable shard.
+	index int
+
+	// Durability (nil/zero for an in-memory ingester). The shard appends
+	// every record to its log before applying it, so the log holds a
+	// superset of the applied state in per-probe order.
+	log       *wal.Log
+	dir       string
+	ckptEvery int
+	sinceCkpt int
+	lastSeq   uint64 // sequence of the last appended record
+
+	// walErr is the first durability error (append, sync, checkpoint).
+	// Once set the shard stops appending — ingest stays available but
+	// degraded — and the error is reported by WALError and Close.
+	errMu  sync.Mutex
+	walErr error
+}
+
+func (s *shard) setWALErr(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	if s.walErr == nil {
+		s.walErr = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *shard) walError() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.walErr
 }
 
 // RecordCounts tallies what an ingester (or one shard) has processed.
@@ -86,25 +127,48 @@ type Ingester struct {
 }
 
 // NewIngester starts the shard goroutines and returns a ready ingester.
-// Call Close to drain and stop them.
+// Call Close to drain and stop them. With Config.WALDir set it opens
+// (and, if needed, recovers) the durable ingester and panics on
+// recovery failure; call Recover directly to handle that error.
 func NewIngester(cfg Config) *Ingester {
 	cfg = cfg.withDefaults()
+	if cfg.WALDir != "" {
+		in, _, err := Recover(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("stream: durable NewIngester: %v", err))
+		}
+		return in
+	}
+	in := newIngester(cfg)
+	in.start()
+	return in
+}
+
+// newIngester allocates the ingester and its shards without starting
+// the shard goroutines (Recover restores shard state in between).
+func newIngester(cfg Config) *Ingester {
 	in := &Ingester{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range in.shards {
-		s := &shard{
+		in.shards[i] = &shard{
+			index:        i,
 			in:           make(chan record, cfg.Buffer),
 			states:       make(map[atlasdata.ProbeID]*probeState),
 			sessionsByAS: make(map[uint32]int64),
 			pfx:          cfg.Pfx2AS,
 		}
-		in.shards[i] = s
+	}
+	return in
+}
+
+// start launches one goroutine per shard.
+func (in *Ingester) start() {
+	for _, s := range in.shards {
 		in.wg.Add(1)
 		go func() {
 			defer in.wg.Done()
 			s.run()
 		}()
 	}
-	return in
 }
 
 // Shards returns the shard count the ingester runs with.
@@ -196,37 +260,104 @@ func (in *Ingester) UptimeContext(ctx context.Context, u atlasdata.UptimeRecord)
 // the shard channels), plus possibly a bounded number of records that
 // were in flight.
 func (in *Ingester) Snapshot() *Snapshot {
-	in.mu.RLock()
-	if !in.closed {
-		ch := make(chan *shardView, len(in.shards))
-		for _, s := range in.shards {
-			s.in <- record{kind: kindSnapshot, snap: ch}
-		}
-		in.mu.RUnlock()
-		views := make([]*shardView, 0, len(in.shards))
-		for range in.shards {
-			views = append(views, <-ch)
-		}
-		return mergeViews(views, len(in.shards))
-	}
-	in.mu.RUnlock()
-	// After Close the shard goroutines have exited; their state is
-	// quiescent and safe to read directly.
-	views := make([]*shardView, 0, len(in.shards))
-	for _, s := range in.shards {
-		views = append(views, s.view())
-	}
-	return mergeViews(views, len(in.shards))
+	snap, _ := in.SnapshotContext(context.Background())
+	return snap
 }
 
-// Close stops accepting records, drains every shard's queue, and waits
-// for the shard goroutines to exit. Snapshot remains usable afterwards.
-// Close is idempotent.
+// SnapshotContext is Snapshot under a context: a caller blocked behind
+// full shard buffers (or behind a shard stalled in an fsync) gets
+// ctx.Err() on cancellation instead of hanging. The error is always
+// ctx.Err(); a nil-error return carries the snapshot.
+func (in *Ingester) SnapshotContext(ctx context.Context) (*Snapshot, error) {
+	in.mu.RLock()
+	if in.closed {
+		in.mu.RUnlock()
+		// After Close the shard goroutines have exited; their state is
+		// quiescent and safe to read directly.
+		views := make([]*shardView, 0, len(in.shards))
+		for _, s := range in.shards {
+			views = append(views, s.view())
+		}
+		return mergeViews(views, len(in.shards)), nil
+	}
+	// ch is buffered to the full shard count so markers already sent keep
+	// a reply slot even if we abandon the collection on cancellation —
+	// no shard goroutine ever blocks on a dead snapshot.
+	ch := make(chan *shardView, len(in.shards))
+	for _, s := range in.shards {
+		select {
+		case s.in <- record{kind: kindSnapshot, snap: ch}:
+		case <-ctx.Done():
+			in.mu.RUnlock()
+			return nil, ctx.Err()
+		}
+	}
+	in.mu.RUnlock()
+	views := make([]*shardView, 0, len(in.shards))
+	for range in.shards {
+		select {
+		case v := <-ch:
+			views = append(views, v)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return mergeViews(views, len(in.shards)), nil
+}
+
+// Cursor returns a probe's resume cursor: how many records of each
+// kind the ingester has consumed for that probe. Like a snapshot it
+// travels in-band, so it reflects every record whose ingest call
+// returned before Cursor was called. After a crash and Recover, the
+// cursor describes exactly the durable prefix of the probe's stream —
+// a producer resumes by skipping that many records per kind.
+func (in *Ingester) Cursor(ctx context.Context, id atlasdata.ProbeID) (ProbeCursor, error) {
+	in.mu.RLock()
+	if in.closed {
+		in.mu.RUnlock()
+		return in.shardFor(id).cursor(id), nil
+	}
+	ch := make(chan ProbeCursor, 1)
+	select {
+	case in.shardFor(id).in <- record{kind: kindCursor, probe: id, cur: ch}:
+	case <-ctx.Done():
+		in.mu.RUnlock()
+		return ProbeCursor{}, ctx.Err()
+	}
+	in.mu.RUnlock()
+	select {
+	case c := <-ch:
+		return c, nil
+	case <-ctx.Done():
+		return ProbeCursor{}, ctx.Err()
+	}
+}
+
+// WALError reports the first durability failure any shard has hit, or
+// nil. A failing shard keeps ingesting in memory (availability over
+// durability) but stops appending, so once this is non-nil the WAL no
+// longer covers the live state and a recovered process will serve the
+// pre-failure prefix.
+func (in *Ingester) WALError() error {
+	for _, s := range in.shards {
+		if err := s.walError(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops accepting records, drains every shard's queue, syncs and
+// closes the shard WALs, and waits for the shard goroutines to exit.
+// Snapshot remains usable afterwards. Close is idempotent; it returns
+// the first durability error encountered during the ingester's life,
+// if any. It deliberately does not checkpoint: recovery must never
+// depend on a clean shutdown.
 func (in *Ingester) Close() error {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
-		return nil
+		return in.WALError()
 	}
 	in.closed = true
 	for _, s := range in.shards {
@@ -234,43 +365,149 @@ func (in *Ingester) Close() error {
 	}
 	in.mu.Unlock()
 	in.wg.Wait()
-	return nil
+	return in.WALError()
 }
 
-// run is the shard goroutine: drain the channel, drive state machines.
+// run is the shard goroutine: drain the channel, persist, then drive
+// the state machines. The append-before-apply order is the durability
+// contract — the WAL always holds a superset of the applied records,
+// in per-probe arrival order.
 func (s *shard) run() {
 	for rec := range s.in {
 		switch rec.kind {
-		case kindMeta:
-			s.state(rec.meta.ID).setMeta(rec.meta)
-			s.counts.Meta++
-		case kindConn:
-			ps := s.state(rec.conn.Probe)
-			if ps.onConn(rec.conn, s.pfx) {
-				s.counts.ConnLogs++
-				if rec.conn.IsV4() && s.pfx != nil {
-					asn, _, _ := s.pfx.Lookup(rec.conn.Addr, rec.conn.Start)
-					s.sessionsByAS[uint32(asn)]++
-				}
-			} else {
-				s.counts.Rejected++
-			}
-		case kindKRoot:
-			if s.state(rec.kroot.Probe).onKRoot(rec.kroot) {
-				s.counts.KRoot++
-			} else {
-				s.counts.Rejected++
-			}
-		case kindUptime:
-			if s.state(rec.uptime.Probe).onUptime(rec.uptime) {
-				s.counts.Uptime++
-			} else {
-				s.counts.Rejected++
-			}
 		case kindSnapshot:
 			rec.snap <- s.view()
+			continue
+		case kindCursor:
+			rec.cur <- s.cursor(rec.probe)
+			continue
+		}
+		s.persist(rec)
+		s.apply(rec)
+		s.maybeCheckpoint()
+	}
+	if s.log != nil {
+		s.setWALErr(s.log.Close())
+	}
+}
+
+// persist appends the record to the shard WAL. Failures are sticky:
+// the first one disables further appends and is reported by WALError.
+func (s *shard) persist(rec record) {
+	if s.log == nil || s.walError() != nil {
+		return
+	}
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		s.setWALErr(err)
+		return
+	}
+	seq, err := s.log.Append(payload)
+	if err != nil {
+		s.setWALErr(err)
+		return
+	}
+	s.lastSeq = seq
+}
+
+// apply drives one record through its probe's state machines. Recovery
+// replays WAL records through this same function, so everything here
+// must be deterministic in the record sequence.
+func (s *shard) apply(rec record) {
+	switch rec.kind {
+	case kindMeta:
+		ps := s.state(rec.meta.ID)
+		ps.metaCount++
+		ps.setMeta(rec.meta)
+		s.counts.Meta++
+	case kindConn:
+		ps := s.state(rec.conn.Probe)
+		ps.connCount++
+		if ps.onConn(rec.conn, s.pfx) {
+			s.counts.ConnLogs++
+			if rec.conn.IsV4() && s.pfx != nil {
+				asn, _, _ := s.pfx.Lookup(rec.conn.Addr, rec.conn.Start)
+				s.sessionsByAS[uint32(asn)]++
+			}
+		} else {
+			s.counts.Rejected++
+		}
+	case kindKRoot:
+		ps := s.state(rec.kroot.Probe)
+		ps.kRootCount++
+		if ps.onKRoot(rec.kroot) {
+			s.counts.KRoot++
+		} else {
+			s.counts.Rejected++
+		}
+	case kindUptime:
+		ps := s.state(rec.uptime.Probe)
+		ps.uptimeCount++
+		if ps.onUptime(rec.uptime) {
+			s.counts.Uptime++
+		} else {
+			s.counts.Rejected++
 		}
 	}
+}
+
+// maybeCheckpoint counts applied records and, at the configured
+// cadence, checkpoints the shard and drops the WAL segments the
+// checkpoint makes obsolete.
+func (s *shard) maybeCheckpoint() {
+	if s.log == nil || s.ckptEvery <= 0 || s.walError() != nil {
+		return
+	}
+	s.sinceCkpt++
+	if s.sinceCkpt < s.ckptEvery {
+		return
+	}
+	if err := s.checkpointNow(); err != nil {
+		s.setWALErr(err)
+	}
+}
+
+// checkpointNow syncs the log, atomically replaces the shard's
+// checkpoint file, and truncates the WAL below it. Ordering matters:
+// the log is synced first so the checkpoint never claims a sequence
+// that could be lost, and segments are only removed once the
+// checkpoint rename is durable.
+func (s *shard) checkpointNow() error {
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(s.dir, s.buildCheckpoint()); err != nil {
+		return err
+	}
+	s.sinceCkpt = 0
+	return s.log.TruncateBefore(s.lastSeq + 1)
+}
+
+// ProbeCursor is a probe's resume position: how many records of each
+// kind the ingester has consumed for the probe (accepted and rejected
+// alike — rejected records were still drawn from the producer's
+// stream). Returned by Cursor and the /api/v1/live/cursor endpoint.
+type ProbeCursor struct {
+	Probe    atlasdata.ProbeID `json:"probe"`
+	Meta     int64             `json:"meta"`
+	ConnLogs int64             `json:"connlogs"`
+	KRoot    int64             `json:"kroot"`
+	Uptime   int64             `json:"uptime"`
+	Rejected int64             `json:"rejected"`
+}
+
+// cursor reads a probe's counters. Called from the shard goroutine
+// (in-band marker) or after Close (quiescent).
+func (s *shard) cursor(id atlasdata.ProbeID) ProbeCursor {
+	c := ProbeCursor{Probe: id}
+	if ps, ok := s.states[id]; ok {
+		c.Meta = ps.metaCount
+		c.ConnLogs = ps.connCount
+		c.KRoot = ps.kRootCount
+		c.Uptime = ps.uptimeCount
+		c.Rejected = ps.rejected
+	}
+	return c
 }
 
 func (s *shard) state(id atlasdata.ProbeID) *probeState {

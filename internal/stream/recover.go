@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/wal"
+)
+
+// Wire codec: one kind byte followed by the record's canonical
+// atlasdata encoding (the same line formats the batch archives use, so
+// a WAL is inspectable with standard tools). The codec must stay
+// deterministic — recovery replays payloads through shard.apply and
+// expects the exact records the original run saw.
+
+func encodeRecord(rec record) ([]byte, error) {
+	var (
+		body []byte
+		err  error
+	)
+	switch rec.kind {
+	case kindMeta:
+		body, err = atlasdata.MarshalProbeMeta(rec.meta)
+	case kindConn:
+		body, err = atlasdata.MarshalConnLog(rec.conn)
+	case kindKRoot:
+		body, err = atlasdata.MarshalKRoot(rec.kroot)
+	case kindUptime:
+		body, err = atlasdata.MarshalUptime(rec.uptime)
+	default:
+		return nil, fmt.Errorf("stream: record kind %d is not persistable", rec.kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(rec.kind))
+	return append(out, body...), nil
+}
+
+func decodeRecord(payload []byte) (record, error) {
+	if len(payload) < 2 {
+		return record{}, errors.New("stream: WAL payload too short")
+	}
+	kind, body := recordKind(payload[0]), payload[1:]
+	var (
+		rec = record{kind: kind}
+		err error
+	)
+	switch kind {
+	case kindMeta:
+		rec.meta, err = atlasdata.UnmarshalProbeMeta(body)
+	case kindConn:
+		rec.conn, err = atlasdata.UnmarshalConnLog(body)
+	case kindKRoot:
+		rec.kroot, err = atlasdata.UnmarshalKRoot(body)
+	case kindUptime:
+		rec.uptime, err = atlasdata.UnmarshalUptime(body)
+	default:
+		err = fmt.Errorf("stream: unknown WAL record kind %d", kind)
+	}
+	return rec, err
+}
+
+// walMeta pins the parts of the configuration baked into the on-disk
+// layout. The shard count decides which log a probe's records land in,
+// so reopening with a different count would silently break the
+// per-probe ordering recovery depends on — it is refused instead.
+type walMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const (
+	walMetaFile    = "ingest.json"
+	walMetaVersion = 1
+)
+
+func checkWALMeta(dir string, shards int) error {
+	path := filepath.Join(dir, walMetaFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		data, err := json.Marshal(walMeta{Version: walMetaVersion, Shards: shards})
+		if err != nil {
+			return err
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	if err != nil {
+		return err
+	}
+	var m walMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("stream: corrupt WAL metadata %s: %w", path, err)
+	}
+	if m.Version != walMetaVersion {
+		return fmt.Errorf("stream: WAL metadata version %d, want %d", m.Version, walMetaVersion)
+	}
+	if m.Shards != shards {
+		return fmt.Errorf("stream: WAL directory laid out for %d shards, config wants %d (resharding an existing WAL is not supported)", m.Shards, shards)
+	}
+	return nil
+}
+
+// RecoverStats summarises what Recover reconstructed.
+type RecoverStats struct {
+	// Shards is the shard count of the recovered ingester.
+	Shards int `json:"shards"`
+	// CheckpointProbes counts probe states restored from checkpoints.
+	CheckpointProbes int `json:"checkpoint_probes"`
+	// Replayed counts WAL records re-applied past the checkpoints.
+	Replayed int64 `json:"replayed"`
+}
+
+// Recover opens a durable ingester rooted at cfg.WALDir, rebuilding
+// each shard from its latest checkpoint plus its WAL tail. A fresh
+// directory starts empty, so Recover is also the constructor for new
+// durable ingesters. The reconstructed state is byte-identical (in
+// Snapshot terms) to an uninterrupted run over the same durable record
+// prefix: checkpoints round-trip floats exactly, and WAL replay drives
+// the same deterministic state machines the live path uses. Damaged WAL
+// tails (torn frames, bit flips) are truncated to the last valid
+// record, never fatal; use Cursor to learn each probe's durable prefix
+// and resume producers from there.
+func Recover(cfg Config) (*Ingester, *RecoverStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WALDir == "" {
+		return nil, nil, errors.New("stream: Recover requires Config.WALDir")
+	}
+	if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := checkWALMeta(cfg.WALDir, cfg.Shards); err != nil {
+		return nil, nil, err
+	}
+	in := newIngester(cfg)
+	st := &RecoverStats{Shards: cfg.Shards}
+	for _, s := range in.shards {
+		if err := recoverShard(s, cfg, st); err != nil {
+			for _, prev := range in.shards {
+				if prev.log != nil {
+					prev.log.Close()
+				}
+			}
+			return nil, nil, fmt.Errorf("stream: recovering shard %d: %w", s.index, err)
+		}
+	}
+	in.start()
+	return in, st, nil
+}
+
+// recoverShard restores one shard: checkpoint, then WAL tail.
+func recoverShard(s *shard, cfg Config, st *RecoverStats) error {
+	s.dir = filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%03d", s.index))
+	s.ckptEvery = cfg.CheckpointEvery
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+
+	ck, err := loadCheckpoint(s.dir)
+	if err != nil {
+		return err
+	}
+	from := uint64(1)
+	if ck != nil {
+		s.restoreCheckpoint(ck)
+		from = ck.Seq + 1
+		st.CheckpointProbes += len(ck.Probes)
+	}
+
+	opt := wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Sync}
+	log, err := wal.Open(s.dir, opt)
+	if err != nil {
+		return err
+	}
+	if log.NextSeq() < from {
+		// The surviving log ends before the checkpoint: every frame in it
+		// is already covered by the checkpoint (the checkpoint synced the
+		// log before being written), so reset the log to start just past
+		// the checkpoint instead of replaying stale history.
+		if err := log.Close(); err != nil {
+			return err
+		}
+		opt.FirstSeq = from
+		if log, err = wal.Open(s.dir, opt); err != nil {
+			return err
+		}
+	}
+
+	err = wal.Replay(s.dir, from, func(seq uint64, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("WAL seq %d: %w", seq, err)
+		}
+		s.apply(rec)
+		s.sinceCkpt++
+		st.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return err
+	}
+	s.log = log
+	s.lastSeq = log.NextSeq() - 1
+	return nil
+}

@@ -1,0 +1,414 @@
+package stream_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/isp"
+	"dynaddr/internal/sim"
+	"dynaddr/internal/simclock"
+	"dynaddr/internal/stats"
+	"dynaddr/internal/stream"
+	"dynaddr/internal/wal"
+)
+
+// recoverWorld builds a small mixed world for the recovery tests: PPP
+// with nightly resets, DHCP with lease churn, and a static control, plus
+// dual-stack and testing-address probes so the recovered state machines
+// cover the stripped-log and v6 paths too.
+func recoverWorld(t testing.TB, seed uint64) *atlasdata.Dataset {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = 1
+	cfg.Profiles = []isp.Profile{
+		{
+			Name: "PeriodicNet", ASN: 100, Country: "DE", Kind: isp.PPP,
+			Cohorts:  []isp.Cohort{{Period: 24 * simclock.Hour, Weight: 1}},
+			SkipProb: 0.01, SameAddrProb: 0.01,
+			OutageRenumberFrac: 1.0,
+			NumPrefixes:        2, PrefixBits: 16, CrossPrefixProb: 0.5,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "LeaseNet", ASN: 200, Country: "US", Kind: isp.DHCP,
+			Lease: 4 * simclock.Hour, ReclaimMean: 30 * simclock.Day,
+			NumPrefixes: 2, PrefixBits: 16, CrossPrefixProb: 0.3,
+			DefaultProbes: 6,
+		},
+		{
+			Name: "StaticNet", ASN: 300, Country: "FR", Kind: isp.Static,
+			NumPrefixes: 1, PrefixBits: 16,
+			DefaultProbes: 4,
+		},
+	}
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world.Dataset
+}
+
+// snapshotBytes renders a snapshot canonically, including the fields
+// the public JSON encoding omits (categories, per-AS aggregates and
+// their TTF distributions), so byte equality means full state equality.
+func snapshotBytes(t testing.TB, snap *stream.Snapshot) []byte {
+	t.Helper()
+	type asOut struct {
+		Agg *stream.ASAggregate `json:"agg"`
+		TTF *stats.Weighted     `json:"ttf"`
+	}
+	out := struct {
+		Snap       *stream.Snapshot `json:"snap"`
+		Categories map[string]int   `json:"categories"`
+		PerAS      map[string]asOut `json:"per_as"`
+	}{Snap: snap, Categories: map[string]int{}, PerAS: map[string]asOut{}}
+	for cat, n := range snap.Categories {
+		out.Categories[fmt.Sprint(cat)] = n
+	}
+	for _, asn := range snap.ASNs() {
+		agg := snap.AS(asn)
+		out.PerAS[fmt.Sprintf("%d", asn)] = asOut{Agg: agg, TTF: agg.TTF}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// memorySnapshot streams the whole dataset through an in-memory
+// ingester — the uninterrupted reference run.
+func memorySnapshot(t testing.TB, ds *atlasdata.Dataset, shards int) []byte {
+	t.Helper()
+	ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS})
+	if err := sim.ReplayDataset(ds, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return snapshotBytes(t, ing.Snapshot())
+}
+
+// errStop is the sentinel a stopAfter sink uses to end a replay
+// mid-stream, simulating a crash arriving at an arbitrary record.
+var errStop = errors.New("stop")
+
+// stopAfter forwards records to an ingester until n have passed, then
+// fails every call — the producer's view of a process dying mid-stream.
+type stopAfter struct {
+	ing  *stream.Ingester
+	left int
+}
+
+func (s *stopAfter) take() bool { s.left--; return s.left >= 0 }
+
+func (s *stopAfter) Meta(m atlasdata.ProbeMeta) error {
+	if !s.take() {
+		return errStop
+	}
+	return s.ing.Meta(m)
+}
+
+func (s *stopAfter) ConnLog(e atlasdata.ConnLogEntry) error {
+	if !s.take() {
+		return errStop
+	}
+	return s.ing.ConnLog(e)
+}
+
+func (s *stopAfter) KRoot(k atlasdata.KRootRound) error {
+	if !s.take() {
+		return errStop
+	}
+	return s.ing.KRoot(k)
+}
+
+func (s *stopAfter) Uptime(u atlasdata.UptimeRecord) error {
+	if !s.take() {
+		return errStop
+	}
+	return s.ing.Uptime(u)
+}
+
+// skipSink resumes a producer against a recovered ingester: on the
+// first record for each probe it asks the ingester for that probe's
+// cursor, then skips exactly the per-kind counts the cursor reports —
+// the durable prefix — and feeds everything after. No gaps, no
+// duplicates.
+type skipSink struct {
+	ing     *stream.Ingester
+	cursors map[atlasdata.ProbeID]*stream.ProbeCursor
+}
+
+func newSkipSink(ing *stream.Ingester) *skipSink {
+	return &skipSink{ing: ing, cursors: make(map[atlasdata.ProbeID]*stream.ProbeCursor)}
+}
+
+func (s *skipSink) cursor(id atlasdata.ProbeID) (*stream.ProbeCursor, error) {
+	if c, ok := s.cursors[id]; ok {
+		return c, nil
+	}
+	c, err := s.ing.Cursor(context.Background(), id)
+	if err != nil {
+		return nil, err
+	}
+	s.cursors[id] = &c
+	return &c, nil
+}
+
+func (s *skipSink) Meta(m atlasdata.ProbeMeta) error {
+	c, err := s.cursor(m.ID)
+	if err != nil {
+		return err
+	}
+	if c.Meta > 0 {
+		c.Meta--
+		return nil
+	}
+	return s.ing.Meta(m)
+}
+
+func (s *skipSink) ConnLog(e atlasdata.ConnLogEntry) error {
+	c, err := s.cursor(e.Probe)
+	if err != nil {
+		return err
+	}
+	if c.ConnLogs > 0 {
+		c.ConnLogs--
+		return nil
+	}
+	return s.ing.ConnLog(e)
+}
+
+func (s *skipSink) KRoot(k atlasdata.KRootRound) error {
+	c, err := s.cursor(k.Probe)
+	if err != nil {
+		return err
+	}
+	if c.KRoot > 0 {
+		c.KRoot--
+		return nil
+	}
+	return s.ing.KRoot(k)
+}
+
+func (s *skipSink) Uptime(u atlasdata.UptimeRecord) error {
+	c, err := s.cursor(u.Probe)
+	if err != nil {
+		return err
+	}
+	if c.Uptime > 0 {
+		c.Uptime--
+		return nil
+	}
+	return s.ing.Uptime(u)
+}
+
+func totalRecords(ds *atlasdata.Dataset) int {
+	n := len(ds.Probes)
+	for id := range ds.Probes {
+		n += len(ds.ConnLogs[id]) + len(ds.KRoot[id]) + len(ds.Uptime[id])
+	}
+	return n
+}
+
+// durableConfig keeps segments and checkpoint cadence small so even the
+// tiny worlds rotate segments and checkpoint several times.
+func durableConfig(ds *atlasdata.Dataset, dir string, shards int) stream.Config {
+	return stream.Config{
+		Shards:          shards,
+		Pfx2AS:          ds.Pfx2AS,
+		WALDir:          dir,
+		Sync:            wal.SyncNever, // tests Close (which syncs) before damaging
+		CheckpointEvery: 64,
+		SegmentBytes:    4096,
+	}
+}
+
+// TestRecoverFullStream is the baseline golden test: a durable run over
+// the full dataset, closed cleanly, recovers to a snapshot
+// byte-identical to an uninterrupted in-memory run — including probes
+// with open loss runs and half-open (still unbounded) address runs at
+// stream end.
+func TestRecoverFullStream(t *testing.T) {
+	ds := recoverWorld(t, 7)
+	want := memorySnapshot(t, ds, 4)
+	dir := t.TempDir()
+
+	ing, st, err := stream.Recover(durableConfig(ds, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 0 || st.CheckpointProbes != 0 {
+		t.Errorf("fresh directory recovered state: %+v", st)
+	}
+	if err := sim.ReplayDataset(ds, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, st, err := stream.Recover(durableConfig(ds, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CheckpointProbes == 0 {
+		t.Error("no probes restored from checkpoints; checkpoint cadence not exercised")
+	}
+	got := snapshotBytes(t, rec.Snapshot())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("recovered snapshot differs from uninterrupted run\n got: %.200s\nwant: %.200s", got, want)
+	}
+
+	// The shard count is part of the on-disk layout.
+	if _, _, err := stream.Recover(durableConfig(ds, dir, 2)); err == nil ||
+		!strings.Contains(err.Error(), "shards") {
+		t.Errorf("resharding an existing WAL dir not refused: %v", err)
+	}
+}
+
+// damageLastSegment mutates the newest WAL segment of one shard
+// directory: "chop" cuts bytes off its end (torn tail), "flip" XORs a
+// byte in the middle (bit rot).
+func damageLastSegment(t *testing.T, shardDir, mode string) {
+	t.Helper()
+	ents, err := os.ReadDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no segments in %s", shardDir)
+	}
+	sort.Strings(segs)
+	path := filepath.Join(shardDir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		return // empty active segment: nothing to damage
+	}
+	switch mode {
+	case "chop":
+		if err := os.Truncate(path, int64(len(data)-min(len(data), 7))); err != nil {
+			t.Fatal(err)
+		}
+	case "flip":
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown damage mode %q", mode)
+	}
+}
+
+// TestRecoverEquivalence is the tentpole's acceptance matrix: across
+// seeds and shard counts, a durable run killed mid-stream — with the
+// WAL tail optionally torn or bit-flipped afterwards — recovers, hands
+// producers their per-probe resume cursors, and after the resumed
+// replay reaches a snapshot byte-identical to a run that never crashed.
+func TestRecoverEquivalence(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		shards int
+	}{
+		{seed: 3, shards: 1},
+		{seed: 11, shards: 4},
+	}
+	damages := []string{"none", "chop", "flip"}
+	for _, tc := range cases {
+		ds := recoverWorld(t, tc.seed)
+		want := memorySnapshot(t, ds, tc.shards)
+		stopAt := totalRecords(ds) * 2 / 5
+
+		for _, damage := range damages {
+			name := fmt.Sprintf("seed=%d/shards=%d/damage=%s", tc.seed, tc.shards, damage)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+
+				// Phase 1: durable run dies ~40% into the stream.
+				ing, _, err := stream.Recover(durableConfig(ds, dir, tc.shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sim.ReplayDataset(ds, &stopAfter{ing: ing, left: stopAt}); !errors.Is(err, errStop) {
+					t.Fatalf("replay ended with %v, want errStop", err)
+				}
+				if err := ing.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Phase 2: storage damage on one shard's newest segment.
+				if damage != "none" {
+					damageLastSegment(t, filepath.Join(dir, "shard-000"), damage)
+				}
+
+				// Phase 3: recover, resume the producer from the cursors,
+				// finish the stream.
+				rec, _, err := stream.Recover(durableConfig(ds, dir, tc.shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sim.ReplayDataset(ds, newSkipSink(rec)); err != nil {
+					t.Fatal(err)
+				}
+				if err := rec.Close(); err != nil {
+					t.Fatal(err)
+				}
+				got := snapshotBytes(t, rec.Snapshot())
+				if string(got) != string(want) {
+					t.Errorf("post-recovery snapshot differs from uninterrupted run\n got: %.200s\nwant: %.200s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRecover measures reconstruction (checkpoint load + WAL
+// replay) of a durable ingester state.
+func BenchmarkRecover(b *testing.B) {
+	ds := recoverWorld(b, 5)
+	dir := b.TempDir()
+	cfg := durableConfig(ds, dir, 4)
+	ing, _, err := stream.Recover(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.ReplayDataset(ds, ing); err != nil {
+		b.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, _, err := stream.Recover(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -46,6 +46,17 @@ type probeState struct {
 	meta    atlasdata.ProbeMeta
 	hasMeta bool
 
+	// Processed-record counters by kind, counting every record the shard
+	// consumed for this probe — accepted or rejected. They form the
+	// probe's resume cursor: because the shard WAL preserves per-probe
+	// order, the counts identify exactly how far into a probe's stream
+	// the durable state reaches, so a producer can resume after a crash
+	// without gaps or duplicates.
+	metaCount   int64
+	connCount   int64
+	kRootCount  int64
+	uptimeCount int64
+
 	// Raw-log classification features (mirroring core.classify, which
 	// inspects the log before the testing-entry strip).
 	rawEntries    int

@@ -28,19 +28,44 @@ package stream
 
 import (
 	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/wal"
 )
 
 // Config parameterises an Ingester.
 type Config struct {
 	// Shards is the number of shard goroutines; probe IDs are hashed
-	// across them. Zero means 4.
+	// across them. Zero means 4. A durable ingester's shard count is
+	// part of its on-disk layout: reopening a WAL directory with a
+	// different count is refused, because resharding would break the
+	// per-probe ordering the logs preserve by construction.
 	Shards int
 	// Buffer is the per-shard channel capacity; a full shard blocks its
 	// producers (backpressure). Zero means 256.
 	Buffer int
 	// Pfx2AS maps addresses to origin ASes, month-matched, for per-AS
 	// aggregation. Nil disables AS attribution (everything maps to 0).
+	// Recovery replays WAL records through the same state machines, so
+	// the store must be the same one the original run used for the
+	// recovered aggregates to match.
 	Pfx2AS *pfx2as.SnapshotStore
+
+	// WALDir, when set, makes the ingester durable: each shard appends
+	// every record to its own write-ahead log under WALDir/shard-NNN
+	// before applying it, checkpoints its state periodically, and can be
+	// reconstructed after a crash with Recover. Empty means in-memory
+	// only (the pre-durability behaviour).
+	WALDir string
+	// Sync is the WAL fsync policy; the zero value is wal.SyncAlways.
+	Sync wal.SyncPolicy
+	// CheckpointEvery is the number of records a shard applies between
+	// checkpoints (serialize state, atomically replace the checkpoint
+	// file, drop WAL segments the checkpoint covers). Zero means 4096;
+	// negative disables periodic checkpoints (the WAL then grows until
+	// the process exits).
+	CheckpointEvery int
+	// SegmentBytes is the WAL segment rotation size; zero means the wal
+	// package default (1 MiB).
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Buffer <= 0 {
 		c.Buffer = 256
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 4096
 	}
 	return c
 }
