@@ -14,6 +14,7 @@ import (
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/sim"
 	"dynaddr/internal/stream"
 )
@@ -349,6 +350,39 @@ func BenchmarkStreamIngest(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS})
+				if err := ReplayDataset(ds, ing); err != nil {
+					b.Fatal(err)
+				}
+				if err := ing.Close(); err != nil {
+					b.Fatal(err)
+				}
+				snap := ing.Snapshot()
+				if snap.Records.Total() != records {
+					b.Fatalf("ingested %d records, want %d", snap.Records.Total(), records)
+				}
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}
+
+// BenchmarkStreamIngestInstrumented is BenchmarkStreamIngest with the
+// obs registry attached — the pair measures the instrumentation's
+// overhead on the ingest hot path (EXPERIMENTS.md; target < 5%
+// throughput delta).
+func BenchmarkStreamIngestInstrumented(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	ds := w.Dataset
+	var records int64
+	for id := range ds.Probes {
+		records += int64(1 + len(ds.ConnLogs[id]) + len(ds.KRoot[id]) + len(ds.Uptime[id]))
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reg := obs.NewRegistry()
+				ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS, Metrics: reg})
 				if err := ReplayDataset(ds, ing); err != nil {
 					b.Fatal(err)
 				}

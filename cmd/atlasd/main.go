@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,11 +43,13 @@ import (
 	"dynaddr"
 	"dynaddr/internal/atlasapi"
 	"dynaddr/internal/faultinject"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/stream"
 	"dynaddr/internal/wal"
 )
 
 func main() {
+	start := time.Now()
 	data := flag.String("data", "", "dataset directory to serve (mutually exclusive with -seed)")
 	seed := flag.Uint64("seed", 0, "generate a world with this seed instead of loading")
 	scale := flag.Float64("scale", 0.25, "population scale when generating")
@@ -62,6 +65,8 @@ func main() {
 	chaosTruncate := flag.Float64("chaos-truncate", 0, "probability a response body is truncated mid-stream")
 	chaosDelayProb := flag.Float64("chaos-delay-prob", 0, "probability a request is delayed by -chaos-delay")
 	chaosDelay := flag.Duration("chaos-delay", 0, "latency injected when -chaos-delay-prob fires")
+	metricsOn := flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format) and instrument the hot paths")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
@@ -103,7 +108,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atlasd: -wal-dir requires -live")
 		os.Exit(2)
 	}
-	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery}
+	// reg stays nil with -metrics=false: the instrumented paths all
+	// treat a nil registry as "record nothing".
+	var reg *obs.Registry
+	if *metricsOn {
+		reg = obs.NewRegistry()
+	}
+
+	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery, Metrics: reg}
 	if ds != nil {
 		scfg.Pfx2AS = ds.Pfx2AS
 	}
@@ -118,7 +130,9 @@ func main() {
 
 	mux := http.NewServeMux()
 	if ds != nil {
-		mux.Handle("/", atlasapi.NewServer(ds))
+		as := atlasapi.NewServer(ds)
+		as.SetMetrics(reg)
+		mux.Handle("/", as)
 		fmt.Printf("atlasd: serving %d probes on %s\n", len(ds.Probes), *addr)
 	}
 
@@ -139,14 +153,26 @@ func main() {
 			chaos.Drop, chaos.Error, chaos.Truncate, chaos.DelayBy, chaos.DelayProb, chaos.Seed)
 	}
 
-	// Health endpoints live on the root mux outside the fault injector —
-	// an orchestrator's liveness probe must never eat an injected 503 —
-	// and the panic-recovery middleware wraps everything, so one bad
-	// request can't take the server down.
+	// Health, metrics and pprof endpoints live on the root mux outside
+	// the fault injector (an orchestrator's liveness probe or a scraping
+	// Prometheus must never eat an injected 503) and outside the request
+	// instrumentation (scrapes of /metrics should not move the request
+	// metrics they read). The panic-recovery middleware wraps
+	// everything, so one bad request can't take the server down.
 	health := &atlasapi.Health{}
 	root := http.NewServeMux()
 	health.Register(root)
-	root.Handle("/", handler)
+	if reg != nil {
+		root.Handle("/metrics", obs.Handler(reg))
+	}
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	root.Handle("/", atlasapi.InstrumentHTTP(reg, handler))
 
 	srv := &http.Server{
 		Addr:         *addr,
@@ -185,6 +211,15 @@ func main() {
 	}
 	health.SetReady(true)
 
+	// The one-line boot summary: everything an operator needs to match
+	// this process against its logs and its /metrics scrape.
+	walSummary := "off"
+	if scfg.WALDir != "" {
+		walSummary = fmt.Sprintf("%s fsync=%s", scfg.WALDir, scfg.Sync)
+	}
+	fmt.Printf("atlasd: up addr=%s live=%v wal=%s chaos=%v metrics=%v pprof=%v\n",
+		*addr, *live, walSummary, chaos.Enabled(), *metricsOn, *pprofOn)
+
 	select {
 	case err := <-errCh:
 		fatal(err)
@@ -202,16 +237,22 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "atlasd: shutdown:", err)
 	}
+	ingested := int64(0)
 	if ing != nil {
 		if err := ing.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "atlasd: draining ingester:", err)
 		}
+		// After Close the shards are quiescent; the snapshot is the final
+		// tally.
+		ingested = ing.Snapshot().Records.Total()
 	}
 	if injector != nil {
 		st := injector.Stats()
 		fmt.Printf("atlasd: chaos stats: %d requests, %d dropped, %d errored, %d truncated, %d delayed\n",
 			st.Requests, st.Drops, st.Errors, st.Truncates, st.Delays)
 	}
+	fmt.Printf("atlasd: down records_ingested=%d uptime=%s\n",
+		ingested, time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

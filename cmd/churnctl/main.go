@@ -146,7 +146,14 @@ func main() {
 		"country":   func() { emit(rep.RenderByCountry(3)) },
 		"blacklist": func() { emit(core.RenderBlacklist(core.AdviseBlacklist(rep, 5), names)) },
 		"lease":     func() { emit(core.RenderLeaseEstimates(core.EstimateLeases(rep.Outage, rep.Filter), names)) },
-		"metrics":   func() { emit(renderMetrics(rep.Metrics)) },
+		"metrics": func() {
+			// The sequential engine leaves Report.Metrics nil.
+			if rep.Metrics == nil {
+				fmt.Println("no engine metrics recorded (run with -parallel)")
+				return
+			}
+			emit(renderMetrics(rep.Metrics))
+		},
 	}
 
 	switch what {

@@ -69,6 +69,7 @@ func (s *Server) analysis(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	engine.ExportMetrics(s.metrics, rep.Metrics)
 
 	out := analysisSummary{
 		Table5Rows:   len(rep.Table5),

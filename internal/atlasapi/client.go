@@ -15,6 +15,7 @@ import (
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/backoff"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/pfx2as"
 )
 
@@ -57,9 +58,63 @@ type Client struct {
 	// ScrapeReport. Zero keeps the historical all-or-nothing behaviour;
 	// negative means unlimited.
 	AllowFailures int
+	// Metrics, when non-nil, receives request, retry, backoff-sleep and
+	// error-budget counters across every fetch this client issues.
+	Metrics *obs.Registry
 
 	// jitter feeds Backoff; the zero value is ready to use.
 	jitter backoff.Jitter
+
+	cmOnce sync.Once
+	cm     *clientMetrics
+}
+
+// clientMetrics caches the client's instruments so the per-request
+// path never touches the registry. Nil (Metrics unset) records
+// nothing; methods are nil-receiver safe.
+type clientMetrics struct {
+	requests   *obs.Counter
+	retries    *obs.Counter
+	backoffSec *obs.Histogram
+	budget     *obs.Counter
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.cmOnce.Do(func() {
+		if c.Metrics == nil {
+			return
+		}
+		c.cm = &clientMetrics{
+			requests: c.Metrics.Counter("scrape_requests_total",
+				"HTTP requests issued by the scrape client, retries included."),
+			retries: c.Metrics.Counter("scrape_retries_total",
+				"Scrape fetch attempts beyond the first."),
+			backoffSec: c.Metrics.Histogram("scrape_backoff_seconds",
+				"Backoff sleeps between scrape retries, in seconds (the sum is total time spent backing off).", nil),
+			budget: c.Metrics.Counter("scrape_budget_burned_total",
+				"Probes skipped under the scrape error budget."),
+		}
+	})
+	return c.cm
+}
+
+func (m *clientMetrics) request() {
+	if m != nil {
+		m.requests.Inc()
+	}
+}
+
+func (m *clientMetrics) retried(delay time.Duration) {
+	if m != nil {
+		m.retries.Inc()
+		m.backoffSec.Observe(delay.Seconds())
+	}
+}
+
+func (m *clientMetrics) budgetBurned() {
+	if m != nil {
+		m.budget.Inc()
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -99,15 +154,21 @@ func get[T any](ctx context.Context, c *Client, path string, parse func(io.Reade
 	if retries <= 0 {
 		retries = 2
 	}
+	cm := c.metrics()
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			st.retry()
-			if err := c.Backoff.Sleep(ctx, attempt-1, c.jitter.Uint64()); err != nil {
+			// The delay is computed with the same jitter word the sleep
+			// consumes, so the recorded backoff is exactly the one served.
+			u := c.jitter.Uint64()
+			cm.retried(c.Backoff.Delay(attempt-1, u))
+			if err := c.Backoff.Sleep(ctx, attempt-1, u); err != nil {
 				return zero, fmt.Errorf("atlasapi: GET %s: cancelled during retry backoff: %w (last error: %v)", path, err, lastErr)
 			}
 		}
 		st.attempt()
+		cm.request()
 		v, retriable, err := getOnce(ctx, c, path, parse)
 		if err == nil {
 			return v, nil
@@ -372,6 +433,7 @@ func (c *Client) ScrapeAllContext(ctx context.Context) (*atlasdata.Dataset, *Scr
 	skip := func(id atlasdata.ProbeID, err error) {
 		mu.Lock()
 		defer mu.Unlock()
+		c.metrics().budgetBurned()
 		report.Skipped = append(report.Skipped, ProbeFailure{Probe: id, Err: err})
 		if c.AllowFailures >= 0 && len(report.Skipped) > c.AllowFailures && fatalErr == nil {
 			fatalErr = fmt.Errorf("atlasapi: scrape error budget exhausted (%d probes failed, %d allowed): %w",

@@ -1,0 +1,99 @@
+package atlasapi
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dynaddr/internal/obs"
+)
+
+func sumFamily(reg *obs.Registry, name string) (value float64, count int64) {
+	for _, f := range reg.Gather() {
+		if f.Name != name {
+			continue
+		}
+		for _, m := range f.Metrics {
+			value += m.Value
+			count += m.Count
+		}
+	}
+	return value, count
+}
+
+// TestClientMetricsRetries: requests, retries and backoff sleeps land
+// in the registry with exact counts.
+func TestClientMetricsRetries(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		hits int
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		n := hits
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "[]")
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{BaseURL: srv.URL, Retries: 3, Backoff: fastBackoff, Metrics: reg}
+	if _, err := c.FetchProbeArchive(); err != nil {
+		t.Fatalf("fetch after transient failures: %v", err)
+	}
+
+	if v, _ := sumFamily(reg, "scrape_requests_total"); v != 3 {
+		t.Errorf("scrape_requests_total = %v, want 3", v)
+	}
+	if v, _ := sumFamily(reg, "scrape_retries_total"); v != 2 {
+		t.Errorf("scrape_retries_total = %v, want 2", v)
+	}
+	if _, n := sumFamily(reg, "scrape_backoff_seconds"); n != 2 {
+		t.Errorf("scrape_backoff_seconds count = %d, want 2 (one sleep per retry)", n)
+	}
+}
+
+// TestClientMetricsBudgetBurn: probes skipped under the error budget
+// are counted.
+func TestClientMetricsBudgetBurn(t *testing.T) {
+	world := smallWorld(t, 11, 0.02)
+	inner := NewServer(world.Dataset)
+	// Fail one probe's history permanently (404): after retries the
+	// scrape skips it against the budget.
+	var victim string
+	for id := range world.Dataset.Probes {
+		victim = "/probes/" + strconv.Itoa(int(id)) + "/connection-history/"
+		break
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == victim {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{BaseURL: srv.URL, Retries: 1, Backoff: fastBackoff,
+		AllowFailures: 2, Metrics: reg}
+	ds, rep, err := c.ScrapeAllContext(context.Background())
+	if err != nil {
+		t.Fatalf("scrape with budget: %v", err)
+	}
+	if ds == nil || len(rep.Skipped) != 1 {
+		t.Fatalf("skipped = %d, want exactly the victim probe", len(rep.Skipped))
+	}
+	if v, _ := sumFamily(reg, "scrape_budget_burned_total"); v != 1 {
+		t.Errorf("scrape_budget_burned_total = %v, want 1", v)
+	}
+}

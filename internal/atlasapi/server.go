@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/pfx2as"
 )
 
@@ -22,9 +23,15 @@ import (
 //
 // Server is an http.Handler; mount it on any mux or serve it directly.
 type Server struct {
-	ds  *atlasdata.Dataset
-	mux *http.ServeMux
+	ds      *atlasdata.Dataset
+	mux     *http.ServeMux
+	metrics *obs.Registry
 }
+
+// SetMetrics attaches a registry; engine runs triggered through
+// /api/v1/analysis export their RunMetrics into it. Call before
+// serving.
+func (s *Server) SetMetrics(reg *obs.Registry) { s.metrics = reg }
 
 // NewServer wraps a dataset. The dataset must not be mutated while the
 // server is live.

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"dynaddr/internal/core"
+	"dynaddr/internal/obs"
+)
+
+// ExportMetrics publishes one run's core.RunMetrics into reg, so the
+// numbers behind `churnctl metrics` and the /metrics exposition are
+// the same measurements. Stage wall time goes into a per-stage
+// histogram whose _sum is the cumulative seconds spent in the stage
+// and whose _count is the number of runs; a gauge carries the latest
+// run's parallelism. Nil reg or nil metrics are no-ops — the
+// sequential engine leaves Report.Metrics unset.
+func ExportMetrics(reg *obs.Registry, m *core.RunMetrics) {
+	if reg == nil || m == nil {
+		return
+	}
+	reg.Counter("engine_runs_total", "Analysis engine runs completed.").Inc()
+	reg.Gauge("engine_parallelism", "Worker-pool size of the most recent engine run.").
+		Set(float64(m.Parallelism))
+	for _, st := range m.Stages {
+		l := obs.L("stage", st.Stage)
+		reg.Histogram("engine_stage_wall_seconds",
+			"Wall time per engine stage and run, in seconds (the sum is cumulative stage time).",
+			nil, l).
+			Observe(st.Wall.Seconds())
+		reg.Counter("engine_stage_records_total",
+			"Records processed per engine stage.", l).
+			Add(int64(st.Records))
+	}
+}

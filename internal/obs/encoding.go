@@ -1,0 +1,117 @@
+// Prometheus text exposition (format version 0.0.4). This file is the
+// only place the wire format appears: Gather returns format-agnostic
+// snapshots, so swapping the exposition (OpenMetrics, statsd, expvar)
+// means replacing this file, nothing else.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeHelp escapes a HELP string: backslash and newline.
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest float representation, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"} with extra appended last (used for
+// the histogram "le" label); no braces when there is nothing to write.
+func writeLabels(w *bufio.Writer, labels []Label, extra ...Label) {
+	if len(labels)+len(extra) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	first := true
+	for _, l := range append(labels[:len(labels):len(labels)], extra...) {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		w.WriteString(l.Name)
+		w.WriteString(`="`)
+		escapeLabel.WriteString(w, l.Value)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func writeSample(w *bufio.Writer, name string, labels []Label, value string, extra ...Label) {
+	w.WriteString(name)
+	writeLabels(w, labels, extra...)
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// WriteText renders the registry in the Prometheus text format:
+// families sorted by name, each with its HELP and TYPE lines, series
+// sorted by label values, histograms with cumulative buckets ending at
+// le="+Inf" plus _sum and _count samples.
+func WriteText(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			escapeHelp.WriteString(bw, f.Help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				writeSample(bw, f.Name, m.Labels, formatValue(m.Value))
+			case KindHistogram:
+				cum := int64(0)
+				for i, c := range m.BucketCounts {
+					cum += c
+					le := "+Inf"
+					if i < len(f.Buckets) {
+						le = formatValue(f.Buckets[i])
+					}
+					writeSample(bw, f.Name+"_bucket", m.Labels,
+						strconv.FormatInt(cum, 10), L("le", le))
+				}
+				writeSample(bw, f.Name+"_sum", m.Labels, formatValue(m.Sum))
+				writeSample(bw, f.Name+"_count", m.Labels, strconv.FormatInt(m.Count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry's text exposition — mount it on
+// GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		// Encoding errors here are broken client connections; there is
+		// nobody left to answer.
+		_ = WriteText(w, r)
+	})
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exposition byte-for-byte: family
+// ordering, label ordering, escaping, and cumulative histogram
+// buckets are all part of the format contract.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family").Add(3)
+	r.Counter("aa_total", `help with \ and
+newline`, L("path", `a"b\c`)).Inc()
+	g := r.Gauge("mm_temp", "a gauge", L("shard", "1"))
+	g.Set(2.5)
+	h := r.Histogram("hh_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total help with \\ and\nnewline
+# TYPE aa_total counter
+aa_total{path="a\"b\\c"} 1
+# HELP hh_seconds a histogram
+# TYPE hh_seconds histogram
+hh_seconds_bucket{le="0.1"} 2
+hh_seconds_bucket{le="1"} 3
+hh_seconds_bucket{le="+Inf"} 4
+hh_seconds_sum 3.6
+hh_seconds_count 4
+# HELP mm_temp a gauge
+# TYPE mm_temp gauge
+mm_temp{shard="1"} 2.5
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteTextSeriesOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "series ordering", L("shard", "2")).Inc()
+	r.Counter("s_total", "series ordering", L("shard", "0")).Add(2)
+	r.Counter("s_total", "series ordering", L("shard", "1")).Add(3)
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP s_total series ordering
+# TYPE s_total counter
+s_total{shard="0"} 2
+s_total{shard="1"} 3
+s_total{shard="2"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("series ordering mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "handler test").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

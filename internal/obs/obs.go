@@ -1,0 +1,483 @@
+// Package obs is the repo's dependency-free metrics subsystem: atomic
+// counters, gauges and fixed-bucket histograms behind a Registry with
+// cheap get-or-create lookup and label support. The serving tier (and
+// any future perf PR) instruments its hot paths against this package,
+// and the Prometheus text exposition in encoding.go publishes the
+// registry over GET /metrics.
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates are lock-free: a Counter.Inc is one atomic add,
+//     a Histogram.Observe is two atomic adds plus a CAS loop on the
+//     float sum. Registry lookups (GetOrCreate) take locks and build
+//     label keys, so instrumented code resolves its instruments once
+//     and holds the pointers.
+//   - Every instrument is nil-safe: methods on a nil *Counter, *Gauge
+//     or *Histogram are no-ops. Disabling instrumentation is therefore
+//     "don't create the registry" — no branches at call sites.
+//   - No dependencies beyond the standard library, and no globals: a
+//     Registry is an explicit value owned by whoever serves it.
+//
+// Misregistration — the same name with a different kind, label set or
+// bucket layout — panics: it is a programming error, caught in any
+// test that touches the path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind discriminates the instrument types a family can hold.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in the Prometheus TYPE vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically non-decreasing integer. The zero value is
+// usable; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n, which must not be negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. A nil *Gauge discards
+// updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (which may be negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative at
+// exposition time) and tracks their sum. Bucket bounds are shared by
+// every series of a family. A nil *Histogram discards observations.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	sum    Gauge // float accumulator; reuses the CAS add
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v; len(upper) = +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the common
+// latency-instrumentation idiom.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// DefBuckets spans the latencies this system cares about: a tmpfs
+// fsync is ~10µs, a slow scrape several seconds.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// family is one metric name: its metadata plus every labelled series.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string  // sorted
+	buckets    []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one label combination's instrument (or value callback).
+type series struct {
+	labels []Label // sorted by name
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64 // gauge callback; nil for stored values
+}
+
+// Registry holds metric families and hands out their instruments.
+// All methods are safe for concurrent use. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// sortedLabels returns the labels sorted by name, and their names.
+// Duplicate or empty label names panic.
+func sortedLabels(labels []Label) ([]Label, []string) {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	names := make([]string, len(out))
+	for i, l := range out {
+		if l.Name == "" {
+			panic("obs: empty label name")
+		}
+		if i > 0 && out[i-1].Name == l.Name {
+			panic(fmt.Sprintf("obs: duplicate label name %q", l.Name))
+		}
+		names[i] = l.Name
+	}
+	return out, names
+}
+
+// seriesKey fingerprints a sorted label set. \xff cannot appear in
+// valid UTF-8 label text, so the key is unambiguous.
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\xff')
+		b.WriteString(l.Value)
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// getOrCreate resolves (creating if needed) the series for one name and
+// label set, validating against any existing registration.
+func (r *Registry) getOrCreate(name, help string, kind Kind, buckets []float64, labels []Label) *series {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	sorted, names := sortedLabels(labels)
+
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labelNames: names, buckets: buckets,
+				series: make(map[string]*series),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if !equalStrings(f.labelNames, names) {
+		panic(fmt.Sprintf("obs: metric %q registered with labels %v, requested with %v", name, f.labelNames, names))
+	}
+	if kind == KindHistogram && !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %q registered with different buckets", name))
+	}
+
+	key := seriesKey(sorted)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labels: sorted}
+	switch kind {
+	case KindCounter:
+		s.ctr = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = &Histogram{upper: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the counter for name and labels, creating it (and its
+// family) on first use. Same name + labels always returns the same
+// instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, KindCounter, nil, labels).ctr
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram for name and labels with the given
+// bucket upper bounds (ascending; +Inf is implicit), creating it on
+// first use. Nil buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) || len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q buckets must be non-empty and ascending", name))
+	}
+	return r.getOrCreate(name, help, KindHistogram, buckets, labels).hist
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// gather time — zero hot-path cost for values something else already
+// maintains (a channel's queue depth, a map's size behind a lock).
+// fn must be safe to call from any goroutine. Re-registering the same
+// name + labels replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("obs: GaugeFunc %q with nil callback", name))
+	}
+	s := r.getOrCreate(name, help, KindGauge, nil, labels)
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Metric is one series' state at gather time.
+type Metric struct {
+	Labels []Label // sorted by name
+	// Value carries counters (as float) and gauges.
+	Value float64
+	// Histogram state: per-bucket counts aligned with Family.Buckets
+	// plus a final +Inf bucket, NOT cumulative; Sum and Count.
+	BucketCounts []int64
+	Sum          float64
+	Count        int64
+}
+
+// Family is one metric name's state at gather time.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Buckets []float64 // histogram upper bounds, +Inf implicit
+	Metrics []Metric  // sorted by label fingerprint
+}
+
+// Gather snapshots the registry: families sorted by name, series sorted
+// by label values, histogram buckets raw (encoders cumulate). Gather is
+// wire-format-agnostic by design — the Prometheus text rendering lives
+// entirely in encoding.go so the format is swappable.
+func (r *Registry) Gather() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		ff := Family{Name: f.name, Help: f.help, Kind: f.kind, Buckets: f.buckets}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			m := Metric{Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				m.Value = float64(s.ctr.Value())
+			case KindGauge:
+				if s.fn != nil {
+					m.Value = s.fn()
+				} else {
+					m.Value = s.gauge.Value()
+				}
+			case KindHistogram:
+				m.BucketCounts = make([]int64, len(s.hist.counts))
+				for i := range s.hist.counts {
+					m.BucketCounts[i] = s.hist.counts[i].Load()
+				}
+				m.Sum = s.hist.Sum()
+				m.Count = s.hist.Count()
+			}
+			ff.Metrics = append(ff.Metrics, m)
+		}
+		f.mu.RUnlock()
+		out = append(out, ff)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters is the registry's concurrency contract: N
+// goroutines hammering Inc/Add through GetOrCreate lose nothing. Run
+// under -race in CI.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the goroutines resolve the instrument once (the hot-path
+			// idiom), half re-resolve through the registry every time.
+			if w%2 == 0 {
+				c := r.Counter("conc_total", "test", L("kind", "held"))
+				for i := 0; i < perWorker; i++ {
+					c.Inc()
+				}
+			} else {
+				for i := 0; i < perWorker; i++ {
+					r.Counter("conc_total", "test", L("kind", "looked-up")).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	held := r.Counter("conc_total", "test", L("kind", "held")).Value()
+	looked := r.Counter("conc_total", "test", L("kind", "looked-up")).Value()
+	if want := int64(workers / 2 * perWorker); held != want || looked != want {
+		t.Errorf("counters lost updates: held=%d looked-up=%d want %d each", held, looked, want)
+	}
+}
+
+// TestConcurrentHistogram asserts exact totals for parallel Observe:
+// count, sum and the bucket distribution must all add up.
+func TestConcurrentHistogram(t *testing.T) {
+	r := NewRegistry()
+	buckets := []float64{1, 2, 4}
+	h := r.Histogram("conc_hist", "test", buckets)
+	const workers, perWorker = 8, 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i % 5)) // 0,1 -> le=1; 2 -> le=2; 3,4 -> le=4
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if h.Count() != total {
+		t.Errorf("Count = %d, want %d", h.Count(), total)
+	}
+	if want := float64(workers) * perWorker / 5 * (0 + 1 + 2 + 3 + 4); math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	fams := r.Gather()
+	if len(fams) != 1 {
+		t.Fatalf("gathered %d families, want 1", len(fams))
+	}
+	m := fams[0].Metrics[0]
+	wantBuckets := []int64{total / 5 * 2, total / 5, total / 5 * 2, 0} // le=1, le=2, le=4, +Inf
+	for i, want := range wantBuckets {
+		if m.BucketCounts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, m.BucketCounts[i], want)
+		}
+	}
+}
+
+func TestConcurrentGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("conc_gauge", "test")
+	const workers, per = 8, 2_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Inc()
+			}
+			for i := 0; i < per/2; i++ {
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := float64(workers * per / 2); g.Value() != want {
+		t.Errorf("gauge = %v, want %v", g.Value(), want)
+	}
+}
+
+// TestGetOrCreateIdentity: the same name + labels is the same
+// instrument, label order notwithstanding.
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "test", L("a", "1"), L("b", "2"))
+	b := r.Counter("same_total", "test", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("label order produced distinct instruments")
+	}
+	c := r.Counter("same_total", "test", L("a", "1"), L("b", "3"))
+	if a == c {
+		t.Error("different label values shared an instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kindful_total", "test")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("kindful_total", "test")
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("labelled_total", "test", L("shard", "0"))
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different label names did not panic")
+		}
+	}()
+	r.Counter("labelled_total", "test", L("kind", "conn"))
+}
+
+// TestNilSafety: nil registry and nil instruments are inert, the
+// disabled-instrumentation contract every hot path relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "test")
+	g := r.Gauge("x", "test")
+	h := r.Histogram("x_seconds", "test", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments retained values")
+	}
+	if got := r.Gather(); got != nil {
+		t.Errorf("nil registry gathered %v", got)
+	}
+	r.GaugeFunc("x_fn", "test", func() float64 { return 1 })
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7
+	r.GaugeFunc("queue_depth", "test", func() float64 { return float64(depth) }, L("shard", "0"))
+	fams := r.Gather()
+	if len(fams) != 1 || fams[0].Metrics[0].Value != 7 {
+		t.Fatalf("gather = %+v, want one gauge at 7", fams)
+	}
+	depth = 3
+	if v := r.Gather()[0].Metrics[0].Value; v != 3 {
+		t.Errorf("callback gauge = %v after update, want 3", v)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", "test", []float64{1, 2})
+	h.Observe(1)   // on the bound: le=1 (Prometheus buckets are inclusive)
+	h.Observe(1.5) // le=2
+	h.Observe(99)  // +Inf
+	m := r.Gather()[0].Metrics[0]
+	want := []int64{1, 1, 1}
+	for i, w := range want {
+		if m.BucketCounts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, m.BucketCounts[i], w)
+		}
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/pfx2as"
@@ -65,6 +66,10 @@ type shard struct {
 	ckptEvery int
 	sinceCkpt int
 	lastSeq   uint64 // sequence of the last appended record
+
+	// metrics is nil when instrumentation is disabled; all its methods
+	// are nil-receiver safe.
+	metrics *shardMetrics
 
 	// walErr is the first durability error (append, sync, checkpoint).
 	// Once set the shard stops appending — ingest stays available but
@@ -155,7 +160,9 @@ func newIngester(cfg Config) *Ingester {
 			states:       make(map[atlasdata.ProbeID]*probeState),
 			sessionsByAS: make(map[uint32]int64),
 			pfx:          cfg.Pfx2AS,
+			metrics:      newShardMetrics(cfg.Metrics, i),
 		}
+		registerQueueDepth(cfg.Metrics, i, in.shards[i].in)
 	}
 	return in
 }
@@ -376,6 +383,9 @@ func (s *shard) run() {
 	for rec := range s.in {
 		switch rec.kind {
 		case kindSnapshot:
+			// The snapshot barrier is also the metrics barrier: a scrape
+			// after a snapshot sees counters that exactly match it.
+			s.metrics.flush()
 			rec.snap <- s.view()
 			continue
 		case kindCursor:
@@ -386,6 +396,7 @@ func (s *shard) run() {
 		s.apply(rec)
 		s.maybeCheckpoint()
 	}
+	s.metrics.flush()
 	if s.log != nil {
 		s.setWALErr(s.log.Close())
 	}
@@ -414,40 +425,51 @@ func (s *shard) persist(rec record) {
 // replays WAL records through this same function, so everything here
 // must be deterministic in the record sequence.
 func (s *shard) apply(rec record) {
+	t0, timed := s.metrics.sampleStart()
 	switch rec.kind {
 	case kindMeta:
 		ps := s.state(rec.meta.ID)
 		ps.metaCount++
 		ps.setMeta(rec.meta)
 		s.counts.Meta++
+		s.metrics.accept(kindMeta)
 	case kindConn:
 		ps := s.state(rec.conn.Probe)
 		ps.connCount++
 		if ps.onConn(rec.conn, s.pfx) {
 			s.counts.ConnLogs++
+			s.metrics.accept(kindConn)
 			if rec.conn.IsV4() && s.pfx != nil {
 				asn, _, _ := s.pfx.Lookup(rec.conn.Addr, rec.conn.Start)
 				s.sessionsByAS[uint32(asn)]++
 			}
 		} else {
 			s.counts.Rejected++
+			s.metrics.reject()
 		}
 	case kindKRoot:
 		ps := s.state(rec.kroot.Probe)
 		ps.kRootCount++
 		if ps.onKRoot(rec.kroot) {
 			s.counts.KRoot++
+			s.metrics.accept(kindKRoot)
 		} else {
 			s.counts.Rejected++
+			s.metrics.reject()
 		}
 	case kindUptime:
 		ps := s.state(rec.uptime.Probe)
 		ps.uptimeCount++
 		if ps.onUptime(rec.uptime) {
 			s.counts.Uptime++
+			s.metrics.accept(kindUptime)
 		} else {
 			s.counts.Rejected++
+			s.metrics.reject()
 		}
+	}
+	if timed {
+		s.metrics.applySec.ObserveSince(t0)
 	}
 }
 
@@ -473,6 +495,7 @@ func (s *shard) maybeCheckpoint() {
 // that could be lost, and segments are only removed once the
 // checkpoint rename is durable.
 func (s *shard) checkpointNow() error {
+	start := time.Now()
 	if err := s.log.Sync(); err != nil {
 		return err
 	}
@@ -480,7 +503,11 @@ func (s *shard) checkpointNow() error {
 		return err
 	}
 	s.sinceCkpt = 0
-	return s.log.TruncateBefore(s.lastSeq + 1)
+	if err := s.log.TruncateBefore(s.lastSeq + 1); err != nil {
+		return err
+	}
+	s.metrics.checkpointed(time.Since(start))
+	return nil
 }
 
 // ProbeCursor is a probe's resume position: how many records of each

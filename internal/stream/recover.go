@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/wal"
@@ -179,7 +180,11 @@ func recoverShard(s *shard, cfg Config, st *RecoverStats) error {
 		st.CheckpointProbes += len(ck.Probes)
 	}
 
-	opt := wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Sync}
+	opt := wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Sync:         cfg.Sync,
+		Metrics:      wal.NewMetrics(cfg.Metrics, strconv.Itoa(s.index)),
+	}
 	log, err := wal.Open(s.dir, opt)
 	if err != nil {
 		return err
@@ -206,12 +211,14 @@ func recoverShard(s *shard, cfg Config, st *RecoverStats) error {
 		s.apply(rec)
 		s.sinceCkpt++
 		st.Replayed++
+		s.metrics.replayedRecord()
 		return nil
 	})
 	if err != nil {
 		log.Close()
 		return err
 	}
+	s.metrics.flush()
 	s.log = log
 	s.lastSeq = log.NextSeq() - 1
 	return nil

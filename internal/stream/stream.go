@@ -27,6 +27,7 @@
 package stream
 
 import (
+	"dynaddr/internal/obs"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/wal"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// SegmentBytes is the WAL segment rotation size; zero means the wal
 	// package default (1 MiB).
 	SegmentBytes int64
+
+	// Metrics, when non-nil, receives ingest and WAL instrumentation
+	// (per-shard record counters, queue-depth gauges, sampled apply
+	// latency, fsync and checkpoint timings). Nil disables
+	// instrumentation entirely — the hot path then pays one nil check
+	// per record.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"dynaddr/internal/obs"
+)
+
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var total float64
+	for _, f := range reg.Gather() {
+		if f.Name == name {
+			for _, m := range f.Metrics {
+				total += m.Value
+			}
+		}
+	}
+	return total
+}
+
+func histCount(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	var total int64
+	for _, f := range reg.Gather() {
+		if f.Name == name {
+			for _, m := range f.Metrics {
+				total += m.Count
+			}
+		}
+	}
+	return total
+}
+
+func TestLogMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	payload := bytes.Repeat([]byte("x"), 100)
+	l, err := Open(t.TempDir(), Options{
+		SegmentBytes: 512, // rotate after ~4 frames
+		Sync:         SyncAlways,
+		Metrics:      NewMetrics(reg, "0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := metricValue(t, reg, "wal_append_total"); got != n {
+		t.Errorf("wal_append_total = %v, want %d", got, n)
+	}
+	wantBytes := float64(n * (frameHeader + len(payload)))
+	if got := metricValue(t, reg, "wal_appended_bytes_total"); got != wantBytes {
+		t.Errorf("wal_appended_bytes_total = %v, want %v", got, wantBytes)
+	}
+	// SyncAlways: one fsync per append (rotation and Close find nothing
+	// unsynced).
+	if got := metricValue(t, reg, "wal_fsync_total"); got != n {
+		t.Errorf("wal_fsync_total = %v, want %d", got, n)
+	}
+	if got := histCount(t, reg, "wal_fsync_seconds"); got != n {
+		t.Errorf("wal_fsync_seconds count = %v, want %d", got, n)
+	}
+	// 20 frames of 108 bytes across 512-byte segments: rotation happens
+	// when the active segment is already >= 512 bytes, i.e. every 5
+	// appends, and the 20th append lands right after the third rotation.
+	if got := metricValue(t, reg, "wal_rotations_total"); got < 3 {
+		t.Errorf("wal_rotations_total = %v, want >= 3", got)
+	}
+}
+
+// TestLogMetricsDisabled: a nil Metrics in Options must not panic
+// anywhere on the append/sync/rotate path.
+func TestLogMetricsDisabled(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 256, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte("y"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewMetrics(nil, "0") != nil {
+		t.Error("NewMetrics(nil, ...) must return nil")
+	}
+}

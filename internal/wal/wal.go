@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // SyncPolicy says when appended frames are fsynced to stable storage.
@@ -101,6 +102,8 @@ type Options struct {
 	// a log truncated with TruncateBefore reopens cleanly. Zero infers
 	// the start from the earliest segment on disk (or 1 when empty).
 	FirstSeq uint64
+	// Metrics, when non-nil, receives append/fsync/rotation counts.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -357,6 +360,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.nextSeq++
 	l.segSize += frameHeader + int64(len(payload))
 	l.unsynced++
+	l.opt.Metrics.appended(frameHeader + len(payload))
 	if every := int(l.opt.Sync); every > 0 && l.unsynced >= every {
 		if err := l.Sync(); err != nil {
 			return 0, err
@@ -374,6 +378,7 @@ func (l *Log) rotate() error {
 	if err := l.f.Close(); err != nil {
 		return err
 	}
+	l.opt.Metrics.rotated()
 	return l.openSegment(l.nextSeq)
 }
 
@@ -385,9 +390,11 @@ func (l *Log) Sync() error {
 	if l.unsynced == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.opt.Metrics.fsynced(time.Since(start))
 	l.unsynced = 0
 	return nil
 }
