@@ -56,6 +56,7 @@ func main() {
 	addr := flag.String("addr", ":8042", "listen address")
 	live := flag.Bool("live", false, "mount streaming ingest and live query endpoints")
 	shards := flag.Int("shards", 4, "ingest shard count in -live mode")
+	analysis := flag.Bool("analysis", true, "maintain the live analysis engine in -live mode (GET /api/v1/live/analysis)")
 	walDir := flag.String("wal-dir", "", "durable ingest: per-shard WAL and checkpoint directory (requires -live)")
 	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy with -wal-dir: always, off, or an integer N (sync every N appends)")
 	ckptEvery := flag.Int("checkpoint-every", 4096, "records between shard checkpoints with -wal-dir (negative disables)")
@@ -115,7 +116,7 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 
-	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery, Metrics: reg}
+	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery, Metrics: reg, Analysis: *analysis}
 	if ds != nil {
 		scfg.Pfx2AS = ds.Pfx2AS
 	}
@@ -207,7 +208,7 @@ func main() {
 		ls := atlasapi.NewLiveServer(ing)
 		mux.Handle("/api/v1/stream/", ls)
 		mux.Handle("/api/v1/live/", ls)
-		fmt.Printf("atlasd: live ingest on %s (%d shards)\n", *addr, ing.Shards())
+		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v)\n", *addr, ing.Shards(), *analysis)
 	}
 	health.SetReady(true)
 

@@ -16,16 +16,27 @@
 // per-scrape error budget: that many probes may fail permanently and be
 // skipped (yielding a partial dataset, reported on stderr) before the
 // scrape aborts. SIGINT/SIGTERM cancel a scrape promptly.
+//
+// With -live-analysis (requires -url), churnctl instead queries a live
+// atlasd's streaming analysis endpoint and renders the paper answers
+// the ingester maintains incrementally — no dataset is scraped and no
+// local analysis runs:
+//
+//	churnctl -url http://host:8042 -live-analysis [table5|table6|table7|fig6|fig7|fig8|churn|summary|all]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"dynaddr"
@@ -47,7 +58,21 @@ func main() {
 	retryBase := flag.Duration("retry-base", 0, "scrape: first backoff delay (0 = default 200ms)")
 	retryCap := flag.Duration("retry-cap", 0, "scrape: backoff delay ceiling (0 = default 5s)")
 	allowFailures := flag.Int("allow-failures", 0, "scrape: probes allowed to fail before aborting (-1 = unlimited)")
+	liveAnalysis := flag.Bool("live-analysis", false, "query a live atlasd's streaming analysis endpoint (requires -url); no dataset is scraped")
 	flag.Parse()
+
+	if *liveAnalysis {
+		if *url == "" {
+			fmt.Fprintln(os.Stderr, "churnctl: -live-analysis requires -url")
+			os.Exit(2)
+		}
+		what := "summary"
+		if flag.NArg() > 0 {
+			what = flag.Arg(0)
+		}
+		liveAnalysisMain(*url, *csv, what)
+		return
+	}
 
 	stages, err := dynaddr.ParseStages(*stagesFlag)
 	if err != nil {
@@ -188,6 +213,75 @@ func main() {
 			}
 			sort.Strings(known)
 			fmt.Fprintf(os.Stderr, "churnctl: unknown artefact %q; known: %v\n", what, known)
+			os.Exit(2)
+		}
+		fn()
+	}
+}
+
+// liveAnalysisMain fetches the streaming engine's paper answers from a
+// running atlasd (-live with analysis on) and renders them with the
+// same table shapes the batch pipeline prints — no dataset is scraped
+// and no local analysis runs, so the output reflects exactly what the
+// ingester holds at the moment of the query.
+func liveAnalysisMain(baseURL string, csv bool, what string) {
+	resp, err := http.Get(baseURL + "/api/v1/live/analysis")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fatal(fmt.Errorf("server at %s runs without the live analysis engine (atlasd -live -analysis)", baseURL))
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fatal(fmt.Errorf("GET /api/v1/live/analysis: %s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var res dynaddr.LiveResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		fatal(err)
+	}
+	names := dynaddr.ProfileNames(dynaddr.PaperProfiles())
+
+	emit := func(t *tables.Table) {
+		var err error
+		if csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	artefacts := map[string]func(){
+		"table5": func() { emit(res.RenderTable5(names)) },
+		"table6": func() { emit(res.RenderTable6(names)) },
+		"table7": func() { emit(res.RenderTable7(names)) },
+		"fig6":   func() { emit(res.RenderFigure6()) },
+		"fig7":   func() { emit(res.RenderFigure7(names)) },
+		"fig8":   func() { emit(res.RenderFigure8(names)) },
+		"churn":  func() { emit(res.RenderChurn()) },
+	}
+	switch what {
+	case "summary":
+		fmt.Printf("live: %d analyzable probes, %d AS-analyzable\n", res.Probes, res.ASProbes)
+		fmt.Printf("periodic AS rows: %d; outage AS rows: %d; total changes: %d (%.0f%% cross-BGP)\n",
+			len(res.Table5), len(res.Table6), res.Table7All.Changes, res.Table7All.FracBGP()*100)
+	case "all":
+		for _, k := range []string{"table5", "table6", "table7", "fig6", "fig7", "fig8", "churn"} {
+			artefacts[k]()
+		}
+	default:
+		fn, ok := artefacts[what]
+		if !ok {
+			var known []string
+			for k := range artefacts {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "churnctl: unknown live artefact %q; known: %v (plus summary, all)\n", what, known)
 			os.Exit(2)
 		}
 		fn()

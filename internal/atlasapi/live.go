@@ -25,6 +25,7 @@ import (
 //	GET  /api/v1/live/summary             stream-wide snapshot (JSON)
 //	GET  /api/v1/live/as/{asn}            one AS's aggregates (JSON)
 //	GET  /api/v1/live/cursor?probe=N      a probe's resume cursor (JSON)
+//	GET  /api/v1/live/analysis            paper tables/figures computed live (JSON)
 //
 // LiveServer is an http.Handler; mount it on any mux.
 type LiveServer struct {
@@ -43,6 +44,7 @@ func NewLiveServer(ing *stream.Ingester) *LiveServer {
 	s.mux.HandleFunc("/api/v1/live/summary", s.summary)
 	s.mux.HandleFunc("/api/v1/live/as/", s.asDetail)
 	s.mux.HandleFunc("/api/v1/live/cursor", s.cursor)
+	s.mux.HandleFunc("/api/v1/live/analysis", s.analysis)
 	return s
 }
 
@@ -228,6 +230,27 @@ func (s *LiveServer) cursor(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(cur); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// analysis serves the full paper-answer fold — periodic renumbering,
+// outage attribution, prefix dynamics, churn — computed from the
+// ingester's live detector state at a barrier bound to the request.
+// 404 distinguishes "this ingester runs without the analysis engine"
+// from the transient 503s backpressure produces.
+func (s *LiveServer) analysis(w http.ResponseWriter, r *http.Request) {
+	res, err := s.ing.AnalysisContext(r.Context())
+	if err != nil {
+		if errors.Is(err, stream.ErrAnalysisDisabled) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		ingestError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(res); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

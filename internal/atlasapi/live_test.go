@@ -15,6 +15,7 @@ import (
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
 	"dynaddr/internal/ip4"
+	"dynaddr/internal/liveanalysis"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/simclock"
 	"dynaddr/internal/stream"
@@ -183,6 +184,74 @@ func TestLiveServerEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad cursor probe id: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestLiveAnalysisEndpoint reads the full paper-answer fold back over
+// HTTP from an analysis-enabled ingester, and pins the 404 an
+// analysis-disabled ingester answers with.
+func TestLiveAnalysisEndpoint(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: liveStore(t), Analysis: true})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing))
+	defer srv.Close()
+
+	var archive bytes.Buffer
+	if err := WriteProbeArchive(&archive, []atlasdata.ProbeMeta{
+		{ID: 206, Country: "DE", Version: atlasdata.V3, ConnectedDays: 200},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postBody(t, srv.URL+"/api/v1/stream/probes", archive.String()); code != 200 {
+		t.Fatalf("probes ingest: %d", code)
+	}
+	entries := []atlasdata.ConnLogEntry{
+		{Probe: 206, Start: liveHour(0), End: liveHour(24), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.1")},
+		{Probe: 206, Start: liveHour(25), End: liveHour(49), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.2")},
+	}
+	var history bytes.Buffer
+	if err := WriteConnectionHistory(&history, 206, entries); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postBody(t, srv.URL+"/api/v1/stream/connlogs?probe=206", history.String()); code != 200 {
+		t.Fatalf("connlogs ingest: %d", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/api/v1/live/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("analysis = %d, want 200", resp.StatusCode)
+	}
+	var res liveanalysis.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Probes != 1 {
+		t.Errorf("analysis probes = %d, want 1", res.Probes)
+	}
+	if res.Table7All.Changes != 1 {
+		t.Errorf("Table7All.Changes = %d, want 1", res.Table7All.Changes)
+	}
+	if len(res.Churn) == 0 {
+		t.Error("analysis churn is empty, want the change's study-day window")
+	}
+
+	// An ingester built without the engine answers 404, not 400/503.
+	plain := stream.NewIngester(stream.Config{Shards: 1})
+	defer plain.Close()
+	psrv := httptest.NewServer(NewLiveServer(plain))
+	defer psrv.Close()
+	resp, err = http.Get(psrv.URL + "/api/v1/live/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("analysis on disabled ingester = %d, want 404", resp.StatusCode)
 	}
 }
 

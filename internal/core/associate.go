@@ -54,8 +54,15 @@ const gapSlack = 5 * simclock.Minute
 // classifies every inter-connection gap. entries must be time-sorted;
 // outages and powers must be time-sorted per their detection order.
 func AssociateGaps(entries []atlasdata.ConnLogEntry, networks []NetworkOutage, powers []PowerOutage) []Gap {
+	return ClassifyGaps(GapSpans(entries), networks, powers)
+}
+
+// GapSpans extracts every inter-connection gap from a probe's
+// (time-sorted) connection entries, with the address-change flag set but
+// the cause still unclassified — the per-record half of AssociateGaps,
+// which the streaming ingester maintains incrementally.
+func GapSpans(entries []atlasdata.ConnLogEntry) []Gap {
 	var out []Gap
-	ni, pi := 0, 0
 	for i := 1; i < len(entries); i++ {
 		prev, cur := entries[i-1], entries[i]
 		g := Gap{
@@ -66,6 +73,22 @@ func AssociateGaps(entries []atlasdata.ConnLogEntry, networks []NetworkOutage, p
 		if prev.IsV4() && cur.IsV4() {
 			g.Changed = prev.Addr != cur.Addr
 		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// ClassifyGaps assigns each gap its outage cause from the surrounding
+// evidence — the fold-time half of AssociateGaps, shared by the batch
+// pipeline and the streaming analysis fold (which classifies retained
+// gap events only at query time, because the power-outage evidence is
+// retroactively reshaped by firmware filtering). The input gaps are not
+// mutated; a classified copy is returned. gaps, networks and powers must
+// each be time-sorted.
+func ClassifyGaps(gaps []Gap, networks []NetworkOutage, powers []PowerOutage) []Gap {
+	var out []Gap
+	ni, pi := 0, 0
+	for _, g := range gaps {
 		lo, hi := g.PrevEnd.Add(-gapSlack), g.NextStart.Add(gapSlack)
 
 		// Advance cursors past outages that ended before this gap.
@@ -85,6 +108,7 @@ func AssociateGaps(entries []atlasdata.ConnLogEntry, networks []NetworkOutage, p
 			g.OutageDuration = powers[pi].Duration()
 		default:
 			g.Cause = NoOutage
+			g.OutageDuration = 0
 		}
 		out = append(out, g)
 	}

@@ -69,9 +69,11 @@ type Reboot struct {
 	At simclock.Time
 }
 
-// bootSlack absorbs clock skew between the probe's uptime counter and
+// BootSlack absorbs clock skew between the probe's uptime counter and
 // the controller's record timestamps when comparing boot instants.
-const bootSlack = 90 * simclock.Second
+// Exported for the streaming detector, whose round-retention watermark
+// is derived from it.
+const BootSlack = 90 * simclock.Second
 
 // DetectReboots finds counter resets in a probe's (time-sorted) uptime
 // records. Each record implies a boot instant (timestamp - uptime); a
@@ -82,7 +84,7 @@ func DetectReboots(recs []atlasdata.UptimeRecord) []Reboot {
 	var prevBoot simclock.Time
 	for i, r := range recs {
 		boot := r.Timestamp.Add(-simclock.Duration(r.Uptime))
-		if i > 0 && boot.Sub(prevBoot) > bootSlack {
+		if i > 0 && boot.Sub(prevBoot) > BootSlack {
 			out = append(out, Reboot{Probe: r.Probe, At: boot})
 		}
 		if i == 0 || boot.After(prevBoot) {
@@ -176,11 +178,12 @@ func FilterFirmwareReboots(reboots []Reboot, firmwareDays []int) []Reboot {
 	return out
 }
 
-// pingGapThreshold is the minimum silence in the k-root stream around a
+// PingGapThreshold is the minimum silence in the k-root stream around a
 // reboot for the reboot to count as a power outage: at the 4-minute
 // round cadence, a powered-off probe misses at least one round, so the
-// surrounding gap spans at least two intervals.
-const pingGapThreshold = 6 * simclock.Minute
+// surrounding gap spans at least two intervals. Exported for the
+// streaming detector, which resolves reboot gaps online.
+const PingGapThreshold = 6 * simclock.Minute
 
 // PowerOutage is a detected loss of power at the CPE/probe: a reboot
 // coincident with missing k-root rounds (paper §3.5, §5.1). The outage
@@ -197,35 +200,82 @@ type PowerOutage struct {
 // Duration returns the estimated outage duration (the ping gap).
 func (p PowerOutage) Duration() simclock.Duration { return p.GapEnd.Sub(p.GapStart) }
 
-// DetectPowerOutages pairs reboots with k-root silence. rounds must be
-// time-sorted. Reboots without a qualifying silence gap (e.g. a clean
-// probe restart between two rounds) are not power outages.
-func DetectPowerOutages(reboots []Reboot, rounds []atlasdata.KRootRound) []PowerOutage {
-	var out []PowerOutage
-	for _, r := range reboots {
+// RebootGap is the k-root silence surrounding one reboot, before the
+// power-outage qualification is applied: Start is the last round at or
+// before the boot instant (or boot minus the threshold when no round
+// precedes it), End the first round after. Open marks a reboot with no
+// round after it yet — resolvable once more rounds arrive, which is how
+// the streaming detector keeps its pairing exact mid-stream.
+type RebootGap struct {
+	Start simclock.Time
+	End   simclock.Time
+	Open  bool
+}
+
+// ResolveRebootGaps computes each reboot's surrounding k-root silence.
+// rounds must be time-sorted; the result is index-aligned with reboots.
+func ResolveRebootGaps(reboots []Reboot, rounds []atlasdata.KRootRound) []RebootGap {
+	out := make([]RebootGap, len(reboots))
+	for k, r := range reboots {
 		// Last round at or before the boot instant, first round after.
 		i := sort.Search(len(rounds), func(k int) bool {
 			return rounds[k].Timestamp.After(r.At)
 		})
-		var gapStart, gapEnd simclock.Time
+		g := RebootGap{}
 		if i > 0 {
-			gapStart = rounds[i-1].Timestamp
+			g.Start = rounds[i-1].Timestamp
 		} else {
-			gapStart = r.At.Add(-pingGapThreshold) // no earlier round: assume tight
+			g.Start = r.At.Add(-PingGapThreshold) // no earlier round: assume tight
 		}
 		if i < len(rounds) {
-			gapEnd = rounds[i].Timestamp
+			g.End = rounds[i].Timestamp
 		} else {
-			continue // no evidence after the reboot
+			g.Open = true // no evidence after the reboot
 		}
-		if gapEnd.Sub(gapStart) > pingGapThreshold {
+		out[k] = g
+	}
+	return out
+}
+
+// PowerOutagesFrom qualifies resolved reboot gaps into power outages.
+// gaps must be index-aligned with reboots (ResolveRebootGaps); kept is
+// the subset of reboots surviving firmware filtering, in the same order
+// (boot instants strictly increase, so a two-pointer alignment by At is
+// exact). Open gaps and gaps at or under the ping-gap threshold do not
+// qualify. Pairing each reboot with its own gap is independent of the
+// other reboots, so filtering before or after resolving gaps yields the
+// same outages — the seam that lets the streaming detector resolve gaps
+// online and apply the (retroactive) firmware filter only at query time.
+func PowerOutagesFrom(reboots []Reboot, gaps []RebootGap, kept []Reboot) []PowerOutage {
+	var out []PowerOutage
+	i := 0
+	for _, r := range kept {
+		for i < len(reboots) && reboots[i].At != r.At {
+			i++
+		}
+		if i >= len(reboots) {
+			break
+		}
+		g := gaps[i]
+		i++
+		if g.Open {
+			continue
+		}
+		if g.End.Sub(g.Start) > PingGapThreshold {
 			out = append(out, PowerOutage{
 				Probe:    r.Probe,
 				RebootAt: r.At,
-				GapStart: gapStart,
-				GapEnd:   gapEnd,
+				GapStart: g.Start,
+				GapEnd:   g.End,
 			})
 		}
 	}
 	return out
+}
+
+// DetectPowerOutages pairs reboots with k-root silence. rounds must be
+// time-sorted. Reboots without a qualifying silence gap (e.g. a clean
+// probe restart between two rounds) are not power outages.
+func DetectPowerOutages(reboots []Reboot, rounds []atlasdata.KRootRound) []PowerOutage {
+	return PowerOutagesFrom(reboots, ResolveRebootGaps(reboots, rounds), reboots)
 }

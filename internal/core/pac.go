@@ -108,8 +108,15 @@ func ProbeOutage(ds *atlasdata.Dataset, view *ProbeView, reboots []Reboot, firmw
 	powers := DetectPowerOutages(kept, ds.KRoot[id])
 	gaps := AssociateGaps(view.Entries, networks, powers)
 
+	return gaps, TallyOutageStats(id, gaps, view.Meta.Version == atlasdata.V3)
+}
+
+// TallyOutageStats folds one probe's classified gaps into its outage
+// statistics — the counting half of ProbeOutage, shared with the
+// streaming fold. v3 gates the power counts: v1/v2 hardware reboots
+// during connection establishment poison the inference (§5.1).
+func TallyOutageStats(id atlasdata.ProbeID, gaps []Gap, v3 bool) ProbeOutageStats {
 	st := ProbeOutageStats{Probe: id}
-	v3 := view.Meta.Version == atlasdata.V3
 	for _, g := range gaps {
 		switch g.Cause {
 		case NetworkCause:
@@ -131,7 +138,7 @@ func ProbeOutage(ds *atlasdata.Dataset, view *ProbeView, reboots []Reboot, firmw
 			}
 		}
 	}
-	return gaps, st
+	return st
 }
 
 // MinOutagesForPac is the paper's sample floor: conditional
@@ -142,9 +149,16 @@ const MinOutagesForPac = 3
 // PacSample collects the per-probe P(ac|nw) or P(ac|pw) values for a set
 // of probes — the ECDF inputs of Figures 7 and 8.
 func (oa *OutageAnalysis) PacSample(ids []atlasdata.ProbeID, power bool) *stats.Sample {
+	return PacSampleOver(oa.Stats, ids, power)
+}
+
+// PacSampleOver is PacSample over an explicit stats map — the seam
+// shared with the streaming fold, which computes its stats from
+// per-probe event state rather than an OutageAnalysis.
+func PacSampleOver(all map[atlasdata.ProbeID]ProbeOutageStats, ids []atlasdata.ProbeID, power bool) *stats.Sample {
 	var s stats.Sample
 	for _, id := range ids {
-		st, ok := oa.Stats[id]
+		st, ok := all[id]
 		if !ok {
 			continue
 		}
@@ -183,13 +197,19 @@ const Table6MinProbes = 5
 // P(ac|nw) > 0.8 — which is why the paper's table holds only heavy
 // renumberers (all European).
 func OutagesByAS(oa *OutageAnalysis, res *FilterResult) []ASOutageRow {
-	groups := ByAS(res)
+	return OutagesRows(oa.Stats, ByAS(res))
+}
+
+// OutagesRows computes Table 6 rows from a stats map over arbitrary AS
+// groups — the seam shared by the batch pipeline and the streaming fold.
+// Ordering and row gates follow OutagesByAS.
+func OutagesRows(all map[atlasdata.ProbeID]ProbeOutageStats, groups map[uint32][]atlasdata.ProbeID) []ASOutageRow {
 	var rows []ASOutageRow
 	for asn, ids := range groups {
 		var qual []ProbeOutageStats
 		heavy := 0
 		for _, id := range ids {
-			st := oa.Stats[id]
+			st := all[id]
 			if st.NetworkGaps >= MinOutagesForPac && st.PowerGaps >= MinOutagesForPac {
 				qual = append(qual, st)
 				if p, _ := st.PacNetwork(); p > 0.8 {

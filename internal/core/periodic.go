@@ -51,10 +51,27 @@ type PeriodicProbe struct {
 // longer of equals would be wrong, so prefer the shorter — the base
 // period — on ties).
 func ClassifyPeriodic(durations []AddressDuration) (PeriodicProbe, bool) {
-	if len(durations) < minDurationsForPeriodic {
+	if len(durations) == 0 {
 		return PeriodicProbe{}, false
 	}
-	ttf := TTF(durations)
+	hours := make([]float64, len(durations))
+	for i, d := range durations {
+		hours[i] = d.Hours()
+	}
+	return ClassifyPeriodicHours(durations[0].Probe, hours)
+}
+
+// ClassifyPeriodicHours is ClassifyPeriodic over raw duration lengths in
+// hours — the detector-core seam shared with the streaming ingester,
+// which maintains each probe's closed-duration list incrementally. The
+// list must include every bounded duration, non-positive ones included
+// (they count toward the minimum-durations gate exactly as they do in a
+// batch duration list, while TTFFromHours skips them).
+func ClassifyPeriodicHours(probe atlasdata.ProbeID, hours []float64) (PeriodicProbe, bool) {
+	if len(hours) < minDurationsForPeriodic {
+		return PeriodicProbe{}, false
+	}
+	ttf := TTFFromHours(hours)
 	var best stats.Point
 	found := false
 	for _, p := range ttf.Modes(periodicThreshold) {
@@ -70,14 +87,13 @@ func ClassifyPeriodic(durations []AddressDuration) (PeriodicProbe, bool) {
 		return PeriodicProbe{}, false
 	}
 	pp := PeriodicProbe{
-		Probe:    durations[0].Probe,
+		Probe:    probe,
 		D:        best.X,
 		Frac:     best.Y,
 		Harmonic: true,
 	}
 	limit := best.X * maxSlack
-	for _, d := range durations {
-		h := d.Hours()
+	for _, h := range hours {
 		if h > pp.MaxHours {
 			pp.MaxHours = h
 		}
@@ -149,7 +165,14 @@ func ClassifyPeriodicProbes(res *FilterResult) map[atlasdata.ProbeID]PeriodicPro
 // PeriodicRows aggregates a precomputed per-probe classification into
 // Table 5 rows (see PeriodicByAS for the ordering contract).
 func PeriodicRows(res *FilterResult, perProbe map[atlasdata.ProbeID]PeriodicProbe) []ASPeriodicRow {
-	groups := ByAS(res)
+	return PeriodicRowsOver(ByAS(res), perProbe)
+}
+
+// PeriodicRowsOver aggregates a per-probe classification into Table 5
+// rows over arbitrary AS groups — the seam shared by the batch pipeline
+// (groups from ByAS) and the streaming fold (groups built from per-probe
+// event state). Ordering follows PeriodicByAS.
+func PeriodicRowsOver(groups map[uint32][]atlasdata.ProbeID, perProbe map[atlasdata.ProbeID]PeriodicProbe) []ASPeriodicRow {
 	var rows []ASPeriodicRow
 	for asn, ids := range groups {
 		if len(ids) < Table5MinProbes {
@@ -211,9 +234,16 @@ func PeriodicAll(res *FilterResult, d float64) ASPeriodicRow {
 // classification, so one classification pass serves every summary
 // duration.
 func PeriodicAllFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PeriodicProbe, d float64) ASPeriodicRow {
-	row := ASPeriodicRow{D: d, N: len(res.ASProbes)}
+	return PeriodicAllOver(res.ASProbes, perProbe, d)
+}
+
+// PeriodicAllOver computes the "All" row over an explicit probe list —
+// the seam shared with the streaming fold, whose AS-analyzable set comes
+// from per-probe event state rather than a FilterResult.
+func PeriodicAllOver(ids []atlasdata.ProbeID, perProbe map[atlasdata.ProbeID]PeriodicProbe, d float64) ASPeriodicRow {
+	row := ASPeriodicRow{D: d, N: len(ids)}
 	var over50, over75, maxLe, harmonic int
-	for _, id := range res.ASProbes {
+	for _, id := range ids {
 		pp, ok := perProbe[id]
 		if !ok || pp.D != d {
 			continue

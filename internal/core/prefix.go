@@ -120,8 +120,14 @@ func sortPrefixRows(rows []PrefixChangeRow) {
 // per-probe rows. Counters are integers, so the result matches
 // PrefixChangesAll exactly whatever schedule produced perProbe.
 func PrefixAllFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PrefixChangeRow) PrefixChangeRow {
+	return PrefixAllOver(res.ASProbes, perProbe)
+}
+
+// PrefixAllOver computes the summary row over an explicit probe list —
+// the seam shared with the streaming fold.
+func PrefixAllOver(ids []atlasdata.ProbeID, perProbe map[atlasdata.ProbeID]PrefixChangeRow) PrefixChangeRow {
 	var row PrefixChangeRow
-	for _, id := range res.ASProbes {
+	for _, id := range ids {
 		row.Accumulate(perProbe[id])
 	}
 	return row
@@ -130,7 +136,12 @@ func PrefixAllFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PrefixChang
 // PrefixRowsFrom aggregates precomputed per-probe rows into the per-AS
 // Table 7 rows (see PrefixChangesByAS for the ordering contract).
 func PrefixRowsFrom(res *FilterResult, perProbe map[atlasdata.ProbeID]PrefixChangeRow) []PrefixChangeRow {
-	groups := ByAS(res)
+	return PrefixRowsOver(ByAS(res), perProbe)
+}
+
+// PrefixRowsOver aggregates per-probe rows into per-AS rows over
+// arbitrary AS groups — the seam shared with the streaming fold.
+func PrefixRowsOver(groups map[uint32][]atlasdata.ProbeID, perProbe map[atlasdata.ProbeID]PrefixChangeRow) []PrefixChangeRow {
 	var rows []PrefixChangeRow
 	for asn, ids := range groups {
 		row := PrefixChangeRow{ASN: asn}

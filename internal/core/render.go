@@ -44,14 +44,21 @@ func (r *Report) RenderTable2() *tables.Table {
 
 // RenderTable5 formats the periodic-AS table.
 func (r *Report) RenderTable5(names NameFunc) *tables.Table {
+	return RenderTable5Rows(r.Table5All, r.Table5, names)
+}
+
+// RenderTable5Rows formats Table 5 from explicit row slices — shared by
+// the batch Report and the live-analysis Result, so the two modes'
+// renderings are eyeball- (and byte-) comparable.
+func RenderTable5Rows(all []ASPeriodicRow, rows []ASPeriodicRow, names NameFunc) *tables.Table {
 	t := tables.New("Table 5: periodically renumbering ASes",
 		"AS", "ASN", "d(h)", "N", "f>0.25", "f>0.5", "f>0.75", "MAX<=d", "Harmonic")
-	for _, row := range r.Table5All {
+	for _, row := range all {
 		t.AddRow("All", "", tables.F(row.D, 0), tables.I(row.N), tables.I(row.NPeriodic),
 			tables.Pct(row.FracOver50), tables.Pct(row.FracOver75),
 			tables.Pct(row.FracMaxLeD), tables.Pct(row.FracHarmonic))
 	}
-	for _, row := range r.Table5 {
+	for _, row := range rows {
 		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.F(row.D, 0),
 			tables.I(row.N), tables.I(row.NPeriodic),
 			tables.Pct(row.FracOver50), tables.Pct(row.FracOver75),
@@ -62,9 +69,15 @@ func (r *Report) RenderTable5(names NameFunc) *tables.Table {
 
 // RenderTable6 formats the outage-renumbering table.
 func (r *Report) RenderTable6(names NameFunc) *tables.Table {
+	return RenderTable6Rows(r.Table6, names)
+}
+
+// RenderTable6Rows formats Table 6 from explicit rows (see
+// RenderTable5Rows for why this seam exists).
+func RenderTable6Rows(rows []ASOutageRow, names NameFunc) *tables.Table {
 	t := tables.New("Table 6: ASes renumbering upon outages",
 		"AS", "ASN", "N", "P(ac|nw)>0.8", "P(ac|nw)=1", "P(ac|pw)>0.8", "P(ac|pw)=1")
-	for _, row := range r.Table6 {
+	for _, row := range rows {
 		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.I(row.N),
 			tables.Pct(row.NwOver80), tables.Pct(row.NwEq1),
 			tables.Pct(row.PwOver80), tables.Pct(row.PwEq1))
@@ -74,14 +87,19 @@ func (r *Report) RenderTable6(names NameFunc) *tables.Table {
 
 // RenderTable7 formats the prefix-change table.
 func (r *Report) RenderTable7(names NameFunc) *tables.Table {
+	return RenderTable7Rows(r.Table7All, r.Table7ByAS, names)
+}
+
+// RenderTable7Rows formats Table 7 from explicit rows (see
+// RenderTable5Rows for why this seam exists).
+func RenderTable7Rows(all PrefixChangeRow, rows []PrefixChangeRow, names NameFunc) *tables.Table {
 	t := tables.New("Table 7: address changes across prefixes",
 		"AS", "ASN", "Changes", "DiffBGP", "%", "Diff/16", "%", "Diff/8", "%")
-	all := r.Table7All
 	t.AddRow("All", "", tables.I(all.Changes),
 		tables.I(all.DiffBGP), tables.Pct(all.FracBGP()),
 		tables.I(all.DiffS16), tables.Pct(all.FracS16()),
 		tables.I(all.DiffS8), tables.Pct(all.FracS8()))
-	for _, row := range r.Table7ByAS {
+	for _, row := range rows {
 		t.AddRow(displayName(names, row.ASN), tables.I(int(row.ASN)), tables.I(row.Changes),
 			tables.I(row.DiffBGP), tables.Pct(row.FracBGP()),
 			tables.I(row.DiffS16), tables.Pct(row.FracS16()),
@@ -174,17 +192,23 @@ func (r *Report) RenderHourHists(names NameFunc) *tables.Table {
 // RenderFigure6 summarises the reboot-per-day series: quartiles plus the
 // detected firmware days.
 func (r *Report) RenderFigure6() *tables.Table {
+	return RenderFigure6Rows(r.Figure6RebootsPerDay, r.Figure6FirmwareDays)
+}
+
+// RenderFigure6Rows formats Figure 6 from the explicit series (see
+// RenderTable5Rows for why this seam exists).
+func RenderFigure6Rows(rebootsPerDay []int, firmwareDays []int) *tables.Table {
 	t := tables.New("Figure 6: probes rebooting per day", "Metric", "Value")
 	var s stats.Sample
-	for _, c := range r.Figure6RebootsPerDay {
+	for _, c := range rebootsPerDay {
 		s.Add(float64(c))
 	}
-	t.AddRow("Days", tables.I(len(r.Figure6RebootsPerDay)))
+	t.AddRow("Days", tables.I(len(rebootsPerDay)))
 	t.AddRow("Median reboots/day", tables.F(s.Median(), 1))
 	t.AddRow("P95 reboots/day", tables.F(s.Quantile(0.95), 1))
 	t.AddRow("Max reboots/day", tables.F(s.Quantile(1), 0))
-	days := make([]string, len(r.Figure6FirmwareDays))
-	for i, d := range r.Figure6FirmwareDays {
+	days := make([]string, len(firmwareDays))
+	for i, d := range firmwareDays {
 		days[i] = fmt.Sprintf("%d", d)
 	}
 	t.AddRow("Firmware days", strings.Join(days, " "))
@@ -205,12 +229,24 @@ func renderPacECDFs(title string, curves []PacECDF, names NameFunc) *tables.Tabl
 
 // RenderFigure7 formats the P(ac|nw) ECDFs.
 func (r *Report) RenderFigure7(names NameFunc) *tables.Table {
-	return renderPacECDFs("Figure 7: P(address change | network outage) per probe", r.Figure7, names)
+	return RenderFigure7Rows(r.Figure7, names)
+}
+
+// RenderFigure7Rows formats Figure 7 from explicit curves (see
+// RenderTable5Rows for why this seam exists).
+func RenderFigure7Rows(curves []PacECDF, names NameFunc) *tables.Table {
+	return renderPacECDFs("Figure 7: P(address change | network outage) per probe", curves, names)
 }
 
 // RenderFigure8 formats the P(ac|pw) ECDFs.
 func (r *Report) RenderFigure8(names NameFunc) *tables.Table {
-	return renderPacECDFs("Figure 8: P(address change | power outage) per probe, v3 only", r.Figure8, names)
+	return RenderFigure8Rows(r.Figure8, names)
+}
+
+// RenderFigure8Rows formats Figure 8 from explicit curves (see
+// RenderTable5Rows for why this seam exists).
+func RenderFigure8Rows(curves []PacECDF, names NameFunc) *tables.Table {
+	return renderPacECDFs("Figure 8: P(address change | power outage) per probe, v3 only", curves, names)
 }
 
 // RenderLinkTypes formats the per-AS access-technology inferences.

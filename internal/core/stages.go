@@ -175,6 +175,15 @@ func BuildHourHists(res *FilterResult, byAS map[uint32][]atlasdata.ProbeID, tabl
 // BuildPacFigures builds Figures 7 and 8: P(ac|nw) and P(ac|pw) ECDFs
 // for the topASes ASes by probes with enough network outages.
 func BuildPacFigures(oa *OutageAnalysis, res *FilterResult, byAS map[uint32][]atlasdata.ProbeID, topASes int) (fig7, fig8 []PacECDF) {
+	hasChanges := func(id atlasdata.ProbeID) bool { return len(res.Views[id].Changes) > 0 }
+	return BuildPacFiguresFrom(oa.Stats, hasChanges, byAS, topASes)
+}
+
+// BuildPacFiguresFrom builds Figures 7 and 8 from a stats map, a
+// changed-probe predicate and AS groups — the seam shared with the
+// streaming fold. AS selection, ordering and sample gates follow
+// BuildPacFigures.
+func BuildPacFiguresFrom(all map[atlasdata.ProbeID]ProbeOutageStats, hasChanges func(atlasdata.ProbeID) bool, byAS map[uint32][]atlasdata.ProbeID, topASes int) (fig7, fig8 []PacECDF) {
 	type pacSize struct {
 		asn uint32
 		n   int
@@ -183,8 +192,8 @@ func BuildPacFigures(oa *OutageAnalysis, res *FilterResult, byAS map[uint32][]at
 	for asn, ids := range byAS {
 		n := 0
 		for _, id := range ids {
-			st := oa.Stats[id]
-			if len(res.Views[id].Changes) > 0 && st.NetworkGaps >= MinOutagesForPac {
+			st := all[id]
+			if hasChanges(id) && st.NetworkGaps >= MinOutagesForPac {
 				n++
 			}
 		}
@@ -200,8 +209,8 @@ func BuildPacFigures(oa *OutageAnalysis, res *FilterResult, byAS map[uint32][]at
 	})
 	for i := 0; i < len(pacSizes) && i < topASes; i++ {
 		asn := pacSizes[i].asn
-		nw := oa.PacSample(byAS[asn], false)
-		pw := oa.PacSample(byAS[asn], true)
+		nw := PacSampleOver(all, byAS[asn], false)
+		pw := PacSampleOver(all, byAS[asn], true)
 		fig7 = append(fig7, PacECDF{ASN: asn, Probes: nw.Len(), Points: nw.ECDF()})
 		fig8 = append(fig8, PacECDF{ASN: asn, Probes: pw.Len(), Points: pw.ECDF()})
 	}

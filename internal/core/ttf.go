@@ -27,13 +27,24 @@ func QuantizeHours(hours float64) float64 {
 // durations: each duration contributes its own raw length as weight at
 // its quantised hour value.
 func TTF(durations []AddressDuration) *stats.Weighted {
+	hours := make([]float64, len(durations))
+	for i, d := range durations {
+		hours[i] = d.Hours()
+	}
+	return TTFFromHours(hours)
+}
+
+// TTFFromHours builds the total-time-fraction distribution from raw
+// duration lengths in hours — the detector-core seam the streaming
+// ingester feeds from its per-probe closed-duration list. Non-positive
+// lengths are skipped, exactly as TTF skips them.
+func TTFFromHours(hours []float64) *stats.Weighted {
 	var w stats.Weighted
-	for _, d := range durations {
-		hours := d.Hours()
-		if hours <= 0 {
+	for _, h := range hours {
+		if h <= 0 {
 			continue
 		}
-		w.Add(QuantizeHours(hours), hours)
+		w.Add(QuantizeHours(h), h)
 	}
 	return &w
 }

@@ -1,0 +1,242 @@
+package liveanalysis
+
+import (
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/simclock"
+)
+
+// Detector is one probe's incremental analysis core. The stream
+// ingester feeds it events its state machines already derive per record
+// — closed durations, gaps, changes, qualified loss runs, rounds,
+// reboots — and the detector accumulates exactly the per-probe lists
+// the batch primitives would compute from the records seen so far.
+//
+// The only non-trivial incremental piece is reboot-gap resolution: the
+// batch ResolveRebootGaps looks up, for each reboot, the last k-root
+// round at or before the boot instant and the first one after. The
+// first needs history, the second the future. The detector keeps a
+// short deque of round timestamps for the lookup-behind, resolves the
+// lookup-ahead as soon as a later round arrives (gaps stay Open until
+// then), and prunes the deque against an uptime watermark: a future
+// reboot's boot instant cannot precede the latest uptime report by more
+// than the clock slack (the report would have shown the new counter),
+// so rounds older than that — except the newest such round, the only
+// possible lookup-behind answer — can never be needed again. This keeps
+// memory bounded by the probe's reporting cadence while staying exact
+// for any stream with truthful uptime counters.
+//
+// All exported fields are serialized into shard checkpoints; after
+// restoring them, call Restore to rebuild the derived queue.
+type Detector struct {
+	RawHours []float64
+	Gaps     []GapEvent
+	Networks []core.NetworkOutage
+	Reboots  []core.Reboot
+	// RebootGaps is index-aligned with Reboots.
+	RebootGaps []core.RebootGap
+	Prefix     core.PrefixChangeRow
+
+	// Rounds is the retained k-root round-timestamp deque (see above).
+	Rounds []simclock.Time
+	// LastUptime is the watermark basis: the newest uptime report seen.
+	LastUptime simclock.Time
+
+	// pending indexes the RebootGaps still Open, ascending. Derived
+	// state: Restore rebuilds it from the Open flags.
+	pending []int
+}
+
+// GapEvent is one inter-connection gap as the detector retains it: the
+// compact subset of core.Gap that exists at ingest time. The probe ID is
+// implicit (the detector is per-probe) and the cause fields are assigned
+// only at query time, so storing them per event — on the hottest
+// retained list there is — would triple the bytes for constants.
+type GapEvent struct {
+	PrevEnd   simclock.Time `json:"prev_end"`
+	NextStart simclock.Time `json:"next_start"`
+	Changed   bool          `json:"changed,omitempty"`
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector {
+	return &Detector{}
+}
+
+// Restore rebuilds the derived open-gap queue after the exported fields
+// were loaded from a checkpoint.
+func (d *Detector) Restore() {
+	d.pending = d.pending[:0]
+	for i := range d.RebootGaps {
+		if d.RebootGaps[i].Open {
+			d.pending = append(d.pending, i)
+		}
+	}
+}
+
+// OnClosedDuration records a change-bounded address duration the moment
+// its closing change arrives. Non-positive lengths are recorded too:
+// the batch duration list keeps them (they count toward the periodic
+// classifier's minimum-durations gate) even though they carry no TTF
+// mass.
+func (d *Detector) OnClosedDuration(hours float64) {
+	d.RawHours = append(d.RawHours, hours)
+}
+
+// OnGap records one inter-connection gap of the stripped log
+// (core.GapSpans), cause unclassified.
+func (d *Detector) OnGap(prevEnd, nextStart simclock.Time, changed bool) {
+	d.Gaps = append(d.Gaps, GapEvent{PrevEnd: prevEnd, NextStart: nextStart, Changed: changed})
+}
+
+// CoreGaps expands the compact gap events into core.Gap values for the
+// query-time fold, stamping the probe ID back in.
+func (d *Detector) CoreGaps(probe atlasdata.ProbeID) []core.Gap {
+	if len(d.Gaps) == 0 {
+		return nil
+	}
+	out := make([]core.Gap, len(d.Gaps))
+	for i, g := range d.Gaps {
+		out[i] = core.Gap{Probe: probe, PrevEnd: g.PrevEnd, NextStart: g.NextStart, Changed: g.Changed}
+	}
+	return out
+}
+
+// applyChange folds one address change into a Table 7 counter row,
+// mirroring the batch per-change accounting: unrouted endpoints
+// short-circuit the boundary tests.
+func applyChange(row *core.PrefixChangeRow, from, to ip4.Addr, fromPfx, toPfx ip4.Prefix, okFrom, okTo bool) {
+	row.Changes++
+	if !okFrom || !okTo {
+		row.Unrouted++
+		return
+	}
+	if fromPfx != toPfx {
+		row.DiffBGP++
+	}
+	if from.Slash16() != to.Slash16() {
+		row.DiffS16++
+	}
+	if from.Slash8() != to.Slash8() {
+		row.DiffS8++
+	}
+}
+
+// OnChange records one observed address change with its endpoints'
+// month-matched BGP prefixes, feeding the probe's Table 7 row. The
+// day-bucketed churn counters are not per-probe state — the shard-level
+// ChurnTable accumulates those.
+func (d *Detector) OnChange(ch core.AddressChange, fromPfx, toPfx ip4.Prefix, okFrom, okTo bool) {
+	applyChange(&d.Prefix, ch.From, ch.To, fromPfx, toPfx, okFrom, okTo)
+}
+
+// OnChangeDual is the fused ingest-path form of OnChange followed by
+// ChurnTable.Add: the boundary predicates are evaluated once and both
+// the probe's Table 7 row and the supplied churn bucket are advanced.
+// Equivalent to the two separate calls by construction (the test suite
+// pins it); exists because changes are hot enough on the apply path
+// that the duplicated comparisons show up in profiles.
+func (d *Detector) OnChangeDual(bucket *core.PrefixChangeRow, from, to ip4.Addr, fromPfx, toPfx ip4.Prefix, okFrom, okTo bool) {
+	d.Prefix.Changes++
+	bucket.Changes++
+	if !okFrom || !okTo {
+		d.Prefix.Unrouted++
+		bucket.Unrouted++
+		return
+	}
+	if fromPfx != toPfx {
+		d.Prefix.DiffBGP++
+		bucket.DiffBGP++
+	}
+	if from.Slash16() != to.Slash16() {
+		d.Prefix.DiffS16++
+		bucket.DiffS16++
+	}
+	if from.Slash8() != to.Slash8() {
+		d.Prefix.DiffS8++
+		bucket.DiffS8++
+	}
+}
+
+// OnNetworkOutage records a closed, qualified loss run.
+func (d *Detector) OnNetworkOutage(n core.NetworkOutage) {
+	d.Networks = append(d.Networks, n)
+}
+
+// OnRound observes one k-root round timestamp (lost or not — gap
+// resolution cares about round presence, not outcome). It closes every
+// pending reboot gap the round bounds; reboots are detected in
+// boot-instant order, so the queue resolves front first.
+func (d *Detector) OnRound(ts simclock.Time) {
+	// Kept loop-free so it inlines into the per-record apply path;
+	// rounds are the dominant record kind and almost never have a gap
+	// waiting on them.
+	d.Rounds = append(d.Rounds, ts)
+	if len(d.pending) > 0 {
+		d.resolvePending(ts)
+	}
+}
+
+func (d *Detector) resolvePending(ts simclock.Time) {
+	for len(d.pending) > 0 {
+		i := d.pending[0]
+		if !ts.After(d.Reboots[i].At) {
+			break
+		}
+		d.RebootGaps[i].End = ts
+		d.RebootGaps[i].Open = false
+		d.pending = d.pending[1:]
+	}
+}
+
+// OnReboot records a detected reboot and resolves its surrounding
+// k-root silence against the retained rounds, exactly as the batch
+// ResolveRebootGaps would: last round at or before the boot instant
+// behind (or boot minus the ping-gap threshold when none), first round
+// after ahead (or Open until one arrives).
+func (d *Detector) OnReboot(r core.Reboot) {
+	i := sort.Search(len(d.Rounds), func(k int) bool {
+		return d.Rounds[k].After(r.At)
+	})
+	g := core.RebootGap{}
+	if i > 0 {
+		g.Start = d.Rounds[i-1]
+	} else {
+		g.Start = r.At.Add(-core.PingGapThreshold)
+	}
+	if i < len(d.Rounds) {
+		g.End = d.Rounds[i]
+	} else {
+		g.Open = true
+		d.pending = append(d.pending, len(d.Reboots))
+	}
+	d.Reboots = append(d.Reboots, r)
+	d.RebootGaps = append(d.RebootGaps, g)
+}
+
+// OnUptime advances the watermark to a new uptime report and prunes the
+// round deque: every round older than the watermark except the newest
+// one (the only candidate left for a future reboot's lookup-behind) is
+// dropped. The doubled slack leaves margin on both the old and the new
+// boot-instant estimate.
+func (d *Detector) OnUptime(ts simclock.Time) {
+	d.LastUptime = ts
+	if len(d.Rounds) < 2 {
+		return
+	}
+	w := ts.Add(-2 * core.BootSlack)
+	// Linear front scan rather than a binary search: the pruned deque
+	// holds at most a reporting interval's worth of rounds, so the scan
+	// is a few inlined comparisons instead of closure calls.
+	i := 0
+	for i < len(d.Rounds) && !d.Rounds[i].After(w) {
+		i++
+	}
+	if i > 1 {
+		n := copy(d.Rounds, d.Rounds[i-1:])
+		d.Rounds = d.Rounds[:n]
+	}
+}

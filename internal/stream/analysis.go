@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/liveanalysis"
+)
+
+// ErrAnalysisDisabled is returned by Analysis calls when the ingester
+// was built without Config.Analysis.
+var ErrAnalysisDisabled = errors.New("stream: live analysis disabled (Config.Analysis)")
+
+// analysisView is one shard's frozen contribution to a live analysis:
+// deep-copied event state for its analyzable probes plus the merged
+// churn counters of every probe it owns.
+type analysisView struct {
+	events []liveanalysis.ProbeEvents // sorted by probe ID
+	churn  map[int]core.PrefixChangeRow
+}
+
+// analysisView snapshots the shard's detector state. Called from the
+// shard goroutine (in-band marker) or after Close (quiescent). Event
+// slices are copied, so the fold can run while the shard keeps
+// applying records.
+func (s *shard) analysisView() *analysisView {
+	v := &analysisView{churn: make(map[int]core.PrefixChangeRow)}
+	// Churn is the raw operational view: every probe counts, analyzable
+	// or not, exactly like the batch oracle's sweep over all connection
+	// logs. The shard's shared table already holds the merged counters.
+	if s.churn != nil {
+		s.churn.AccumulateInto(v.churn)
+	}
+	ids := make([]atlasdata.ProbeID, 0, len(s.states))
+	for id := range s.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ps := s.states[id]
+		if ps.det == nil {
+			continue
+		}
+		// Events feed the paper tables, which exist only for probes the
+		// Table 2 pipeline admits.
+		if !ps.hasMeta || ps.category() != core.CatAnalyzable {
+			continue
+		}
+		v.events = append(v.events, ps.events())
+	}
+	return v
+}
+
+// events freezes the probe's detector state into an immutable
+// ProbeEvents. The open loss run, if any, is finalized under the batch
+// end-of-input rule — DetectNetworkOutages closes its trailing run when
+// the input ends, and a snapshot barrier is exactly an end-of-input for
+// the records seen so far.
+func (ps *probeState) events() liveanalysis.ProbeEvents {
+	det := ps.det
+	ev := liveanalysis.ProbeEvents{
+		Probe:      ps.id,
+		MultiAS:    ps.multiAS,
+		V3:         ps.meta.Version == atlasdata.V3,
+		HasChanges: ps.changes > 0,
+		RawHours:   append([]float64(nil), det.RawHours...),
+		Gaps:       det.CoreGaps(ps.id),
+		Networks:   append([]core.NetworkOutage(nil), det.Networks...),
+		Reboots:    append([]core.Reboot(nil), det.Reboots...),
+		RebootGaps: append([]core.RebootGap(nil), det.RebootGaps...),
+		Prefix:     det.Prefix,
+	}
+	if ps.homeConsistent && ps.homeASN != 0 {
+		ev.ASN = uint32(ps.homeASN)
+	}
+	if n, ok := ps.qualifyLossRun(ps.loss); ok {
+		ev.Networks = append(ev.Networks, n)
+	}
+	return ev
+}
+
+// Analysis computes the live paper answers — Tables 5-7, Figures 6-8,
+// and the churn series — from the current stream position. Like
+// Snapshot it is a consistent barrier: it reflects at least every
+// record whose ingest call returned before Analysis was called.
+func (in *Ingester) Analysis() (*liveanalysis.Result, error) {
+	return in.AnalysisContext(context.Background())
+}
+
+// AnalysisContext is Analysis under a context: a caller blocked behind
+// full shard buffers gets ctx.Err() on cancellation instead of hanging.
+func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, error) {
+	if !in.cfg.Analysis {
+		return nil, ErrAnalysisDisabled
+	}
+	in.mu.RLock()
+	if in.closed {
+		in.mu.RUnlock()
+		// Shard goroutines have exited; state is quiescent.
+		views := make([]*analysisView, 0, len(in.shards))
+		for _, s := range in.shards {
+			views = append(views, s.analysisView())
+		}
+		return mergeAnalysis(views), nil
+	}
+	// Buffered to the full shard count so markers already sent keep a
+	// reply slot even if the collection is abandoned on cancellation.
+	ch := make(chan *analysisView, len(in.shards))
+	for _, s := range in.shards {
+		select {
+		case s.in <- record{kind: kindAnalysis, analysis: ch}:
+		case <-ctx.Done():
+			in.mu.RUnlock()
+			return nil, ctx.Err()
+		}
+	}
+	in.mu.RUnlock()
+	views := make([]*analysisView, 0, len(in.shards))
+	for range in.shards {
+		select {
+		case v := <-ch:
+			views = append(views, v)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return mergeAnalysis(views), nil
+}
+
+// mergeAnalysis combines the shard contributions — events re-sorted
+// into global probe-ID order (the batch pipeline's probe discipline),
+// churn counters summed — and runs the query-time fold.
+func mergeAnalysis(views []*analysisView) *liveanalysis.Result {
+	var events []liveanalysis.ProbeEvents
+	churn := make(map[int]core.PrefixChangeRow)
+	for _, v := range views {
+		events = append(events, v.events...)
+		for day, row := range v.churn {
+			r := churn[day]
+			r.Accumulate(row)
+			churn[day] = r
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Probe < events[j].Probe })
+	return liveanalysis.Compute(events, churn, liveanalysis.Options{})
+}

@@ -1,0 +1,365 @@
+package stream_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/liveanalysis"
+	"dynaddr/internal/sim"
+	"dynaddr/internal/simclock"
+	"dynaddr/internal/stream"
+)
+
+// resultBytes canonicalises a live-analysis result for byte comparison.
+// Result is all plain values and deterministically ordered slices, so
+// byte equality of the JSON means full value equality.
+func resultBytes(t testing.TB, r *liveanalysis.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// requireAnalysisEquals asserts the streaming result matches the batch
+// oracle over the same records, byte for byte.
+func requireAnalysisEquals(t *testing.T, label string, got *liveanalysis.Result, ds *atlasdata.Dataset) {
+	t.Helper()
+	want := liveanalysis.FromBatch(ds, liveanalysis.Options{})
+	gb, wb := resultBytes(t, got), resultBytes(t, want)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("%s: streaming analysis differs from batch\n got: %.300s\nwant: %.300s", label, gb, wb)
+	}
+}
+
+// teeSink forwards records to an analysis-enabled ingester while
+// building the same prefix as a Dataset, so any barrier mid-replay can
+// be checked against the batch oracle over exactly the records the
+// stream has consumed.
+type teeSink struct {
+	ing *stream.Ingester
+	ds  *atlasdata.Dataset
+	n   int
+	at  func(n int)
+}
+
+func (s *teeSink) tick() { s.n++; s.at(s.n) }
+
+func (s *teeSink) Meta(m atlasdata.ProbeMeta) error {
+	if err := s.ing.Meta(m); err != nil {
+		return err
+	}
+	s.ds.Probes[m.ID] = m
+	s.tick()
+	return nil
+}
+
+func (s *teeSink) ConnLog(e atlasdata.ConnLogEntry) error {
+	if err := s.ing.ConnLog(e); err != nil {
+		return err
+	}
+	s.ds.ConnLogs[e.Probe] = append(s.ds.ConnLogs[e.Probe], e)
+	s.tick()
+	return nil
+}
+
+func (s *teeSink) KRoot(k atlasdata.KRootRound) error {
+	if err := s.ing.KRoot(k); err != nil {
+		return err
+	}
+	s.ds.KRoot[k.Probe] = append(s.ds.KRoot[k.Probe], k)
+	s.tick()
+	return nil
+}
+
+func (s *teeSink) Uptime(u atlasdata.UptimeRecord) error {
+	if err := s.ing.Uptime(u); err != nil {
+		return err
+	}
+	s.ds.Uptime[u.Probe] = append(s.ds.Uptime[u.Probe], u)
+	s.tick()
+	return nil
+}
+
+// TestAnalysisReplayEquivalence is the tentpole's correctness anchor:
+// across seeds and shard counts, the live analysis at every checkpoint
+// barrier — one third in, two thirds in, and at end of stream — must be
+// byte-identical to the batch pipeline run over exactly the records
+// consumed so far.
+func TestAnalysisReplayEquivalence(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		shards int
+	}{
+		{seed: 3, shards: 1},
+		{seed: 3, shards: 4},
+		{seed: 11, shards: 1},
+		{seed: 11, shards: 4},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", tc.seed, tc.shards), func(t *testing.T) {
+			ds := recoverWorld(t, tc.seed)
+			total := totalRecords(ds)
+			barriers := map[int]bool{total / 3: true, total * 2 / 3: true}
+
+			ing := stream.NewIngester(stream.Config{
+				Shards: tc.shards, Pfx2AS: ds.Pfx2AS, Analysis: true,
+			})
+			tee := &teeSink{ing: ing, ds: atlasdata.NewDataset()}
+			tee.ds.Pfx2AS = ds.Pfx2AS
+			tee.at = func(n int) {
+				if !barriers[n] {
+					return
+				}
+				got, err := ing.Analysis()
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireAnalysisEquals(t, fmt.Sprintf("barrier at record %d", n), got, tee.ds)
+			}
+			if err := sim.ReplayDataset(ds, tee); err != nil {
+				t.Fatal(err)
+			}
+			if err := ing.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// End of stream exercises the closed-quiescent path.
+			got, err := ing.Analysis()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireAnalysisEquals(t, "end of stream", got, ds)
+		})
+	}
+}
+
+// TestAnalysisRecoverEquivalence kills an analysis-enabled durable run
+// mid-stream (optionally tearing the WAL tail), recovers, resumes the
+// producer from its cursors, and demands the final analysis match both
+// an uninterrupted run and the batch oracle — detector state must ride
+// checkpoints and WAL replay without drifting.
+func TestAnalysisRecoverEquivalence(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		shards int
+		damage string
+	}{
+		{seed: 3, shards: 1, damage: "none"},
+		{seed: 3, shards: 1, damage: "chop"},
+		{seed: 11, shards: 4, damage: "none"},
+		{seed: 11, shards: 4, damage: "chop"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d/damage=%s", tc.seed, tc.shards, tc.damage), func(t *testing.T) {
+			ds := recoverWorld(t, tc.seed)
+			stopAt := totalRecords(ds) * 2 / 5
+			dir := t.TempDir()
+			cfg := durableConfig(ds, dir, tc.shards)
+			cfg.Analysis = true
+
+			// Uninterrupted in-memory reference.
+			ref := stream.NewIngester(stream.Config{
+				Shards: tc.shards, Pfx2AS: ds.Pfx2AS, Analysis: true,
+			})
+			if err := sim.ReplayDataset(ds, ref); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Close(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Analysis()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Durable run dies ~40% in; recover, resume, finish.
+			ing, _, err := stream.Recover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.ReplayDataset(ds, &stopAfter{ing: ing, left: stopAt}); !errors.Is(err, errStop) {
+				t.Fatalf("replay ended with %v, want errStop", err)
+			}
+			if err := ing.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.damage != "none" {
+				damageLastSegment(t, dir+"/shard-000", tc.damage)
+			}
+			rec, st, err := stream.Recover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CheckpointProbes == 0 {
+				t.Error("no probes restored from checkpoints; detector restore path not exercised")
+			}
+			if err := sim.ReplayDataset(ds, newSkipSink(rec)); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := rec.Analysis()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, wb := resultBytes(t, got), resultBytes(t, want)
+			if !bytes.Equal(gb, wb) {
+				t.Errorf("post-recovery analysis differs from uninterrupted run\n got: %.300s\nwant: %.300s", gb, wb)
+			}
+			requireAnalysisEquals(t, "post-recovery vs batch", got, ds)
+		})
+	}
+}
+
+// TestAnalysisDisabled pins the gate: without Config.Analysis the calls
+// fail with ErrAnalysisDisabled and ingest carries no detectors.
+func TestAnalysisDisabled(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 1})
+	defer ing.Close()
+	if _, err := ing.Analysis(); !errors.Is(err, stream.ErrAnalysisDisabled) {
+		t.Fatalf("Analysis on a disabled ingester: %v, want ErrAnalysisDisabled", err)
+	}
+}
+
+// TestAnalysisEdgeProbes hand-builds the degenerate shapes: a probe
+// that never changed, a probe with exactly one change (too few closed
+// durations for any periodic classification), and a probe with metadata
+// but no records. The streaming result must match the batch oracle and
+// the shapes must land where the paper's pipeline puts them.
+func TestAnalysisEdgeProbes(t *testing.T) {
+	ds := atlasdata.NewDataset()
+	base := simclock.StudyStart
+
+	// Probe 1: one IPv4 address all year — never changed, no events.
+	ds.Probes[1] = atlasdata.ProbeMeta{ID: 1, Country: "DE", Version: atlasdata.V3, ConnectedDays: 200}
+	ds.ConnLogs[1] = []atlasdata.ConnLogEntry{
+		{Probe: 1, Start: base, End: base.Add(200 * simclock.Day), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.1.0.1")},
+	}
+
+	// Probe 2: exactly one change — analyzable, one churn bucket, zero
+	// closed interior durations.
+	ds.Probes[2] = atlasdata.ProbeMeta{ID: 2, Country: "DE", Version: atlasdata.V3, ConnectedDays: 120}
+	ds.ConnLogs[2] = []atlasdata.ConnLogEntry{
+		{Probe: 2, Start: base, End: base.Add(60 * simclock.Day), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.2.0.1")},
+		{Probe: 2, Start: base.Add(60*simclock.Day + simclock.Minute), End: base.Add(120 * simclock.Day), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.2.0.2")},
+	}
+
+	// Probe 3: registered, silent.
+	ds.Probes[3] = atlasdata.ProbeMeta{ID: 3, Country: "FR", Version: atlasdata.V3, ConnectedDays: 100}
+
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: ds.Pfx2AS, Analysis: true})
+	if err := sim.ReplayDataset(ds, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ing.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAnalysisEquals(t, "edge probes", got, ds)
+
+	if got.Probes != 1 {
+		t.Errorf("analyzable probes = %d, want 1 (only the one-change probe)", got.Probes)
+	}
+	if got.Table7All.Changes != 1 {
+		t.Errorf("Table 7 changes = %d, want 1", got.Table7All.Changes)
+	}
+	if len(got.Table5) != 0 {
+		t.Errorf("Table 5 rows = %d, want 0 (one change yields no durations)", len(got.Table5))
+	}
+	if len(got.Churn) != 1 || got.Churn[0].Row.Changes != 1 {
+		t.Errorf("churn = %+v, want one single-change window", got.Churn)
+	}
+}
+
+// TestAnalysisEphemeralV6World turns the dual-stack knob up (the X4
+// world: most probes show ephemeral IPv6 alongside IPv4): dual-stack
+// probes are excluded from the paper tables but their IPv4 changes
+// still count in the churn series, and the stream must agree with the
+// batch oracle on both facts at every shard count.
+func TestAnalysisEphemeralV6World(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 21
+	cfg.Scale = 0.04
+	cfg.DualStackFrac = 0.8
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := world.Dataset
+	res := core.Filter(ds)
+	if res.Count(core.CatDualStack) == 0 {
+		t.Fatal("world has no dual-stack probes; knob ineffective")
+	}
+
+	var results [][]byte
+	for _, shards := range []int{1, 4} {
+		ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS, Analysis: true})
+		if err := sim.ReplayDataset(ds, ing); err != nil {
+			t.Fatal(err)
+		}
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ing.Analysis()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireAnalysisEquals(t, fmt.Sprintf("x4 world, %d shards", shards), got, ds)
+		if got.Probes != len(res.GeoProbes) {
+			t.Errorf("%d shards: analyzable probes = %d, want %d", shards, got.Probes, len(res.GeoProbes))
+		}
+		if len(got.Churn) == 0 {
+			t.Errorf("%d shards: churn series empty despite IPv4 changes", shards)
+		}
+		results = append(results, resultBytes(t, got))
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Error("analysis differs between shard counts")
+	}
+}
+
+// BenchmarkLiveAnalysis measures the ingest cost of the detectors: the
+// same world streamed with analysis off and on (the <5% overhead budget
+// in EXPERIMENTS.md), plus the cost of one analysis fold.
+func BenchmarkLiveAnalysis(b *testing.B) {
+	ds := recoverWorld(b, 5)
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("ingest/analysis=%v", on), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ing := stream.NewIngester(stream.Config{Shards: 4, Pfx2AS: ds.Pfx2AS, Analysis: on})
+				if err := sim.ReplayDataset(ds, ing); err != nil {
+					b.Fatal(err)
+				}
+				if err := ing.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("fold", func(b *testing.B) {
+		ing := stream.NewIngester(stream.Config{Shards: 4, Pfx2AS: ds.Pfx2AS, Analysis: true})
+		if err := sim.ReplayDataset(ds, ing); err != nil {
+			b.Fatal(err)
+		}
+		if err := ing.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ing.Analysis(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

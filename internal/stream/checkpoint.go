@@ -9,7 +9,9 @@ import (
 
 	"dynaddr/internal/asdb"
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/core"
 	"dynaddr/internal/ip4"
+	"dynaddr/internal/liveanalysis"
 	"dynaddr/internal/simclock"
 	"dynaddr/internal/stats"
 )
@@ -37,7 +39,14 @@ type shardCheckpoint struct {
 	Seq          uint64           `json:"seq"`
 	Counts       RecordCounts     `json:"counts"`
 	SessionsByAS map[uint32]int64 `json:"sessions_by_as,omitempty"`
-	Probes       []probeStateJSON `json:"probes"`
+	// Churn/ChurnOutside carry the shard's live-analysis churn table in
+	// sparse form (non-empty day cells, ascending). Present only when
+	// the ingester runs with Config.Analysis; like the per-probe
+	// detector state, an old checkpoint without them restores an empty
+	// table — a degradation, not an incompatibility.
+	Churn        []liveanalysis.ChurnCell `json:"churn,omitempty"`
+	ChurnOutside *core.PrefixChangeRow    `json:"churn_outside,omitempty"`
+	Probes       []probeStateJSON         `json:"probes"`
 }
 
 // spanJSON, addrRunJSON and lossRunJSON mirror the unexported state
@@ -121,6 +130,30 @@ type probeStateJSON struct {
 	Reboots    int64 `json:"reboots,omitempty"`
 
 	Rejected int64 `json:"rejected,omitempty"`
+
+	// An is the probe's live-analysis detector state, present only when
+	// the ingester runs with Config.Analysis. The version stays at 1:
+	// an old checkpoint without this field restores an empty detector
+	// (the analysis then covers only post-upgrade records), and an
+	// analysis-off ingester ignores the field — both are degradations,
+	// not incompatibilities.
+	An *detectorJSON `json:"analysis,omitempty"`
+}
+
+// detectorJSON mirrors liveanalysis.Detector's exported fields. The
+// core event types marshal through their exported fields (simclock
+// times are integers, hours are float64s that round-trip exactly, and
+// the churn cells are an ordered slice), so the document stays
+// deterministic for the recovery byte-equality tests.
+type detectorJSON struct {
+	RawHours   []float64               `json:"raw_hours,omitempty"`
+	Gaps       []liveanalysis.GapEvent `json:"gaps,omitempty"`
+	Networks   []core.NetworkOutage    `json:"networks,omitempty"`
+	Reboots    []core.Reboot           `json:"reboots,omitempty"`
+	RebootGaps []core.RebootGap        `json:"reboot_gaps,omitempty"`
+	Prefix     core.PrefixChangeRow    `json:"prefix"`
+	Rounds     []simclock.Time         `json:"rounds,omitempty"`
+	LastUptime simclock.Time           `json:"last_uptime,omitempty"`
 }
 
 func marshalProbeState(ps *probeState) probeStateJSON {
@@ -203,11 +236,23 @@ func marshalProbeState(ps *probeState) probeStateJSON {
 	for _, t := range ps.recentReboots {
 		j.RecentReboots = append(j.RecentReboots, int64(t))
 	}
+	if det := ps.det; det != nil {
+		j.An = &detectorJSON{
+			RawHours:   det.RawHours,
+			Gaps:       det.Gaps,
+			Networks:   det.Networks,
+			Reboots:    det.Reboots,
+			RebootGaps: det.RebootGaps,
+			Prefix:     det.Prefix,
+			Rounds:     det.Rounds,
+			LastUptime: det.LastUptime,
+		}
+	}
 	return j
 }
 
-func unmarshalProbeState(j probeStateJSON) *probeState {
-	ps := newProbeState(j.ID)
+func unmarshalProbeState(j probeStateJSON, churn *liveanalysis.ChurnTable) *probeState {
+	ps := newProbeState(j.ID, churn)
 	if j.Meta != nil {
 		ps.setMeta(*j.Meta)
 	}
@@ -282,6 +327,19 @@ func unmarshalProbeState(j probeStateJSON) *probeState {
 	ps.reboots = j.Reboots
 
 	ps.rejected = j.Rejected
+
+	if ps.det != nil && j.An != nil {
+		det := ps.det
+		det.RawHours = j.An.RawHours
+		det.Gaps = j.An.Gaps
+		det.Networks = j.An.Networks
+		det.Reboots = j.An.Reboots
+		det.RebootGaps = j.An.RebootGaps
+		det.Prefix = j.An.Prefix
+		det.Rounds = j.An.Rounds
+		det.LastUptime = j.An.LastUptime
+		det.Restore()
+	}
 	return ps
 }
 
@@ -300,6 +358,11 @@ func (s *shard) buildCheckpoint() *shardCheckpoint {
 		for asn, n := range s.sessionsByAS {
 			ck.SessionsByAS[asn] = n
 		}
+	}
+	if s.churn != nil {
+		ck.Churn = s.churn.Cells()
+		outside := s.churn.Outside()
+		ck.ChurnOutside = &outside
 	}
 	ids := make([]atlasdata.ProbeID, 0, len(s.states))
 	for id := range s.states {
@@ -320,8 +383,15 @@ func (s *shard) restoreCheckpoint(ck *shardCheckpoint) {
 	for asn, n := range ck.SessionsByAS {
 		s.sessionsByAS[asn] = n
 	}
+	if s.churn != nil {
+		var outside core.PrefixChangeRow
+		if ck.ChurnOutside != nil {
+			outside = *ck.ChurnOutside
+		}
+		s.churn.Restore(ck.Churn, outside)
+	}
 	for _, j := range ck.Probes {
-		s.states[j.ID] = unmarshalProbeState(j)
+		s.states[j.ID] = unmarshalProbeState(j, s.churn)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/liveanalysis"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/wal"
 )
@@ -25,19 +26,24 @@ const (
 	kindUptime
 	kindSnapshot
 	kindCursor
+	// kindAnalysis must stay after the WAL-persisted kinds: marker kinds
+	// never reach the log, but keeping them last means the byte values of
+	// persisted kinds never shift when markers are added.
+	kindAnalysis
 )
 
 // record is the envelope travelling through a shard's channel. Exactly
 // one payload field is meaningful, selected by kind.
 type record struct {
-	kind   recordKind
-	meta   atlasdata.ProbeMeta
-	conn   atlasdata.ConnLogEntry
-	kroot  atlasdata.KRootRound
-	uptime atlasdata.UptimeRecord
-	snap   chan<- *shardView
-	probe  atlasdata.ProbeID  // kindCursor: which probe
-	cur    chan<- ProbeCursor // kindCursor: reply channel
+	kind     recordKind
+	meta     atlasdata.ProbeMeta
+	conn     atlasdata.ConnLogEntry
+	kroot    atlasdata.KRootRound
+	uptime   atlasdata.UptimeRecord
+	snap     chan<- *shardView
+	probe    atlasdata.ProbeID    // kindCursor: which probe
+	cur      chan<- ProbeCursor   // kindCursor: reply channel
+	analysis chan<- *analysisView // kindAnalysis: reply channel
 }
 
 // shard owns the state machines for a subset of probes. Only the
@@ -53,6 +59,12 @@ type shard struct {
 	sessionsByAS map[uint32]int64
 	counts       RecordCounts
 	pfx          *pfx2as.SnapshotStore
+	// churn is the shard's day-bucketed address-change table, shared by
+	// every probe the shard owns (churn has no per-probe dimension —
+	// the counters are integer sums, so per-shard accumulation merges
+	// exactly). Nil when analysis is off; doubles as the analysis-mode
+	// flag for new probe states, which get detectors iff it is set.
+	churn *liveanalysis.ChurnTable
 
 	// index is the shard's position in Ingester.shards — part of the
 	// on-disk identity of a durable shard.
@@ -68,8 +80,10 @@ type shard struct {
 	lastSeq   uint64 // sequence of the last appended record
 
 	// metrics is nil when instrumentation is disabled; all its methods
-	// are nil-receiver safe.
-	metrics *shardMetrics
+	// are nil-receiver safe. ametrics is the analysis-barrier slice of
+	// the instrumentation, also nil-safe and touched only at barriers.
+	metrics  *shardMetrics
+	ametrics *analysisMetrics
 
 	// walErr is the first durability error (append, sync, checkpoint).
 	// Once set the shard stops appending — ingest stays available but
@@ -161,6 +175,10 @@ func newIngester(cfg Config) *Ingester {
 			sessionsByAS: make(map[uint32]int64),
 			pfx:          cfg.Pfx2AS,
 			metrics:      newShardMetrics(cfg.Metrics, i),
+		}
+		if cfg.Analysis {
+			in.shards[i].churn = &liveanalysis.ChurnTable{}
+			in.shards[i].ametrics = newAnalysisMetrics(cfg.Metrics, i)
 		}
 		registerQueueDepth(cfg.Metrics, i, in.shards[i].in)
 	}
@@ -391,6 +409,13 @@ func (s *shard) run() {
 		case kindCursor:
 			rec.cur <- s.cursor(rec.probe)
 			continue
+		case kindAnalysis:
+			// Like snapshots, the analysis barrier is a metrics barrier.
+			s.metrics.flush()
+			v := s.analysisView()
+			s.ametrics.observe(v)
+			rec.analysis <- v
+			continue
 		}
 		s.persist(rec)
 		s.apply(rec)
@@ -540,7 +565,7 @@ func (s *shard) cursor(id atlasdata.ProbeID) ProbeCursor {
 func (s *shard) state(id atlasdata.ProbeID) *probeState {
 	ps, ok := s.states[id]
 	if !ok {
-		ps = newProbeState(id)
+		ps = newProbeState(id, s.churn)
 		s.states[id] = ps
 	}
 	return ps

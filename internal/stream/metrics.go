@@ -126,6 +126,63 @@ func (m *shardMetrics) replayedRecord() {
 	}
 }
 
+// analysisMetrics is one shard's live-analysis instrumentation. Unlike
+// shardMetrics it has zero hot-path presence: every value is computed
+// and published only at an analysis barrier, from the view the shard
+// just built. Nil (metrics or analysis disabled) records nothing.
+type analysisMetrics struct {
+	folds    *obs.Counter
+	probes   *obs.Gauge
+	gaps     *obs.Gauge
+	networks *obs.Gauge
+	reboots  *obs.Gauge
+	churn    *obs.Gauge
+}
+
+func newAnalysisMetrics(reg *obs.Registry, index int) *analysisMetrics {
+	if reg == nil {
+		return nil
+	}
+	shard := obs.L("shard", strconv.Itoa(index))
+	gauge := func(name, help string) *obs.Gauge {
+		return reg.Gauge(name, help, shard)
+	}
+	return &analysisMetrics{
+		folds: reg.Counter("liveanalysis_folds_total",
+			"Analysis barriers served by this shard.", shard),
+		probes: gauge("liveanalysis_probes",
+			"Analyzable probes contributing events at the last analysis barrier."),
+		gaps: gauge("liveanalysis_gaps",
+			"Gap events held for analyzable probes at the last analysis barrier."),
+		networks: gauge("liveanalysis_network_outages",
+			"Qualified network outages held at the last analysis barrier."),
+		reboots: gauge("liveanalysis_reboots",
+			"Detected reboots held at the last analysis barrier."),
+		churn: gauge("liveanalysis_churn_days",
+			"Distinct study days with address-change churn at the last analysis barrier."),
+	}
+}
+
+// observe publishes the sizes of a freshly built analysis view. Called
+// on the shard goroutine at the barrier.
+func (m *analysisMetrics) observe(v *analysisView) {
+	if m == nil {
+		return
+	}
+	m.folds.Inc()
+	var gaps, networks, reboots int
+	for i := range v.events {
+		gaps += len(v.events[i].Gaps)
+		networks += len(v.events[i].Networks)
+		reboots += len(v.events[i].Reboots)
+	}
+	m.probes.Set(float64(len(v.events)))
+	m.gaps.Set(float64(gaps))
+	m.networks.Set(float64(networks))
+	m.reboots.Set(float64(reboots))
+	m.churn.Set(float64(len(v.churn)))
+}
+
 // registerQueueDepth exposes the shard's channel backlog as a callback
 // gauge: len(chan) is read at gather time, so the hot path pays
 // nothing for it.

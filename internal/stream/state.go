@@ -5,6 +5,7 @@ import (
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
 	"dynaddr/internal/ip4"
+	"dynaddr/internal/liveanalysis"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/simclock"
 	"dynaddr/internal/stats"
@@ -114,15 +115,29 @@ type probeState struct {
 	reboots    int64
 
 	rejected int64
+
+	// det, when live analysis is enabled, accumulates the paper-answer
+	// event state (durations, gaps, outages, reboot gaps, prefix
+	// counters) alongside the classification features above. Nil when
+	// analysis is off — every hook below is guarded, so the disabled
+	// path costs one nil check per record. churn points at the owning
+	// shard's shared day table (nil alongside det).
+	det   *liveanalysis.Detector
+	churn *liveanalysis.ChurnTable
 }
 
-func newProbeState(id atlasdata.ProbeID) *probeState {
-	return &probeState{
+func newProbeState(id atlasdata.ProbeID, churn *liveanalysis.ChurnTable) *probeState {
+	ps := &probeState{
 		id:             id,
 		allV4Single:    true,
 		homeConsistent: true,
 		runCount:       make(map[uint32]int),
 	}
+	if churn != nil {
+		ps.det = liveanalysis.NewDetector()
+		ps.churn = churn
+	}
+	return ps
 }
 
 func (ps *probeState) setMeta(m atlasdata.ProbeMeta) {
@@ -170,6 +185,13 @@ func (ps *probeState) onConn(e atlasdata.ConnLogEntry, pfx *pfx2as.SnapshotStore
 		return true
 	}
 
+	// Live analysis: one gap event per consecutive stripped-entry pair
+	// (core.GapSpans); causes are assigned only at query time, after
+	// firmware filtering has settled the power evidence.
+	if ps.det != nil && ps.prevSet {
+		ps.det.OnGap(ps.prevEnd, e.Start, ps.prevIsV4 && e.IsV4() && e.Addr != ps.prevAddr)
+	}
+
 	// Address-change detection: directly consecutive IPv4 entries with
 	// different addresses (core.V4Changes).
 	if ps.prevSet && ps.prevIsV4 && e.IsV4() && e.Addr != ps.prevAddr {
@@ -209,6 +231,12 @@ func (ps *probeState) onConn(e atlasdata.ConnLogEntry, pfx *pfx2as.SnapshotStore
 // weight d at the hour-quantised value.
 func (ps *probeState) closeDuration() {
 	hours := ps.seg.end.Sub(ps.seg.start).Hours()
+	// The analysis event list keeps non-positive durations too — the
+	// batch V4Durations list does, and they count toward the periodic
+	// classifier's minimum-durations gate.
+	if ps.det != nil {
+		ps.det.OnClosedDuration(hours)
+	}
 	if hours <= 0 {
 		return
 	}
@@ -221,9 +249,14 @@ func (ps *probeState) onChange(from, to ip4.Addr, prevEnd, nextStart simclock.Ti
 	ps.changes++
 
 	var fromASN, toASN asdb.ASN
+	var fromPfx, toPfx ip4.Prefix
+	var okFrom, okTo bool
 	if pfx != nil {
-		fromASN, _, _ = pfx.Lookup(from, prevEnd)
-		toASN, _, _ = pfx.Lookup(to, nextStart)
+		fromASN, fromPfx, okFrom = pfx.Lookup(from, prevEnd)
+		toASN, toPfx, okTo = pfx.Lookup(to, nextStart)
+	}
+	if ps.det != nil {
+		ps.det.OnChangeDual(ps.churn.Row(nextStart), from, to, fromPfx, toPfx, okFrom, okTo)
 	}
 	if fromASN != toASN {
 		ps.multiAS = true
@@ -289,6 +322,10 @@ func (ps *probeState) onKRoot(k atlasdata.KRootRound) bool {
 	}
 	ps.kRootSeen = true
 	ps.lastKRoot = k.Timestamp
+	if ps.det != nil {
+		// Reboot-gap resolution cares about round presence, not outcome.
+		ps.det.OnRound(k.Timestamp)
+	}
 
 	if k.AllLost() {
 		if !ps.loss.active {
@@ -313,6 +350,27 @@ func (ps *probeState) onKRoot(k atlasdata.KRootRound) bool {
 func (ps *probeState) closeLossRun() {
 	run := ps.loss
 	ps.loss = lossRun{}
+	n, ok := ps.qualifyLossRun(run)
+	if !ok {
+		return
+	}
+	ps.networkOutages++
+	if ps.det != nil {
+		ps.det.OnNetworkOutage(n)
+	}
+	ev := span{from: run.start, to: run.end}
+	ps.recentOutages = appendRing(ps.recentOutages, ev)
+	ps.linkEvidence(ev)
+}
+
+// qualifyLossRun applies the batch qualification rule to a loss run
+// without consuming it — shared between the closing path above and the
+// snapshot barrier, which must finalize a still-open run the way the
+// batch detector closes its trailing run at end-of-input.
+func (ps *probeState) qualifyLossRun(run lossRun) (core.NetworkOutage, bool) {
+	if !run.active {
+		return core.NetworkOutage{}, false
+	}
 	qualifies := false
 	if run.rounds > 1 {
 		qualifies = run.lastLTS > run.firstLTS
@@ -320,12 +378,9 @@ func (ps *probeState) closeLossRun() {
 		qualifies = run.firstLTS > ltsSyncBound
 	}
 	if !qualifies {
-		return
+		return core.NetworkOutage{}, false
 	}
-	ps.networkOutages++
-	ev := span{from: run.start, to: run.end}
-	ps.recentOutages = appendRing(ps.recentOutages, ev)
-	ps.linkEvidence(ev)
+	return core.NetworkOutage{Probe: ps.id, Start: run.start, End: run.end}, true
 }
 
 // onUptime feeds one SOS-uptime record through the reboot detector
@@ -341,6 +396,9 @@ func (ps *probeState) onUptime(u atlasdata.UptimeRecord) bool {
 	boot := u.Timestamp.Add(-simclock.Duration(u.Uptime))
 	if ps.upSeen && boot.Sub(ps.prevBoot) > bootSlackSecs*simclock.Second {
 		ps.reboots++
+		if ps.det != nil {
+			ps.det.OnReboot(core.Reboot{Probe: ps.id, At: boot})
+		}
 		ps.recentReboots = appendRing(ps.recentReboots, boot)
 		ps.linkEvidence(span{from: boot, to: boot})
 	}
@@ -348,6 +406,9 @@ func (ps *probeState) onUptime(u atlasdata.UptimeRecord) bool {
 		ps.prevBoot = boot
 	}
 	ps.upSeen = true
+	if ps.det != nil {
+		ps.det.OnUptime(u.Timestamp)
+	}
 	return true
 }
 

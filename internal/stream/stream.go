@@ -74,6 +74,14 @@ type Config struct {
 	// instrumentation entirely — the hot path then pays one nil check
 	// per record.
 	Metrics *obs.Registry
+
+	// Analysis enables the live analysis engine: every probe state
+	// additionally maintains a liveanalysis.Detector at apply time, and
+	// Analysis()/AnalysisContext() answer the paper's tables and figures
+	// from the current stream position. Detector state rides inside the
+	// shard checkpoints, so recovery restores the analysis exactly.
+	// Disabled, the ingest hot path pays one nil check per record.
+	Analysis bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,35 @@
+package dynaddr
+
+import (
+	"dynaddr/internal/liveanalysis"
+	"dynaddr/internal/stream"
+)
+
+// LiveResult holds the paper's tables and figures as computed by the
+// streaming analysis engine — the same answers a batch Report gives,
+// maintained incrementally at apply time. The streaming ingester
+// returns one per analysis barrier; LiveFromBatch builds the reference
+// value a finished dataset implies. Its Render* methods produce the
+// same table shapes as the batch Report's.
+type LiveResult = liveanalysis.Result
+
+// LiveOptions tune the live fold (AS selection for the figures). The
+// zero value matches the batch defaults.
+type LiveOptions = liveanalysis.Options
+
+// ChurnWindow is one study day's address-change churn row in a
+// LiveResult.
+type ChurnWindow = liveanalysis.ChurnWindow
+
+// ErrLiveAnalysisDisabled is returned by the streaming ingester's
+// analysis queries when it was built without the live analysis engine
+// (stream.Config.Analysis false); HTTP callers see it as 404.
+var ErrLiveAnalysisDisabled = stream.ErrAnalysisDisabled
+
+// LiveFromBatch computes the live-analysis answer a complete dataset
+// implies, in one pass over the batch structures. It is the oracle the
+// streaming engine is tested against: ingesting a dataset record by
+// record and querying at the end yields a byte-identical LiveResult.
+func LiveFromBatch(ds *Dataset, opts LiveOptions) *LiveResult {
+	return liveanalysis.FromBatch(ds, opts)
+}
