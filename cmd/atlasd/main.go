@@ -3,7 +3,10 @@
 // measurement-result streams, pfx2as snapshots) that cmd/churnctl can
 // scrape with -url — the collection boundary of the paper's §3. With
 // -live it additionally mounts the streaming ingest and incremental
-// query endpoints backed by a stream.Ingester.
+// query endpoints backed by a stream.Ingester: the negotiated v2 batch
+// endpoint (POST /api/v2/stream/records, binary or NDJSON by
+// Content-Type; body size bounded by -wire-max-batch) plus the
+// deprecated v1 per-kind routes, which -wire-v1=false retires with 410.
 //
 // Usage:
 //
@@ -68,6 +71,8 @@ func main() {
 	chaosDelay := flag.Duration("chaos-delay", 0, "latency injected when -chaos-delay-prob fires")
 	metricsOn := flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format) and instrument the hot paths")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	wireMaxBatch := flag.Int64("wire-max-batch", atlasapi.DefaultMaxBatchBytes, "largest POST /api/v2/stream/records body accepted, in bytes")
+	wireV1 := flag.Bool("wire-v1", true, "keep the deprecated /api/v1/stream/* routes mounted (false answers them with 410 Gone)")
 	flag.Parse()
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
@@ -205,10 +210,14 @@ func main() {
 		} else {
 			ing = stream.NewIngester(scfg)
 		}
-		ls := atlasapi.NewLiveServer(ing)
+		ls := atlasapi.NewLiveServer(ing,
+			atlasapi.WithLiveMetrics(reg),
+			atlasapi.WithMaxBatchBytes(*wireMaxBatch),
+			atlasapi.WithV1Routes(*wireV1))
+		mux.Handle(atlasapi.RouteStreamRecords, ls)
 		mux.Handle("/api/v1/stream/", ls)
 		mux.Handle("/api/v1/live/", ls)
-		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v)\n", *addr, ing.Shards(), *analysis)
+		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v)\n", *addr, ing.Shards(), *analysis, *wireV1)
 	}
 	health.SetReady(true)
 

@@ -5,38 +5,57 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/stats"
 	"dynaddr/internal/stream"
 )
 
 // LiveServer publishes a stream.Ingester over HTTP: the write side
-// accepts record batches in the same wire formats the batch endpoints
-// serve, the read side answers incremental-analysis queries.
+// accepts record batches, the read side answers incremental-analysis
+// queries.
 //
-//	POST /api/v1/stream/probes            probe metadata (archive JSON)
-//	POST /api/v1/stream/connlogs?probe=N  sessions (connection-history text)
-//	POST /api/v1/stream/kroot             ping results (NDJSON)
-//	POST /api/v1/stream/uptime            uptime reports (NDJSON)
+//	POST /api/v2/stream/records           any record mix; codec negotiated by
+//	                                      Content-Type (framed binary via
+//	                                      application/x-atlas-binary, or the
+//	                                      NDJSON envelope fallback)
+//	POST /api/v1/stream/probes            deprecated: probe metadata (archive JSON)
+//	POST /api/v1/stream/connlogs?probe=N  deprecated: sessions (connection-history text)
+//	POST /api/v1/stream/kroot             deprecated: ping results (NDJSON)
+//	POST /api/v1/stream/uptime            deprecated: uptime reports (NDJSON)
 //	GET  /api/v1/live/summary             stream-wide snapshot (JSON)
 //	GET  /api/v1/live/as/{asn}            one AS's aggregates (JSON)
 //	GET  /api/v1/live/cursor?probe=N      a probe's resume cursor (JSON)
 //	GET  /api/v1/live/analysis            paper tables/figures computed live (JSON)
 //
+// The v1 stream routes are shims over the v2 dispatch core, kept for
+// producers that still speak the batch tier's per-kind wire formats;
+// they answer with a Deprecation header and can be disabled entirely
+// with WithV1Routes(false).
+//
 // LiveServer is an http.Handler; mount it on any mux.
 type LiveServer struct {
 	ing *stream.Ingester
 	mux *http.ServeMux
+
+	reg      *obs.Registry
+	maxBatch int64
+	v1       bool
 }
 
 // NewLiveServer wraps an ingester. The caller owns the ingester's
 // lifecycle; closing it makes ingest endpoints return 503.
-func NewLiveServer(ing *stream.Ingester) *LiveServer {
-	s := &LiveServer{ing: ing, mux: http.NewServeMux()}
+func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
+	s := &LiveServer{ing: ing, mux: http.NewServeMux(), maxBatch: DefaultMaxBatchBytes, v1: true}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc(RouteStreamRecords, s.postRecords)
 	s.mux.HandleFunc("/api/v1/stream/probes", s.postProbes)
 	s.mux.HandleFunc("/api/v1/stream/connlogs", s.postConnLogs)
 	s.mux.HandleFunc("/api/v1/stream/kroot", s.postKRoot)
@@ -72,85 +91,68 @@ func respondAccepted(w http.ResponseWriter, n int) {
 }
 
 func (s *LiveServer) postProbes(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	probes, err := ParseProbeArchive(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	for i, m := range probes {
-		if err := s.ing.MetaContext(r.Context(), m); err != nil {
-			ingestError(w, fmt.Errorf("probe %d of %d: %w", i+1, len(probes), err))
-			return
+	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+		probes, err := ParseProbeArchive(body)
+		if err != nil {
+			return 0, err
 		}
-	}
-	respondAccepted(w, len(probes))
+		for i, m := range probes {
+			if err := s.ing.MetaContext(ctx, m); err != nil {
+				return i, fmt.Errorf("probe %d of %d: %w", i+1, len(probes), err)
+			}
+		}
+		return len(probes), nil
+	})
 }
 
 func (s *LiveServer) postConnLogs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	idStr := r.URL.Query().Get("probe")
-	id, err := strconv.Atoi(idStr)
-	if err != nil || id <= 0 {
-		http.Error(w, fmt.Sprintf("bad probe id %q", idStr), http.StatusBadRequest)
-		return
-	}
-	entries, err := ParseConnectionHistory(r.Body, atlasdata.ProbeID(id))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	for i, e := range entries {
-		if err := s.ing.ConnLogContext(r.Context(), e); err != nil {
-			ingestError(w, fmt.Errorf("entry %d of %d: %w", i+1, len(entries), err))
-			return
+	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+		idStr := r.URL.Query().Get("probe")
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id <= 0 {
+			return 0, fmt.Errorf("bad probe id %q", idStr)
 		}
-	}
-	respondAccepted(w, len(entries))
+		entries, err := ParseConnectionHistory(body, atlasdata.ProbeID(id))
+		if err != nil {
+			return 0, err
+		}
+		for i, e := range entries {
+			if err := s.ing.ConnLogContext(ctx, e); err != nil {
+				return i, fmt.Errorf("entry %d of %d: %w", i+1, len(entries), err)
+			}
+		}
+		return len(entries), nil
+	})
 }
 
 func (s *LiveServer) postKRoot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	rounds, err := ParseKRootResults(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	for i, k := range rounds {
-		if err := s.ing.KRootContext(r.Context(), k); err != nil {
-			ingestError(w, fmt.Errorf("round %d of %d: %w", i+1, len(rounds), err))
-			return
+	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+		rounds, err := ParseKRootResults(body)
+		if err != nil {
+			return 0, err
 		}
-	}
-	respondAccepted(w, len(rounds))
+		for i, k := range rounds {
+			if err := s.ing.KRootContext(ctx, k); err != nil {
+				return i, fmt.Errorf("round %d of %d: %w", i+1, len(rounds), err)
+			}
+		}
+		return len(rounds), nil
+	})
 }
 
 func (s *LiveServer) postUptime(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	recs, err := ParseUptimeResults(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	for i, u := range recs {
-		if err := s.ing.UptimeContext(r.Context(), u); err != nil {
-			ingestError(w, fmt.Errorf("record %d of %d: %w", i+1, len(recs), err))
-			return
+	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+		recs, err := ParseUptimeResults(body)
+		if err != nil {
+			return 0, err
 		}
-	}
-	respondAccepted(w, len(recs))
+		for i, u := range recs {
+			if err := s.ing.UptimeContext(ctx, u); err != nil {
+				return i, fmt.Errorf("record %d of %d: %w", i+1, len(recs), err)
+			}
+		}
+		return len(recs), nil
+	})
 }
 
 // liveSummary is the JSON shape of /api/v1/live/summary.

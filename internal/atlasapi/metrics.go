@@ -26,6 +26,7 @@ func routeLabel(path string) string {
 	case strings.HasPrefix(path, "/api/v1/live/as/"):
 		return "/api/v1/live/as/{asn}"
 	case path == "/api/v1/analysis",
+		path == RouteStreamRecords,
 		path == "/api/v1/live/summary",
 		path == "/api/v1/live/cursor",
 		path == "/api/v1/stream/probes",

@@ -159,6 +159,7 @@ func TestRouteLabel(t *testing.T) {
 		"/caida/pfx2as/201507.txt":        "/caida/pfx2as/{snapshot}",
 		"/api/v1/live/as/3320":            "/api/v1/live/as/{asn}",
 		"/api/v1/stream/connlogs":         "/api/v1/stream/connlogs",
+		"/api/v2/stream/records":          "/api/v2/stream/records",
 		"/api/v1/analysis":                "/api/v1/analysis",
 		"/api/v1/probe-archive/":          "/api/v1/probe-archive/{date}",
 		"/favicon.ico":                    "other",

@@ -3,25 +3,38 @@ package atlasapi
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/backoff"
+	"dynaddr/internal/wire"
 )
 
 // StreamProducer pushes records into a LiveServer's ingest endpoints
 // over HTTP. It implements the generator's RecordSink shape (Meta,
 // ConnLog, KRoot, Uptime), so sim.GenerateTo and sim.ReplayDataset can
 // drive a remote ingester directly — the producer side of the live
-// collection pipeline. Records are buffered in arrival order and POSTed
-// as runs of consecutive same-kind records, which preserves the
-// cross-stream interleaving the ingester's per-probe state machines
-// observe: streaming through the producer is equivalent to feeding the
-// ingester in process. Transient failures (transport errors, 5xx) are
-// retried with the same jittered exponential backoff the scrape client
-// uses; 4xx responses are permanent.
+// collection pipeline. Records are buffered in arrival order; how a
+// flush leaves the process depends on the codec:
+//
+//   - CodecJSON (default) POSTs runs of consecutive same-kind records
+//     to the deprecated v1 per-kind routes in their text/JSON formats.
+//   - CodecBinary frames the whole buffer — cross-kind order intact —
+//     as one internal/wire batch POSTed to /api/v2/stream/records.
+//   - CodecNDJSON does the same over the v2 NDJSON envelope.
+//
+// All three preserve the cross-stream interleaving the ingester's
+// per-probe state machines observe, so streaming through the producer
+// is equivalent to feeding the ingester in process under any codec.
+// Transient failures (transport errors, 5xx) are retried with the same
+// jittered exponential backoff the scrape client uses; 4xx responses
+// are permanent.
+//
+// Configure it with options (WithCodec, WithBatchSize, WithBackoff, …);
+// the exported fields remain settable for older call sites.
 //
 // The producer is not safe for concurrent use; drive it from one
 // goroutine (RecordSink deliveries are sequential by contract) and call
@@ -42,8 +55,39 @@ type StreamProducer struct {
 	BatchSize int
 
 	ctx    context.Context
+	codec  Codec
 	jitter backoff.Jitter
 	buf    []streamRecord
+	wire   wire.BatchWriter
+}
+
+// ProducerOption configures a StreamProducer.
+type ProducerOption func(*StreamProducer)
+
+// WithCodec selects the flush encoding (default CodecJSON, the v1
+// routes). CodecBinary is the high-throughput path.
+func WithCodec(c Codec) ProducerOption {
+	return func(p *StreamProducer) { p.codec = c }
+}
+
+// WithBatchSize sets how many records buffer before an automatic flush.
+func WithBatchSize(n int) ProducerOption {
+	return func(p *StreamProducer) { p.BatchSize = n }
+}
+
+// WithBackoff sets the retry spacing policy.
+func WithBackoff(pol backoff.Policy) ProducerOption {
+	return func(p *StreamProducer) { p.Backoff = pol }
+}
+
+// WithRetries sets how many times a failed POST is retried.
+func WithRetries(n int) ProducerOption {
+	return func(p *StreamProducer) { p.Retries = n }
+}
+
+// WithHTTPClient replaces http.DefaultClient.
+func WithHTTPClient(c *http.Client) ProducerOption {
+	return func(p *StreamProducer) { p.HTTPClient = c }
 }
 
 type recordKind int
@@ -66,8 +110,12 @@ type streamRecord struct {
 
 // NewStreamProducer returns a producer that POSTs to baseURL under ctx:
 // cancelling the context aborts in-flight POSTs and backoff sleeps.
-func NewStreamProducer(ctx context.Context, baseURL string) *StreamProducer {
-	return &StreamProducer{BaseURL: baseURL, ctx: ctx}
+func NewStreamProducer(ctx context.Context, baseURL string, opts ...ProducerOption) *StreamProducer {
+	p := &StreamProducer{BaseURL: baseURL, ctx: ctx, codec: CodecJSON}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
 }
 
 func (p *StreamProducer) context() context.Context {
@@ -112,17 +160,120 @@ func (p *StreamProducer) Uptime(u atlasdata.UptimeRecord) error {
 	return p.push(streamRecord{kind: kindUptime, uptime: u})
 }
 
-// Flush delivers the buffer as POSTs of consecutive same-kind runs
-// (connection-log runs additionally break on probe changes — the
-// endpoint is per-probe). Call it when the stream ends; a failed flush
-// leaves the undelivered tail buffered, so it is safe to retry.
+// Flush delivers the buffer under the configured codec. The v2 codecs
+// send the whole buffer as one batch; CodecJSON POSTs consecutive
+// same-kind runs (connection-log runs additionally break on probe
+// changes — the v1 endpoint is per-probe). Call it when the stream
+// ends; a failed flush leaves the undelivered records buffered, so it
+// is safe to retry.
 func (p *StreamProducer) Flush() error {
+	switch p.codec {
+	case CodecBinary:
+		return p.flushBinary()
+	case CodecNDJSON:
+		return p.flushNDJSON()
+	}
 	for len(p.buf) > 0 {
 		n, err := p.sendRun()
 		if err != nil {
 			return err
 		}
 		p.buf = p.buf[n:]
+	}
+	p.buf = nil
+	return nil
+}
+
+// flushBinary frames the buffer as one wire batch. The batch writer
+// (and its buffers) are reused across flushes, so a steady producer
+// stops allocating once its batch buffer has grown to size.
+func (p *StreamProducer) flushBinary() error {
+	if len(p.buf) == 0 {
+		p.buf = nil
+		return nil
+	}
+	p.wire.Reset()
+	for _, r := range p.buf {
+		var err error
+		switch r.kind {
+		case kindMeta:
+			err = p.wire.Meta(r.meta)
+		case kindConn:
+			err = p.wire.ConnLog(r.conn)
+		case kindKRoot:
+			err = p.wire.KRoot(r.kroot)
+		case kindUptime:
+			err = p.wire.Uptime(r.uptime)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.post(RouteStreamRecords, ContentTypeBinary, p.wire.Bytes()); err != nil {
+		return err
+	}
+	p.buf = nil
+	return nil
+}
+
+// envelope converts a buffered record to its NDJSON line shape.
+func (r streamRecord) envelope() recordEnvelope {
+	switch r.kind {
+	case kindMeta:
+		return recordEnvelope{
+			Kind:          "meta",
+			Probe:         int(r.meta.ID),
+			Country:       r.meta.Country,
+			Version:       int(r.meta.Version),
+			Tags:          r.meta.Tags,
+			ConnectedDays: r.meta.ConnectedDays,
+		}
+	case kindConn:
+		env := recordEnvelope{
+			Kind:  "connlog",
+			Probe: int(r.conn.Probe),
+			Start: int64(r.conn.Start),
+			End:   int64(r.conn.End),
+		}
+		if r.conn.Family == atlasdata.V6 {
+			env.Addr = r.conn.V6Addr
+		} else {
+			env.Addr = r.conn.Addr.String()
+		}
+		return env
+	case kindKRoot:
+		return recordEnvelope{
+			Kind:      "kroot",
+			Probe:     int(r.kroot.Probe),
+			Timestamp: int64(r.kroot.Timestamp),
+			Sent:      r.kroot.Sent,
+			Success:   r.kroot.Success,
+			LTS:       r.kroot.LTS,
+		}
+	}
+	return recordEnvelope{
+		Kind:      "uptime",
+		Probe:     int(r.uptime.Probe),
+		Timestamp: int64(r.uptime.Timestamp),
+		Uptime:    r.uptime.Uptime,
+	}
+}
+
+// flushNDJSON sends the buffer as v2 envelope lines.
+func (p *StreamProducer) flushNDJSON() error {
+	if len(p.buf) == 0 {
+		p.buf = nil
+		return nil
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, r := range p.buf {
+		if err := enc.Encode(r.envelope()); err != nil {
+			return err
+		}
+	}
+	if err := p.post(RouteStreamRecords, ContentTypeNDJSON, body.Bytes()); err != nil {
+		return err
 	}
 	p.buf = nil
 	return nil

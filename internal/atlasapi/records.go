@@ -1,0 +1,292 @@
+package atlasapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/obs"
+	"dynaddr/internal/simclock"
+	"dynaddr/internal/stream"
+)
+
+// RouteStreamRecords is the v2 ingest endpoint: one POST route for all
+// four record kinds, codec negotiated via Content-Type. The v1
+// per-kind routes are deprecated shims over the same dispatch core.
+const RouteStreamRecords = "/api/v2/stream/records"
+
+// Content types the v2 endpoint negotiates.
+const (
+	// ContentTypeBinary selects the internal/wire framed binary codec —
+	// the zero-allocation hot path.
+	ContentTypeBinary = "application/x-atlas-binary"
+	// ContentTypeNDJSON selects the NDJSON envelope fallback: one JSON
+	// object per line with a "kind" discriminator.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// DefaultMaxBatchBytes bounds a v2 batch body unless WithMaxBatchBytes
+// overrides it. It matches the wire format's per-frame payload bound.
+const DefaultMaxBatchBytes = 16 << 20
+
+// Codec names an ingest encoding, used as the producer option and the
+// per-codec metrics label.
+type Codec string
+
+// Ingest codecs, most compatible first.
+const (
+	// CodecJSON is the v1 surface: per-kind routes speaking the batch
+	// tier's text/JSON wire formats.
+	CodecJSON Codec = "json"
+	// CodecNDJSON is the v2 NDJSON envelope.
+	CodecNDJSON Codec = "ndjson"
+	// CodecBinary is the v2 framed binary codec.
+	CodecBinary Codec = "binary"
+)
+
+// LiveOption configures a LiveServer.
+type LiveOption func(*LiveServer)
+
+// WithLiveMetrics attaches an obs registry: batch and record counters
+// split by codec (accepted and rejected).
+func WithLiveMetrics(reg *obs.Registry) LiveOption {
+	return func(s *LiveServer) { s.reg = reg }
+}
+
+// WithMaxBatchBytes bounds v2 batch bodies (default
+// DefaultMaxBatchBytes). Oversized bodies are rejected with 400 before
+// they buffer.
+func WithMaxBatchBytes(n int64) LiveOption {
+	return func(s *LiveServer) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithV1Routes toggles the deprecated v1 per-kind stream routes
+// (default on). When off they answer 410 Gone, pointing at the v2
+// endpoint.
+func WithV1Routes(on bool) LiveOption {
+	return func(s *LiveServer) { s.v1 = on }
+}
+
+// batchPool recycles body buffers across v2 batch requests so steady
+// ingest does not re-grow a buffer per POST.
+var batchPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// negotiateCodec maps a request Content-Type to an ingest codec. An
+// absent Content-Type falls back to the NDJSON envelope; an unknown
+// one is a 415.
+func negotiateCodec(contentType string) (Codec, error) {
+	if contentType == "" {
+		return CodecNDJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return "", fmt.Errorf("unparseable Content-Type %q", contentType)
+	}
+	switch mt {
+	case ContentTypeBinary:
+		return CodecBinary, nil
+	case ContentTypeNDJSON, "application/json":
+		return CodecNDJSON, nil
+	}
+	return "", fmt.Errorf("unsupported Content-Type %q (want %s or %s)", mt, ContentTypeBinary, ContentTypeNDJSON)
+}
+
+func (s *LiveServer) batchAccepted(codec Codec, n int) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("ingest_batches_total",
+		"Ingest batches accepted, by codec.", obs.L("codec", string(codec))).Inc()
+	s.reg.Counter("ingest_batch_records_total",
+		"Records accepted from ingest batches, by codec.", obs.L("codec", string(codec))).Add(int64(n))
+}
+
+func (s *LiveServer) batchRejected(codec Codec) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("ingest_batches_rejected_total",
+		"Ingest batches rejected, by codec.", obs.L("codec", string(codec))).Inc()
+}
+
+// postRecords is the v2 dispatch core: negotiate the codec, decode the
+// batch straight into the shards, answer {"accepted": n}.
+func (s *LiveServer) postRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	codec, err := negotiateCodec(r.Header.Get("Content-Type"))
+	if err != nil {
+		s.batchRejected(Codec("unknown"))
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	var (
+		n int
+	)
+	switch codec {
+	case CodecBinary:
+		n, err = s.ingestBinary(w, r)
+	default:
+		n, err = s.ingestNDJSON(w, r)
+	}
+	if err != nil {
+		s.batchRejected(codec)
+		ingestError(w, err)
+		return
+	}
+	s.batchAccepted(codec, n)
+	respondAccepted(w, n)
+}
+
+// ingestBinary buffers the body (pooled, bounded) and hands the raw
+// frames to the ingester — no intermediate structs, zero heap
+// allocations per v4 record.
+func (s *LiveServer) ingestBinary(w http.ResponseWriter, r *http.Request) (int, error) {
+	buf := batchPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		batchPool.Put(buf)
+	}()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxBatch)); err != nil {
+		return 0, fmt.Errorf("reading batch: %w", err)
+	}
+	return s.ing.IngestWire(r.Context(), buf.Bytes())
+}
+
+// recordEnvelope is one line of the v2 NDJSON fallback: a "kind"
+// discriminator plus that kind's fields. The producer's NDJSON codec
+// emits exactly this shape.
+type recordEnvelope struct {
+	Kind  string `json:"kind"`
+	Probe int    `json:"probe"`
+
+	// meta
+	Country       string   `json:"country,omitempty"`
+	Version       int      `json:"version,omitempty"`
+	Tags          []string `json:"tags,omitempty"`
+	ConnectedDays float64  `json:"connected_days,omitempty"`
+
+	// connlog ("addr" carries either family; a literal with a colon is v6)
+	Start int64  `json:"start,omitempty"`
+	End   int64  `json:"end,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+
+	// kroot / uptime
+	Timestamp int64 `json:"timestamp,omitempty"`
+	Sent      int   `json:"sent,omitempty"`
+	Success   int   `json:"success,omitempty"`
+	LTS       int64 `json:"lts,omitempty"`
+	Uptime    int64 `json:"uptime,omitempty"`
+}
+
+// ingest dispatches one envelope to the ingester's typed entry points.
+func (e *recordEnvelope) ingest(ctx context.Context, ing *stream.Ingester) error {
+	id := atlasdata.ProbeID(e.Probe)
+	switch e.Kind {
+	case "meta":
+		return ing.MetaContext(ctx, atlasdata.ProbeMeta{
+			ID:            id,
+			Country:       e.Country,
+			Version:       atlasdata.ProbeVersion(e.Version),
+			Tags:          e.Tags,
+			ConnectedDays: e.ConnectedDays,
+		})
+	case "connlog":
+		entry := atlasdata.ConnLogEntry{
+			Probe: id,
+			Start: simclock.Time(e.Start),
+			End:   simclock.Time(e.End),
+		}
+		if strings.Contains(e.Addr, ":") {
+			entry.Family = atlasdata.V6
+			entry.V6Addr = e.Addr
+		} else {
+			addr, err := ip4.ParseAddr(e.Addr)
+			if err != nil {
+				return err
+			}
+			entry.Family = atlasdata.V4
+			entry.Addr = addr
+		}
+		return ing.ConnLogContext(ctx, entry)
+	case "kroot":
+		return ing.KRootContext(ctx, atlasdata.KRootRound{
+			Probe:     id,
+			Timestamp: simclock.Time(e.Timestamp),
+			Sent:      e.Sent,
+			Success:   e.Success,
+			LTS:       e.LTS,
+		})
+	case "uptime":
+		return ing.UptimeContext(ctx, atlasdata.UptimeRecord{
+			Probe:     id,
+			Timestamp: simclock.Time(e.Timestamp),
+			Uptime:    e.Uptime,
+		})
+	}
+	return fmt.Errorf("unknown record kind %q", e.Kind)
+}
+
+// ingestNDJSON streams the envelope fallback line by line.
+func (s *LiveServer) ingestNDJSON(w http.ResponseWriter, r *http.Request) (int, error) {
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.maxBatch))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var env recordEnvelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		if err := env.ingest(r.Context(), s.ing); err != nil {
+			return n, fmt.Errorf("record %d (%s): %w", n, env.Kind, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("reading batch: %w", err)
+	}
+	return n, nil
+}
+
+// v1Shim frames a deprecated per-kind route over the shared
+// accept/reject core: deprecation headers, method check, per-codec
+// counters, and the common {"accepted": n} response.
+func (s *LiveServer) v1Shim(w http.ResponseWriter, r *http.Request, ingest func(ctx context.Context, body io.Reader) (int, error)) {
+	if !s.v1 {
+		http.Error(w, "v1 stream routes disabled; POST "+RouteStreamRecords, http.StatusGone)
+		return
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+RouteStreamRecords+`>; rel="successor-version"`)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := ingest(r.Context(), r.Body)
+	if err != nil {
+		s.batchRejected(CodecJSON)
+		ingestError(w, err)
+		return
+	}
+	s.batchAccepted(CodecJSON, n)
+	respondAccepted(w, n)
+}

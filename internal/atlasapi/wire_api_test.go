@@ -1,0 +1,256 @@
+package atlasapi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/obs"
+	"dynaddr/internal/sim"
+	"dynaddr/internal/stream"
+	"dynaddr/internal/wire"
+)
+
+// testWireBatch frames one probe's meta + session + round + report.
+func testWireBatch(t *testing.T) []byte {
+	t.Helper()
+	var w wire.BatchWriter
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.Meta(atlasdata.ProbeMeta{ID: 206, Country: "DE", Version: atlasdata.V3, ConnectedDays: 200}))
+	must(w.ConnLog(atlasdata.ConnLogEntry{
+		Probe: 206, Start: liveHour(0), End: liveHour(24),
+		Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.0.1"),
+	}))
+	must(w.KRoot(atlasdata.KRootRound{Probe: 206, Timestamp: liveHour(12), Sent: 3, Success: 3, LTS: 30}))
+	must(w.Uptime(atlasdata.UptimeRecord{Probe: 206, Timestamp: liveHour(12), Uptime: 3600}))
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func postRaw(t *testing.T, url, contentType string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(msg)
+}
+
+// TestV2StreamRecordsBinary posts one framed binary batch and checks
+// the ingest lands plus the per-codec counters move.
+func TestV2StreamRecordsBinary(t *testing.T) {
+	reg := obs.NewRegistry()
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: liveStore(t)})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing, WithLiveMetrics(reg)))
+	defer srv.Close()
+
+	code, body := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeBinary, testWireBatch(t))
+	if code != 200 || !strings.Contains(body, `"accepted": 4`) {
+		t.Fatalf("binary POST: %d %q", code, body)
+	}
+
+	snap := ing.Snapshot()
+	if snap.Records.Meta != 1 || snap.Records.ConnLogs != 1 || snap.Records.KRoot != 1 || snap.Records.Uptime != 1 {
+		t.Fatalf("records after binary batch: %+v", snap.Records)
+	}
+	if v, ok := gatherValue(t, reg, "ingest_batches_total", obs.L("codec", "binary")); !ok || v != 1 {
+		t.Errorf("ingest_batches_total{codec=binary} = %v (present=%v), want 1", v, ok)
+	}
+	if v, _ := gatherValue(t, reg, "ingest_batch_records_total", obs.L("codec", "binary")); v != 4 {
+		t.Errorf("ingest_batch_records_total{codec=binary} = %v, want 4", v)
+	}
+
+	// A corrupted batch must reject (400) and count as rejected.
+	bad := testWireBatch(t)
+	bad[len(bad)-1] ^= 0x01
+	if code, _ := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeBinary, bad); code != 400 {
+		t.Fatalf("corrupt batch returned %d, want 400", code)
+	}
+	if v, _ := gatherValue(t, reg, "ingest_batches_rejected_total", obs.L("codec", "binary")); v != 1 {
+		t.Errorf("ingest_batches_rejected_total{codec=binary} = %v, want 1", v)
+	}
+}
+
+func TestV2StreamRecordsNDJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: liveStore(t)})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing, WithLiveMetrics(reg)))
+	defer srv.Close()
+
+	lines := `{"kind":"meta","probe":206,"country":"DE","version":3,"connected_days":200}
+{"kind":"connlog","probe":206,"start":` + fmt.Sprint(int64(liveHour(0))) + `,"end":` + fmt.Sprint(int64(liveHour(24))) + `,"addr":"10.0.0.1"}
+{"kind":"kroot","probe":206,"timestamp":` + fmt.Sprint(int64(liveHour(12))) + `,"sent":3,"success":3,"lts":30}
+{"kind":"uptime","probe":206,"timestamp":` + fmt.Sprint(int64(liveHour(12))) + `,"uptime":3600}
+`
+	code, body := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeNDJSON, []byte(lines))
+	if code != 200 || !strings.Contains(body, `"accepted": 4`) {
+		t.Fatalf("ndjson POST: %d %q", code, body)
+	}
+	snap := ing.Snapshot()
+	if snap.Records.Meta != 1 || snap.Records.ConnLogs != 1 || snap.Records.KRoot != 1 || snap.Records.Uptime != 1 {
+		t.Fatalf("records after ndjson batch: %+v", snap.Records)
+	}
+	if v, _ := gatherValue(t, reg, "ingest_batch_records_total", obs.L("codec", "ndjson")); v != 4 {
+		t.Errorf("ingest_batch_records_total{codec=ndjson} = %v, want 4", v)
+	}
+
+	// Unknown kind inside a line rejects the batch.
+	if code, _ := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeNDJSON, []byte(`{"kind":"bogus","probe":1}`)); code != 400 {
+		t.Fatalf("unknown kind returned %d, want 400", code)
+	}
+}
+
+func TestV2ContentTypeNegotiation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ing := stream.NewIngester(stream.Config{Shards: 1})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing, WithLiveMetrics(reg)))
+	defer srv.Close()
+
+	if code, _ := postRaw(t, srv.URL+RouteStreamRecords, "text/csv", []byte("a,b")); code != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/csv returned %d, want 415", code)
+	}
+	if v, _ := gatherValue(t, reg, "ingest_batches_rejected_total", obs.L("codec", "unknown")); v != 1 {
+		t.Errorf("ingest_batches_rejected_total{codec=unknown} = %v, want 1", v)
+	}
+
+	// application/json rides the NDJSON fallback.
+	if code, body := postRaw(t, srv.URL+RouteStreamRecords, "application/json; charset=utf-8",
+		[]byte(`{"kind":"uptime","probe":5,"timestamp":100,"uptime":60}`)); code != 200 || !strings.Contains(body, `"accepted": 1`) {
+		t.Fatalf("application/json POST: %d %q", code, body)
+	}
+
+	// GET is a 405 regardless of codec.
+	resp, err := http.Get(srv.URL + RouteStreamRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET returned %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestV1DeprecationHeaders: the v1 shims must advertise their successor.
+func TestV1DeprecationHeaders(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 1})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/v1/stream/uptime", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("empty uptime POST: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Deprecation"); got != "true" {
+		t.Errorf("Deprecation header = %q, want \"true\"", got)
+	}
+	if got := resp.Header.Get("Link"); !strings.Contains(got, RouteStreamRecords) || !strings.Contains(got, "successor-version") {
+		t.Errorf("Link header = %q, want successor-version pointing at %s", got, RouteStreamRecords)
+	}
+}
+
+// TestV1RoutesDisabled: WithV1Routes(false) retires the shims with 410.
+func TestV1RoutesDisabled(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 1})
+	defer ing.Close()
+	srv := httptest.NewServer(NewLiveServer(ing, WithV1Routes(false)))
+	defer srv.Close()
+
+	for _, path := range []string{"/api/v1/stream/probes", "/api/v1/stream/connlogs", "/api/v1/stream/kroot", "/api/v1/stream/uptime"} {
+		if code, body := postBody(t, srv.URL+path, ""); code != http.StatusGone || !strings.Contains(body, RouteStreamRecords) {
+			t.Errorf("POST %s with v1 off: %d %q, want 410 pointing at v2", path, code, body)
+		}
+	}
+	// v2 and the read side stay up.
+	if code, body := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeBinary, testWireBatch(t)); code != 200 {
+		t.Fatalf("v2 POST with v1 off: %d %q", code, body)
+	}
+	resp, err := http.Get(srv.URL + "/api/v1/live/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("summary with v1 off: %d", resp.StatusCode)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestWireReplayEquivalence is the cross-codec oracle: the same dataset
+// delivered via the v1 JSON routes, the v2 NDJSON envelope, and the v2
+// binary codec must produce byte-identical live summaries and analysis
+// artefacts, across shard counts.
+func TestWireReplayEquivalence(t *testing.T) {
+	world := smallWorld(t, 23, 0.02)
+	ds := world.Dataset
+
+	for _, shards := range []int{1, 3} {
+		var wantSummary, wantAnalysis string
+		for _, codec := range []Codec{CodecJSON, CodecNDJSON, CodecBinary} {
+			t.Run(fmt.Sprintf("shards=%d/codec=%s", shards, codec), func(t *testing.T) {
+				ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS, Analysis: true})
+				defer ing.Close()
+				srv := httptest.NewServer(NewLiveServer(ing))
+				defer srv.Close()
+
+				p := NewStreamProducer(context.Background(), srv.URL,
+					WithCodec(codec), WithBatchSize(64), WithBackoff(fastBackoff))
+				if err := sim.ReplayDataset(ds, p); err != nil {
+					t.Fatalf("replay via %s: %v", codec, err)
+				}
+				if err := p.Flush(); err != nil {
+					t.Fatalf("flush via %s: %v", codec, err)
+				}
+
+				summary := getBody(t, srv.URL+"/api/v1/live/summary")
+				analysis := getBody(t, srv.URL+"/api/v1/live/analysis")
+				if codec == CodecJSON {
+					wantSummary, wantAnalysis = summary, analysis
+					return
+				}
+				if summary != wantSummary {
+					t.Errorf("summary differs from v1 JSON path:\n%s\nvs\n%s", summary, wantSummary)
+				}
+				if analysis != wantAnalysis {
+					t.Errorf("analysis differs from v1 JSON path (lengths %d vs %d)", len(analysis), len(wantAnalysis))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"dynaddr/internal/wire"
+)
+
+// The wire codec's kind bytes are defined to match the WAL-persisted
+// record kinds. The conversions below are compile-time anchored so a
+// reordering on either side fails to build rather than silently
+// mislabelling records.
+var _ = [1]struct{}{}[recordKind(wire.KindMeta)-kindMeta]
+var _ = [1]struct{}{}[recordKind(wire.KindConn)-kindConn]
+var _ = [1]struct{}{}[recordKind(wire.KindKRoot)-kindKRoot]
+var _ = [1]struct{}{}[recordKind(wire.KindUptime)-kindUptime]
+
+// IngestWire decodes a binary wire batch (concatenated internal/wire
+// frames) straight into the shards: each frame becomes one record
+// envelope on its probe's shard channel, with no intermediate structs,
+// per-record interfaces, or reflection. IPv4 sessions, k-root rounds,
+// and uptime reports take zero heap allocations per record; probe
+// metadata and IPv6 sessions allocate only their strings.
+//
+// It returns the number of records routed. On a malformed frame,
+// record, or validation failure, ingestion stops at the offending
+// record — everything before it is already in flight, mirroring the
+// v1 handlers' partial-batch semantics.
+func (in *Ingester) IngestWire(ctx context.Context, batch []byte) (int, error) {
+	it := wire.Frames(batch)
+	n := 0
+	for {
+		payload, done, err := it.Next()
+		if err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		if done {
+			return n, nil
+		}
+		kind, err := wire.PayloadKind(payload)
+		if err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		switch kind {
+		case wire.KindMeta:
+			m, err := wire.DecodeMeta(payload)
+			if err == nil {
+				err = m.Validate()
+			}
+			if err == nil {
+				err = in.send(ctx, m.ID, record{kind: kindMeta, meta: m})
+			}
+			if err != nil {
+				return n, fmt.Errorf("record %d (meta): %w", n, err)
+			}
+		case wire.KindConn:
+			e, err := wire.DecodeConnLog(payload)
+			if err == nil {
+				err = e.Validate()
+			}
+			if err == nil {
+				err = in.send(ctx, e.Probe, record{kind: kindConn, conn: e})
+			}
+			if err != nil {
+				return n, fmt.Errorf("record %d (connlog): %w", n, err)
+			}
+		case wire.KindKRoot:
+			k, err := wire.DecodeKRoot(payload)
+			if err == nil {
+				err = k.Validate()
+			}
+			if err == nil {
+				err = in.send(ctx, k.Probe, record{kind: kindKRoot, kroot: k})
+			}
+			if err != nil {
+				return n, fmt.Errorf("record %d (kroot): %w", n, err)
+			}
+		case wire.KindUptime:
+			u, err := wire.DecodeUptime(payload)
+			if err == nil {
+				err = u.Validate()
+			}
+			if err == nil {
+				err = in.send(ctx, u.Probe, record{kind: kindUptime, uptime: u})
+			}
+			if err != nil {
+				return n, fmt.Errorf("record %d (uptime): %w", n, err)
+			}
+		}
+		n++
+	}
+}

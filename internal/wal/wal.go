@@ -26,10 +26,8 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -37,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dynaddr/internal/wire"
 )
 
 // SyncPolicy says when appended frames are fsynced to stable storage.
@@ -114,17 +114,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// The frame layout (4B length + 4B CRC32C + payload) is owned by
+// internal/wire so a WAL segment and an ingest wire batch are
+// byte-compatible: one frame reader serves both.
 const (
-	frameHeader = 8 // 4B length + 4B CRC32C
+	frameHeader = wire.FrameHeaderSize
 	// maxFrame bounds a single payload; a length field beyond it is
 	// treated as corruption, not as a huge record.
-	maxFrame = 16 << 20
+	maxFrame = wire.MaxFramePayload
 
 	segPrefix = "wal-"
 	segSuffix = ".seg"
 )
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
@@ -200,8 +201,7 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, payload []byt
 			// EOF here is a clean end; a partial header is a torn tail.
 			return frames, offset, nil
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		length, sum := wire.ParseFrameHeader(hdr[:])
 		if length == 0 || length > maxFrame {
 			return frames, offset, nil // corrupt length: stop at last valid frame
 		}
@@ -212,7 +212,7 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, payload []byt
 		if _, err := io.ReadFull(f, buf); err != nil {
 			return frames, offset, nil // torn payload
 		}
-		if crc32.Checksum(buf, castagnoli) != sum {
+		if wire.Checksum(buf) != sum {
 			return frames, offset, nil // bit rot / torn write
 		}
 		if fn != nil {
@@ -348,8 +348,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 	}
 	var hdr [frameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	wire.PutFrameHeader(hdr[:], payload)
 	if _, err := l.f.Write(hdr[:]); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,68 @@
+package wire
+
+import "dynaddr/internal/atlasdata"
+
+// BatchWriter accumulates framed records into one contiguous batch —
+// the body of a binary POST /api/v2/stream/records request, or a run
+// of frames to append to a peer's log. The zero value is ready to use;
+// Reset keeps the capacity, so a producer reuses one writer (and its
+// scratch buffer) across batches without reallocating.
+type BatchWriter struct {
+	buf     []byte
+	scratch []byte
+	records int
+}
+
+// add frames one encoded payload.
+func (w *BatchWriter) add(payload []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	w.buf = AppendFrame(w.buf, payload)
+	w.records++
+	return nil
+}
+
+// Meta appends one probe-metadata record.
+func (w *BatchWriter) Meta(m atlasdata.ProbeMeta) error {
+	var err error
+	w.scratch, err = AppendMeta(w.scratch[:0], m)
+	return w.add(w.scratch, err)
+}
+
+// ConnLog appends one connection-session record.
+func (w *BatchWriter) ConnLog(e atlasdata.ConnLogEntry) error {
+	var err error
+	w.scratch, err = AppendConnLog(w.scratch[:0], e)
+	return w.add(w.scratch, err)
+}
+
+// KRoot appends one k-root round record.
+func (w *BatchWriter) KRoot(k atlasdata.KRootRound) error {
+	var err error
+	w.scratch, err = AppendKRoot(w.scratch[:0], k)
+	return w.add(w.scratch, err)
+}
+
+// Uptime appends one uptime-report record.
+func (w *BatchWriter) Uptime(u atlasdata.UptimeRecord) error {
+	var err error
+	w.scratch, err = AppendUptime(w.scratch[:0], u)
+	return w.add(w.scratch, err)
+}
+
+// Bytes returns the accumulated batch. The slice aliases the writer's
+// buffer and is invalidated by the next append or Reset.
+func (w *BatchWriter) Bytes() []byte { return w.buf }
+
+// Len returns the batch size in bytes.
+func (w *BatchWriter) Len() int { return len(w.buf) }
+
+// Records returns how many records the batch holds.
+func (w *BatchWriter) Records() int { return w.records }
+
+// Reset empties the batch, keeping capacity.
+func (w *BatchWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.records = 0
+}

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("a"),
+		[]byte("hello, frames"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var batch []byte
+	for _, p := range payloads {
+		batch = AppendFrame(batch, p)
+	}
+	it := Frames(batch)
+	for i, want := range payloads {
+		got, done, err := it.Next()
+		if err != nil || done {
+			t.Fatalf("frame %d: done=%v err=%v", i, done, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, done, err := it.Next(); !done || err != nil {
+		t.Fatalf("expected clean end, done=%v err=%v", done, err)
+	}
+	if it.Offset() != len(batch) {
+		t.Fatalf("offset %d after clean end, want %d", it.Offset(), len(batch))
+	}
+}
+
+func TestFrameIterRejectsCorruption(t *testing.T) {
+	valid := AppendFrame(nil, []byte("payload one"))
+	oversized := make([]byte, FrameHeaderSize)
+	binary.LittleEndian.PutUint32(oversized, MaxFramePayload+1)
+	zeroLen := make([]byte, FrameHeaderSize)
+
+	flipped := append([]byte(nil), valid...)
+	flipped[FrameHeaderSize+2] ^= 0x10 // corrupt a payload byte
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"header fragment", valid[:FrameHeaderSize-3], ErrTornFrame},
+		{"truncated payload", valid[:len(valid)-4], ErrTornFrame},
+		{"oversized length", oversized, ErrFrameLength},
+		{"zero length", zeroLen, ErrFrameLength},
+		{"bit flip", flipped, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			it := Frames(tc.b)
+			_, done, err := it.Next()
+			if done {
+				t.Fatal("unexpected clean end")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFrameIterOffsetAtTornTail pins the truncation contract the WAL
+// relies on: after a good frame and a torn tail, Offset points at the
+// start of the torn frame.
+func TestFrameIterOffsetAtTornTail(t *testing.T) {
+	good := AppendFrame(nil, []byte("intact"))
+	tail := AppendFrame(nil, []byte("this one gets torn"))
+	b := append(append([]byte(nil), good...), tail[:len(tail)-5]...)
+
+	it := Frames(b)
+	if _, done, err := it.Next(); done || err != nil {
+		t.Fatalf("first frame: done=%v err=%v", done, err)
+	}
+	if _, _, err := it.Next(); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("err = %v, want ErrTornFrame", err)
+	}
+	if it.Offset() != len(good) {
+		t.Fatalf("offset %d, want %d (start of torn frame)", it.Offset(), len(good))
+	}
+}
+
+func TestFrameIterZeroAlloc(t *testing.T) {
+	var batch []byte
+	payload := bytes.Repeat([]byte{0x5C}, 64)
+	for i := 0; i < 128; i++ {
+		batch = AppendFrame(batch, payload)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		it := Frames(batch)
+		for {
+			_, done, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frame iteration allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestPutParseFrameHeader(t *testing.T) {
+	payload := []byte("check the header fields")
+	var hdr [FrameHeaderSize]byte
+	PutFrameHeader(hdr[:], payload)
+	length, sum := ParseFrameHeader(hdr[:])
+	if int(length) != len(payload) {
+		t.Fatalf("length %d, want %d", length, len(payload))
+	}
+	if sum != Checksum(payload) {
+		t.Fatalf("sum %#x, want %#x", sum, Checksum(payload))
+	}
+}

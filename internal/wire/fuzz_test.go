@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+)
+
+// fuzzSeedBatch builds a well-formed four-kind batch for the corpus.
+func fuzzSeedBatch(tb testing.TB) []byte {
+	tb.Helper()
+	var w BatchWriter
+	if err := w.Meta(atlasdata.ProbeMeta{ID: 9, Country: "NL", Version: 3, Tags: []string{"home"}, ConnectedDays: 42.25}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.ConnLog(atlasdata.ConnLogEntry{Probe: 9, Start: 100, End: 200, Family: atlasdata.V4, Addr: 0x0A0B0C0D}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.ConnLog(atlasdata.ConnLogEntry{Probe: 9, Start: 300, End: 400, Family: atlasdata.V6, V6Addr: "2001:db8::9"}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.KRoot(atlasdata.KRootRound{Probe: 9, Timestamp: 150, Sent: 10, Success: 8, LTS: 3}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Uptime(atlasdata.UptimeRecord{Probe: 9, Timestamp: 150, Uptime: 3600}); err != nil {
+		tb.Fatal(err)
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// FuzzFrames drives hostile batches through the full binary decode
+// path: frame iteration plus per-kind record decoding. Any input must
+// either decode or error — never panic — and a length prefix must
+// never drive an allocation beyond the bytes actually present.
+func FuzzFrames(f *testing.F) {
+	valid := fuzzSeedBatch(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // torn tail
+	f.Add(valid[:FrameHeaderSize-2])         // header fragment
+	f.Add([]byte{})                          // empty batch
+	flipped := append([]byte(nil), valid...) // bit flip in first payload
+	flipped[FrameHeaderSize+1] ^= 0x40
+	f.Add(flipped)
+	oversized := make([]byte, FrameHeaderSize+4)
+	binary.LittleEndian.PutUint32(oversized, MaxFramePayload+7)
+	f.Add(oversized) // oversized length prefix
+	zero := make([]byte, FrameHeaderSize)
+	f.Add(zero) // zero length prefix
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		it := Frames(b)
+		for {
+			payload, done, err := it.Next()
+			if err != nil {
+				if off := it.Offset(); off < 0 || off > len(b) {
+					t.Fatalf("error offset %d outside batch of %d bytes", off, len(b))
+				}
+				return
+			}
+			if done {
+				return
+			}
+			kind, err := PayloadKind(payload)
+			if err != nil {
+				continue
+			}
+			switch kind {
+			case KindMeta:
+				if m, err := DecodeMeta(payload); err == nil {
+					// A decoded record must re-encode; the codec has no
+					// unreachable states.
+					if _, err := AppendMeta(nil, m); err != nil {
+						t.Fatalf("re-encode meta %+v: %v", m, err)
+					}
+				}
+			case KindConn:
+				if e, err := DecodeConnLog(payload); err == nil {
+					if _, err := AppendConnLog(nil, e); err != nil {
+						t.Fatalf("re-encode conn %+v: %v", e, err)
+					}
+				}
+			case KindKRoot:
+				if k, err := DecodeKRoot(payload); err == nil {
+					if _, err := AppendKRoot(nil, k); err != nil {
+						t.Fatalf("re-encode kroot %+v: %v", k, err)
+					}
+				}
+			case KindUptime:
+				if u, err := DecodeUptime(payload); err == nil {
+					if _, err := AppendUptime(nil, u); err != nil {
+						t.Fatalf("re-encode uptime %+v: %v", u, err)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	cases := []atlasdata.ProbeMeta{
+		{ID: 1, Country: "DE", Version: 3, Tags: []string{"dsl", "home"}, ConnectedDays: 123.5},
+		{ID: 4294967295, Country: "", Version: 1, ConnectedDays: 0},
+		{ID: 77, Country: "US", Version: 2, Tags: []string{""}, ConnectedDays: math.Inf(1)},
+	}
+	for _, want := range cases {
+		payload, err := AppendMeta(nil, want)
+		if err != nil {
+			t.Fatalf("AppendMeta(%+v): %v", want, err)
+		}
+		if k, err := PayloadKind(payload); err != nil || k != KindMeta {
+			t.Fatalf("PayloadKind = %v, %v", k, err)
+		}
+		got, err := DecodeMeta(payload)
+		if err != nil {
+			t.Fatalf("DecodeMeta: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestConnLogRoundTrip(t *testing.T) {
+	cases := []atlasdata.ConnLogEntry{
+		{Probe: 10, Start: 100, End: 200, Family: atlasdata.V4, Addr: ip4.Addr(0x0A000001)},
+		{Probe: 11, Start: -5, End: 0, Family: atlasdata.V4, Addr: 0},
+		{Probe: 12, Start: 300, End: 400, Family: atlasdata.V6, V6Addr: "2001:db8::1"},
+	}
+	for _, want := range cases {
+		payload, err := AppendConnLog(nil, want)
+		if err != nil {
+			t.Fatalf("AppendConnLog(%+v): %v", want, err)
+		}
+		got, err := DecodeConnLog(payload)
+		if err != nil {
+			t.Fatalf("DecodeConnLog: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestKRootRoundTrip(t *testing.T) {
+	want := atlasdata.KRootRound{Probe: 55, Timestamp: 1420070400, Sent: 10, Success: 9, LTS: -1}
+	payload, err := AppendKRoot(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeKRoot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestUptimeRoundTrip(t *testing.T) {
+	want := atlasdata.UptimeRecord{Probe: 55, Timestamp: 1420070400, Uptime: 86400}
+	payload, err := AppendUptime(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUptime(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	if _, err := AppendMeta(nil, atlasdata.ProbeMeta{ID: -1}); !errors.Is(err, ErrRecord) {
+		t.Fatalf("negative probe ID: err = %v", err)
+	}
+	if _, err := AppendConnLog(nil, atlasdata.ConnLogEntry{Probe: math.MaxUint32 + 1}); !errors.Is(err, ErrRecord) {
+		t.Fatalf("oversized probe ID: err = %v", err)
+	}
+	if _, err := AppendKRoot(nil, atlasdata.KRootRound{Probe: 1, Sent: math.MaxUint16 + 1}); !errors.Is(err, ErrRecord) {
+		t.Fatalf("oversized sent count: err = %v", err)
+	}
+	if _, err := AppendKRoot(nil, atlasdata.KRootRound{Probe: 1, Success: -2}); !errors.Is(err, ErrRecord) {
+		t.Fatalf("negative success count: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	conn, err := AppendConnLog(nil, atlasdata.ConnLogEntry{Probe: 1, Start: 1, End: 2, Family: atlasdata.V4, Addr: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := AppendMeta(nil, atlasdata.ProbeMeta{ID: 1, Country: "DE", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	badFamily := append([]byte(nil), conn...)
+	badFamily[1+4+8+8] = 9 // family byte
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{0x7F, 0, 0}},
+		{"truncated conn", conn[:len(conn)-2]},
+		{"trailing bytes", append(append([]byte(nil), conn...), 0)},
+		{"unknown family", badFamily},
+		{"truncated meta", meta[:len(meta)-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var decErr error
+			if len(tc.payload) > 0 {
+				switch Kind(tc.payload[0]) {
+				case KindMeta:
+					_, decErr = DecodeMeta(tc.payload)
+				case KindConn:
+					_, decErr = DecodeConnLog(tc.payload)
+				default:
+					_, decErr = PayloadKind(tc.payload)
+				}
+			} else {
+				_, decErr = PayloadKind(tc.payload)
+			}
+			if !errors.Is(decErr, ErrRecord) {
+				t.Fatalf("err = %v, want ErrRecord", decErr)
+			}
+		})
+	}
+}
+
+// TestDecodeZeroAlloc pins the hot-path contract: v4 sessions, k-root
+// rounds, and uptime reports decode without touching the heap.
+func TestDecodeZeroAlloc(t *testing.T) {
+	conn, err := AppendConnLog(nil, atlasdata.ConnLogEntry{Probe: 1, Start: 1, End: 2, Family: atlasdata.V4, Addr: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kroot, err := AppendKRoot(nil, atlasdata.KRootRound{Probe: 1, Timestamp: 3, Sent: 10, Success: 9, LTS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uptime, err := AppendUptime(nil, atlasdata.UptimeRecord{Probe: 1, Timestamp: 3, Uptime: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeConnLog(conn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeKRoot(kroot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeUptime(uptime); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path decode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestBatchWriterRoundTrip(t *testing.T) {
+	var w BatchWriter
+	if err := w.Meta(atlasdata.ProbeMeta{ID: 1, Country: "DE", Version: 2, ConnectedDays: 9.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ConnLog(atlasdata.ConnLogEntry{Probe: 1, Start: 10, End: 20, Family: atlasdata.V4, Addr: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.KRoot(atlasdata.KRootRound{Probe: 1, Timestamp: 15, Sent: 10, Success: 10, LTS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Uptime(atlasdata.UptimeRecord{Probe: 1, Timestamp: 15, Uptime: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 4 {
+		t.Fatalf("Records() = %d, want 4", w.Records())
+	}
+	if w.Len() != len(w.Bytes()) {
+		t.Fatalf("Len() = %d, Bytes() has %d", w.Len(), len(w.Bytes()))
+	}
+
+	wantKinds := []Kind{KindMeta, KindConn, KindKRoot, KindUptime}
+	it := Frames(w.Bytes())
+	for i, want := range wantKinds {
+		payload, done, err := it.Next()
+		if err != nil || done {
+			t.Fatalf("frame %d: done=%v err=%v", i, done, err)
+		}
+		k, err := PayloadKind(payload)
+		if err != nil || k != want {
+			t.Fatalf("frame %d: kind %v err=%v, want %v", i, k, err, want)
+		}
+	}
+	if _, done, _ := it.Next(); !done {
+		t.Fatal("expected clean end")
+	}
+
+	w.Reset()
+	if w.Len() != 0 || w.Records() != 0 {
+		t.Fatalf("after Reset: Len=%d Records=%d", w.Len(), w.Records())
+	}
+}
