@@ -11,13 +11,18 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dynaddr/internal/atlasapi"
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
 	"dynaddr/internal/obs"
+	"dynaddr/internal/serve"
 	"dynaddr/internal/sim"
 	"dynaddr/internal/stream"
 	"dynaddr/internal/wire"
@@ -630,6 +635,79 @@ func BenchmarkStreamIngestInstrumented(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}
+
+// BenchmarkServeConcurrentReaders measures what dashboard-style read
+// traffic costs ingest with the serving tier on: the paper-scale record
+// stream replays at full speed while N pollers issue conditional GETs
+// against the live endpoints at a ~50ms cadence (reusing the ETag from
+// their previous poll, the revalidation pattern real dashboards
+// produce). The readers=0 run is the baseline; the acceptance target is
+// under 5% records/sec regression at readers=1000, which holds because
+// reads pin a published generation (two atomic loads) and all pollers
+// past the staleness window coalesce into one snapshot barrier.
+func BenchmarkServeConcurrentReaders(b *testing.B) {
+	w, _, _ := benchSetup(b)
+	ds := w.Dataset
+	var records int64
+	for id := range ds.Probes {
+		records += int64(1 + len(ds.ConnLogs[id]) + len(ds.KRoot[id]) + len(ds.Uptime[id]))
+	}
+	paths := []string{"/api/v1/live/summary", "/api/v1/live/continents"}
+	for _, readers := range []int{0, 1000} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			var served, revalidated int64
+			for i := 0; i < b.N; i++ {
+				ing := stream.NewIngester(stream.Config{Shards: 4, Pfx2AS: ds.Pfx2AS})
+				tier := serve.NewTier(ing)
+				ls := atlasapi.NewLiveServer(ing, atlasapi.WithServeTier(tier))
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						path := paths[r%len(paths)]
+						etag := ""
+						for {
+							req := httptest.NewRequest(http.MethodGet, path, nil)
+							if etag != "" {
+								req.Header.Set("If-None-Match", etag)
+							}
+							rec := httptest.NewRecorder()
+							ls.ServeHTTP(rec, req)
+							if e := rec.Header().Get("ETag"); e != "" {
+								etag = e
+							}
+							atomic.AddInt64(&served, 1)
+							if rec.Code == http.StatusNotModified {
+								atomic.AddInt64(&revalidated, 1)
+							}
+							select {
+							case <-stop:
+								return
+							case <-time.After(50 * time.Millisecond):
+							}
+						}
+					}(r)
+				}
+				if err := ReplayDataset(ds, ing); err != nil {
+					b.Fatal(err)
+				}
+				close(stop)
+				wg.Wait()
+				if err := ing.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if got := ing.Snapshot().Records.Total(); got != records {
+					b.Fatalf("ingested %d records, want %d", got, records)
+				}
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+			b.ReportMetric(float64(served)/float64(b.N), "reads")
+			b.ReportMetric(float64(revalidated)/float64(b.N), "304s")
 		})
 	}
 }

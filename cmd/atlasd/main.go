@@ -47,6 +47,7 @@ import (
 	"dynaddr/internal/atlasapi"
 	"dynaddr/internal/faultinject"
 	"dynaddr/internal/obs"
+	"dynaddr/internal/serve"
 	"dynaddr/internal/stream"
 	"dynaddr/internal/wal"
 )
@@ -73,6 +74,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	wireMaxBatch := flag.Int64("wire-max-batch", atlasapi.DefaultMaxBatchBytes, "largest POST /api/v2/stream/records body accepted, in bytes")
 	wireV1 := flag.Bool("wire-v1", true, "keep the deprecated /api/v1/stream/* routes mounted (false answers them with 410 Gone)")
+	serveCache := flag.Bool("serve-cache", true, "serve live GETs from materialized snapshot generations with ETag caching (requires -live)")
+	serveMaxStale := flag.Duration("serve-max-stale", serve.DefaultMaxStaleness, "oldest generation -serve-cache may answer with before refreshing at a barrier")
 	flag.Parse()
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
@@ -210,14 +213,21 @@ func main() {
 		} else {
 			ing = stream.NewIngester(scfg)
 		}
-		ls := atlasapi.NewLiveServer(ing,
+		lsOpts := []atlasapi.LiveOption{
 			atlasapi.WithLiveMetrics(reg),
 			atlasapi.WithMaxBatchBytes(*wireMaxBatch),
-			atlasapi.WithV1Routes(*wireV1))
+			atlasapi.WithV1Routes(*wireV1),
+		}
+		if *serveCache {
+			tier := serve.NewTier(ing, serve.WithMetrics(reg), serve.WithMaxStaleness(*serveMaxStale))
+			lsOpts = append(lsOpts, atlasapi.WithServeTier(tier))
+		}
+		ls := atlasapi.NewLiveServer(ing, lsOpts...)
 		mux.Handle(atlasapi.RouteStreamRecords, ls)
 		mux.Handle("/api/v1/stream/", ls)
 		mux.Handle("/api/v1/live/", ls)
-		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v)\n", *addr, ing.Shards(), *analysis, *wireV1)
+		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v, serve cache=%v max-stale=%v)\n",
+			*addr, ing.Shards(), *analysis, *wireV1, *serveCache, *serveMaxStale)
 	}
 	health.SetReady(true)
 

@@ -209,6 +209,9 @@ func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.R
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		// Drain past the captured prefix so the keep-alive connection
+		// survives the error response (see StreamProducer.post).
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
 		err := fmt.Errorf("atlasapi: GET %s: %s: %s", path, resp.Status, msg)
 		return v, resp.StatusCode >= 500, err
 	}
@@ -218,10 +221,15 @@ func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.R
 		// A truncated body (transport died mid-read, or a framed
 		// response that stops mid-value) is transient; a deterministic
 		// validation error in a complete body is permanent and must not
-		// burn the retry budget.
+		// burn the retry budget. No drain here: the body is suspect, and
+		// Close discarding the connection is the right outcome.
 		truncated := body.readErr != nil || errors.Is(err, io.ErrUnexpectedEOF)
 		return v, truncated, fmt.Errorf("atlasapi: GET %s: %w", path, err)
 	}
+	// Parsers stop at the end of the value they decode, which can leave
+	// trailing bytes (a final newline, an unread epilogue) on the wire;
+	// consume them so the connection returns to the pool.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
 	return v, false, nil
 }
 

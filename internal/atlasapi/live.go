@@ -6,13 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/obs"
-	"dynaddr/internal/stats"
+	"dynaddr/internal/serve"
 	"dynaddr/internal/stream"
 )
 
@@ -30,8 +31,22 @@ import (
 //	POST /api/v1/stream/uptime            deprecated: uptime reports (NDJSON)
 //	GET  /api/v1/live/summary             stream-wide snapshot (JSON)
 //	GET  /api/v1/live/as/{asn}            one AS's aggregates (JSON)
+//	GET  /api/v1/live/continents          per-continent aggregates, Figure 1 (JSON)
 //	GET  /api/v1/live/cursor?probe=N      a probe's resume cursor (JSON)
 //	GET  /api/v1/live/analysis            paper tables/figures computed live (JSON)
+//
+// Every live GET carries an ETag keyed on (checkpoint generation,
+// applied sequence) and honours If-None-Match with 304; Cache-Control
+// is no-cache, so intermediaries revalidate rather than serve blind.
+// With WithServeTier the snapshot-derived endpoints are served from the
+// tier's pinned generations — byte-identical to the authoritative fold
+// (both render through internal/serve) with bounded staleness. Cursors
+// always take an authoritative barrier: a stale cursor would make a
+// resuming producer re-send applied records.
+//
+// Errors are answered in a JSON envelope {"error": ..., "status": ...}.
+// 4xx/503 bodies describe the client or capacity condition; 500 bodies
+// are generic, with the real error logged server-side (WithErrorLog).
 //
 // The v1 stream routes are shims over the v2 dispatch core, kept for
 // producers that still speak the batch tier's per-kind wire formats;
@@ -44,6 +59,8 @@ type LiveServer struct {
 	mux *http.ServeMux
 
 	reg      *obs.Registry
+	tier     *serve.Tier
+	logf     func(format string, args ...any)
 	maxBatch int64
 	v1       bool
 }
@@ -51,7 +68,7 @@ type LiveServer struct {
 // NewLiveServer wraps an ingester. The caller owns the ingester's
 // lifecycle; closing it makes ingest endpoints return 503.
 func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
-	s := &LiveServer{ing: ing, mux: http.NewServeMux(), maxBatch: DefaultMaxBatchBytes, v1: true}
+	s := &LiveServer{ing: ing, mux: http.NewServeMux(), maxBatch: DefaultMaxBatchBytes, v1: true, logf: log.Printf}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -62,6 +79,7 @@ func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
 	s.mux.HandleFunc("/api/v1/stream/uptime", s.postUptime)
 	s.mux.HandleFunc("/api/v1/live/summary", s.summary)
 	s.mux.HandleFunc("/api/v1/live/as/", s.asDetail)
+	s.mux.HandleFunc("/api/v1/live/continents", s.continents)
 	s.mux.HandleFunc("/api/v1/live/cursor", s.cursor)
 	s.mux.HandleFunc("/api/v1/live/analysis", s.analysis)
 	return s
@@ -69,6 +87,31 @@ func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
 
 // ServeHTTP implements http.Handler.
 func (s *LiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorEnvelope is the JSON error shape every live endpoint answers
+// with — including paths that previously fell through to http.Error's
+// text/plain, which broke clients keyed on the advertised Content-Type.
+type errorEnvelope struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// apiError writes the envelope. msg must describe only the client's
+// request or the service's capacity, never internal state — 500 paths
+// go through internalError instead.
+func apiError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: msg, Status: code}) //nolint:errcheck // headers are gone; nothing to do
+}
+
+// internalError answers a generic 500 and logs the real error
+// server-side: internal error text (paths, addresses, shard state) is
+// operator information, not API surface.
+func (s *LiveServer) internalError(w http.ResponseWriter, r *http.Request, err error) {
+	s.logf("atlasapi: %s %s: %v", r.Method, r.URL.Path, err)
+	apiError(w, http.StatusInternalServerError, "internal server error")
+}
 
 func ingestError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
@@ -81,7 +124,7 @@ func ingestError(w http.ResponseWriter, err error) {
 		// request. 503 tells a well-behaved producer to back off and retry.
 		code = http.StatusServiceUnavailable
 	}
-	http.Error(w, err.Error(), code)
+	apiError(w, code, err.Error())
 }
 
 // respondAccepted reports how many records an ingest call took.
@@ -155,21 +198,36 @@ func (s *LiveServer) postUptime(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// liveSummary is the JSON shape of /api/v1/live/summary.
-type liveSummary struct {
-	Shards              int                 `json:"shards"`
-	Records             stream.RecordCounts `json:"records"`
-	Probes              int                 `json:"probes"`
-	Unregistered        int                 `json:"unregistered"`
-	Categories          map[string]int      `json:"categories"`
-	GeoProbes           int                 `json:"geo_probes"`
-	ASProbes            int                 `json:"as_probes"`
-	Changes             int64               `json:"changes"`
-	NetworkOutages      int64               `json:"network_outages"`
-	Reboots             int64               `json:"reboots"`
-	OutageLinkedChanges int64               `json:"outage_linked_changes"`
-	OpenLossRuns        int                 `json:"open_loss_runs"`
-	ASes                []uint32            `json:"ases"`
+// writeJSON answers a fully rendered artifact under conditional-GET
+// semantics: the ETag (keyed on checkpoint generation + applied
+// sequence) goes out on hits and misses alike, If-None-Match turns a
+// revalidation into a bodyless 304, and Cache-Control: no-cache makes
+// intermediaries revalidate instead of serving stale blind. Rendering
+// before writing is also what retired the half-written-body 500s: by
+// the time any byte leaves, the body cannot fail anymore.
+func (s *LiveServer) writeJSON(w http.ResponseWriter, r *http.Request, route, etag string, body []byte) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if serve.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.tier.ObserveRequest(route, true)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.tier.ObserveRequest(route, false)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+}
+
+// generation pins the serving tier's current read view, refreshing if
+// the staleness window lapsed. Callers must only use it when s.tier is
+// non-nil.
+func (s *LiveServer) generation(w http.ResponseWriter, r *http.Request) *serve.Generation {
+	gen, err := s.tier.Generation(r.Context())
+	if err != nil {
+		ingestError(w, err)
+		return nil
+	}
+	return gen
 }
 
 // snapshot takes a point-in-time view bound to the request: if the
@@ -186,101 +244,129 @@ func (s *LiveServer) snapshot(w http.ResponseWriter, r *http.Request) *stream.Sn
 }
 
 func (s *LiveServer) summary(w http.ResponseWriter, r *http.Request) {
+	if s.tier != nil {
+		if gen := s.generation(w, r); gen != nil {
+			s.writeJSON(w, r, "summary", gen.ETag(), gen.SummaryJSON())
+		}
+		return
+	}
 	snap := s.snapshot(w, r)
 	if snap == nil {
 		return
 	}
-	out := liveSummary{
-		Shards:              snap.Shards,
-		Records:             snap.Records,
-		Probes:              snap.Probes,
-		Unregistered:        snap.Unregistered,
-		Categories:          make(map[string]int, len(snap.Categories)),
-		GeoProbes:           snap.GeoProbes,
-		ASProbes:            snap.ASProbes,
-		Changes:             snap.Changes,
-		NetworkOutages:      snap.NetworkOutages,
-		Reboots:             snap.Reboots,
-		OutageLinkedChanges: snap.OutageLinkedChanges,
-		OpenLossRuns:        snap.OpenLossRuns,
-		ASes:                snap.ASNs(),
+	body, err := serve.RenderSummary(snap)
+	if err != nil {
+		s.internalError(w, r, err)
+		return
 	}
-	for cat, n := range snap.Categories {
-		out.Categories[cat.String()] = n
+	s.writeJSON(w, r, "summary", serve.ETag(snap.Version), body)
+}
+
+// continents serves the per-continent aggregates — the paper's Figure 1
+// grouping as a continuously updated product.
+func (s *LiveServer) continents(w http.ResponseWriter, r *http.Request) {
+	if s.tier != nil {
+		if gen := s.generation(w, r); gen != nil {
+			s.writeJSON(w, r, "continents", gen.ETag(), gen.ContinentsJSON())
+		}
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
 	}
+	body, err := serve.RenderContinents(snap)
+	if err != nil {
+		s.internalError(w, r, err)
+		return
+	}
+	s.writeJSON(w, r, "continents", serve.ETag(snap.Version), body)
 }
 
 // cursor answers a producer's resume query after a restart: how many
 // records of each kind the ingester has durably consumed for a probe.
 // A producer that skips that many records per kind resumes gap-free and
-// duplicate-free (the per-shard WAL preserves per-probe order).
+// duplicate-free (the per-shard WAL preserves per-probe order). The
+// cursor is never served from a cached generation — it validates with
+// the owning shard's version instead, so revalidation still works.
 func (s *LiveServer) cursor(w http.ResponseWriter, r *http.Request) {
 	idStr := r.URL.Query().Get("probe")
 	id, err := strconv.Atoi(idStr)
 	if err != nil || id <= 0 {
-		http.Error(w, fmt.Sprintf("bad probe id %q", idStr), http.StatusBadRequest)
+		apiError(w, http.StatusBadRequest, fmt.Sprintf("bad probe id %q", idStr))
 		return
 	}
-	cur, err := s.ing.Cursor(r.Context(), atlasdata.ProbeID(id))
+	cur, ver, err := s.ing.CursorVersioned(r.Context(), atlasdata.ProbeID(id))
 	if err != nil {
 		ingestError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(cur); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	body, err := serve.RenderCursor(cur)
+	if err != nil {
+		s.internalError(w, r, err)
+		return
 	}
+	s.writeJSON(w, r, "cursor", serve.ETag(ver), body)
 }
 
 // analysis serves the full paper-answer fold — periodic renumbering,
-// outage attribution, prefix dynamics, churn — computed from the
-// ingester's live detector state at a barrier bound to the request.
-// 404 distinguishes "this ingester runs without the analysis engine"
-// from the transient 503s backpressure produces.
+// outage attribution, prefix dynamics, churn — from the pinned
+// generation when the tier is on, else computed at a barrier bound to
+// the request. 404 distinguishes "this ingester runs without the
+// analysis engine" from the transient 503s backpressure produces.
 func (s *LiveServer) analysis(w http.ResponseWriter, r *http.Request) {
-	res, err := s.ing.AnalysisContext(r.Context())
+	if s.tier != nil {
+		gen := s.generation(w, r)
+		if gen == nil {
+			return
+		}
+		body := gen.AnalysisJSON()
+		if body == nil {
+			apiError(w, http.StatusNotFound, stream.ErrAnalysisDisabled.Error())
+			return
+		}
+		s.writeJSON(w, r, "analysis", gen.AnalysisETag(), body)
+		return
+	}
+	res, ver, err := s.ing.AnalysisVersioned(r.Context())
 	if err != nil {
 		if errors.Is(err, stream.ErrAnalysisDisabled) {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			apiError(w, http.StatusNotFound, err.Error())
 			return
 		}
 		ingestError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(res); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	body, err := serve.RenderAnalysis(res)
+	if err != nil {
+		s.internalError(w, r, err)
+		return
 	}
+	s.writeJSON(w, r, "analysis", serve.ETag(ver), body)
 }
-
-// liveASDetail is the JSON shape of /api/v1/live/as/{asn}.
-type liveASDetail struct {
-	ASN                 uint32        `json:"asn"`
-	Probes              int           `json:"probes"`
-	Sessions            int64         `json:"sessions"`
-	Changes             int64         `json:"changes"`
-	NetworkOutages      int64         `json:"network_outages"`
-	Reboots             int64         `json:"reboots"`
-	OutageLinkedChanges int64         `json:"outage_linked_changes"`
-	TotalHours          float64       `json:"total_hours"`
-	Modes               []stats.Point `json:"modes,omitempty"`
-	CDF                 []stats.Point `json:"cdf,omitempty"`
-}
-
-// modeThreshold is the exact-value mass fraction past which a duration
-// counts as a renumbering mode in live AS queries (the paper's vertical
-// CDF segments).
-const modeThreshold = 0.05
 
 func (s *LiveServer) asDetail(w http.ResponseWriter, r *http.Request) {
 	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/api/v1/live/as/"), "/")
 	asn, err := strconv.ParseUint(rest, 10, 32)
 	if err != nil || asn == 0 {
-		http.Error(w, fmt.Sprintf("bad asn %q", rest), http.StatusBadRequest)
+		apiError(w, http.StatusBadRequest, fmt.Sprintf("bad asn %q", rest))
+		return
+	}
+	if s.tier != nil {
+		gen := s.generation(w, r)
+		if gen == nil {
+			return
+		}
+		body, ok, err := gen.ASJSON(uint32(asn))
+		if err != nil {
+			s.internalError(w, r, err)
+			return
+		}
+		if !ok {
+			apiError(w, http.StatusNotFound, fmt.Sprintf("no analyzable probes in AS%d", asn))
+			return
+		}
+		s.writeJSON(w, r, "as", gen.ETag(), body)
 		return
 	}
 	snap := s.snapshot(w, r)
@@ -289,23 +375,13 @@ func (s *LiveServer) asDetail(w http.ResponseWriter, r *http.Request) {
 	}
 	agg := snap.AS(uint32(asn))
 	if agg == nil {
-		http.Error(w, fmt.Sprintf("no analyzable probes in AS%d", asn), http.StatusNotFound)
+		apiError(w, http.StatusNotFound, fmt.Sprintf("no analyzable probes in AS%d", asn))
 		return
 	}
-	out := liveASDetail{
-		ASN:                 agg.ASN,
-		Probes:              agg.Probes,
-		Sessions:            agg.Sessions,
-		Changes:             agg.Changes,
-		NetworkOutages:      agg.NetworkOutages,
-		Reboots:             agg.Reboots,
-		OutageLinkedChanges: agg.OutageLinkedChanges,
-		TotalHours:          agg.TTF.Total(),
-		Modes:               agg.TTF.Modes(modeThreshold),
-		CDF:                 agg.TTF.CDF(),
+	body, err := serve.RenderASDetail(agg)
+	if err != nil {
+		s.internalError(w, r, err)
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	s.writeJSON(w, r, "as", serve.ETag(snap.Version), body)
 }

@@ -17,6 +17,7 @@ import (
 	"dynaddr/internal/ip4"
 	"dynaddr/internal/liveanalysis"
 	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/serve"
 	"dynaddr/internal/simclock"
 	"dynaddr/internal/stream"
 )
@@ -113,7 +114,7 @@ func TestLiveServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sum liveSummary
+	var sum serve.Summary
 	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestLiveServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var det liveASDetail
+	var det serve.ASDetail
 	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,8 @@ func routeLabel(path string) string {
 	case path == "/api/v1/analysis",
 		path == RouteStreamRecords,
 		path == "/api/v1/live/summary",
+		path == "/api/v1/live/continents",
+		path == "/api/v1/live/analysis",
 		path == "/api/v1/live/cursor",
 		path == "/api/v1/stream/probes",
 		path == "/api/v1/stream/connlogs",

@@ -372,6 +372,11 @@ func (p *StreamProducer) post(path, contentType string, body []byte) error {
 			continue
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		// Drain whatever follows the captured prefix before closing:
+		// closing a body with unread bytes kills the underlying
+		// connection, so a sustained producer would open a fresh one per
+		// batch instead of reusing its keep-alive connection.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
 			return nil

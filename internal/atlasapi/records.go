@@ -15,6 +15,7 @@ import (
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/ip4"
 	"dynaddr/internal/obs"
+	"dynaddr/internal/serve"
 	"dynaddr/internal/simclock"
 	"dynaddr/internal/stream"
 )
@@ -80,9 +81,49 @@ func WithV1Routes(on bool) LiveOption {
 	return func(s *LiveServer) { s.v1 = on }
 }
 
+// WithServeTier serves the snapshot-derived live GETs (summary,
+// continents, AS detail, analysis) from the tier's pinned generations
+// instead of taking an authoritative barrier per request. The tier must
+// wrap the same ingester.
+func WithServeTier(t *serve.Tier) LiveOption {
+	return func(s *LiveServer) { s.tier = t }
+}
+
+// WithErrorLog routes server-side error logging (the real text behind
+// generic 500 bodies). Default log.Printf; nil discards.
+func WithErrorLog(logf func(format string, args ...any)) LiveOption {
+	return func(s *LiveServer) {
+		if logf == nil {
+			logf = func(string, ...any) {}
+		}
+		s.logf = logf
+	}
+}
+
 // batchPool recycles body buffers across v2 batch requests so steady
 // ingest does not re-grow a buffer per POST.
 var batchPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// batchPoolFactor caps what returns to batchPool, as a multiple of the
+// configured batch bound. bytes.Buffer.ReadFrom over-allocates past the
+// body size, so a cap of exactly maxBatch would evict every full-size
+// batch's buffer and defeat the pool; 4x keeps those while refusing to
+// pin pathological growth forever.
+const batchPoolFactor = 4
+
+// poolable reports whether a buffer of capacity c should be pooled
+// under batch bound max.
+func poolable(c, max int64) bool { return c <= batchPoolFactor*max }
+
+// putBatchBuf returns a body buffer to the pool, dropping oversized
+// ones for the garbage collector instead.
+func (s *LiveServer) putBatchBuf(buf *bytes.Buffer) {
+	if !poolable(int64(buf.Cap()), s.maxBatch) {
+		return
+	}
+	buf.Reset()
+	batchPool.Put(buf)
+}
 
 // negotiateCodec maps a request Content-Type to an ingest codec. An
 // absent Content-Type falls back to the NDJSON envelope; an unknown
@@ -126,13 +167,13 @@ func (s *LiveServer) batchRejected(codec Codec) {
 // batch straight into the shards, answer {"accepted": n}.
 func (s *LiveServer) postRecords(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		apiError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	codec, err := negotiateCodec(r.Header.Get("Content-Type"))
 	if err != nil {
 		s.batchRejected(Codec("unknown"))
-		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		apiError(w, http.StatusUnsupportedMediaType, err.Error())
 		return
 	}
 	var (
@@ -158,10 +199,7 @@ func (s *LiveServer) postRecords(w http.ResponseWriter, r *http.Request) {
 // allocations per v4 record.
 func (s *LiveServer) ingestBinary(w http.ResponseWriter, r *http.Request) (int, error) {
 	buf := batchPool.Get().(*bytes.Buffer)
-	defer func() {
-		buf.Reset()
-		batchPool.Put(buf)
-	}()
+	defer s.putBatchBuf(buf)
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxBatch)); err != nil {
 		return 0, fmt.Errorf("reading batch: %w", err)
 	}
@@ -272,13 +310,13 @@ func (s *LiveServer) ingestNDJSON(w http.ResponseWriter, r *http.Request) (int, 
 // counters, and the common {"accepted": n} response.
 func (s *LiveServer) v1Shim(w http.ResponseWriter, r *http.Request, ingest func(ctx context.Context, body io.Reader) (int, error)) {
 	if !s.v1 {
-		http.Error(w, "v1 stream routes disabled; POST "+RouteStreamRecords, http.StatusGone)
+		apiError(w, http.StatusGone, "v1 stream routes disabled; POST "+RouteStreamRecords)
 		return
 	}
 	w.Header().Set("Deprecation", "true")
 	w.Header().Set("Link", "<"+RouteStreamRecords+`>; rel="successor-version"`)
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		apiError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	n, err := ingest(r.Context(), r.Body)

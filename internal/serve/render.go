@@ -1,0 +1,193 @@
+// Package serve is the read-side serving tier: materialized per-AS and
+// per-continent aggregates pinned to immutable snapshot generations,
+// refreshed from the shard barrier path so cached answers stay
+// byte-identical to the authoritative fold, and ETag helpers keyed on
+// (checkpoint generation, applied sequence) for HTTP revalidation.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dynaddr/internal/geo"
+	"dynaddr/internal/liveanalysis"
+	"dynaddr/internal/stats"
+	"dynaddr/internal/stream"
+)
+
+// Summary is the JSON shape of GET /api/v1/live/summary. It lives here
+// so the cached tier and the authoritative handler render through the
+// same code — byte-identical by construction, not by test alone.
+type Summary struct {
+	Shards              int                 `json:"shards"`
+	Records             stream.RecordCounts `json:"records"`
+	Probes              int                 `json:"probes"`
+	Unregistered        int                 `json:"unregistered"`
+	Categories          map[string]int      `json:"categories"`
+	GeoProbes           int                 `json:"geo_probes"`
+	ASProbes            int                 `json:"as_probes"`
+	Changes             int64               `json:"changes"`
+	NetworkOutages      int64               `json:"network_outages"`
+	Reboots             int64               `json:"reboots"`
+	OutageLinkedChanges int64               `json:"outage_linked_changes"`
+	OpenLossRuns        int                 `json:"open_loss_runs"`
+	ASes                []uint32            `json:"ases"`
+}
+
+// BuildSummary projects a snapshot into the summary shape.
+func BuildSummary(snap *stream.Snapshot) Summary {
+	out := Summary{
+		Shards:              snap.Shards,
+		Records:             snap.Records,
+		Probes:              snap.Probes,
+		Unregistered:        snap.Unregistered,
+		Categories:          make(map[string]int, len(snap.Categories)),
+		GeoProbes:           snap.GeoProbes,
+		ASProbes:            snap.ASProbes,
+		Changes:             snap.Changes,
+		NetworkOutages:      snap.NetworkOutages,
+		Reboots:             snap.Reboots,
+		OutageLinkedChanges: snap.OutageLinkedChanges,
+		OpenLossRuns:        snap.OpenLossRuns,
+		ASes:                snap.ASNs(),
+	}
+	for cat, n := range snap.Categories {
+		out.Categories[cat.String()] = n
+	}
+	return out
+}
+
+// RenderSummary renders the summary endpoint's exact response bytes.
+func RenderSummary(snap *stream.Snapshot) ([]byte, error) {
+	return marshalLine(BuildSummary(snap))
+}
+
+// ASDetail is the JSON shape of GET /api/v1/live/as/{asn}.
+type ASDetail struct {
+	ASN                 uint32        `json:"asn"`
+	Probes              int           `json:"probes"`
+	Sessions            int64         `json:"sessions"`
+	Changes             int64         `json:"changes"`
+	NetworkOutages      int64         `json:"network_outages"`
+	Reboots             int64         `json:"reboots"`
+	OutageLinkedChanges int64         `json:"outage_linked_changes"`
+	TotalHours          float64       `json:"total_hours"`
+	Modes               []stats.Point `json:"modes,omitempty"`
+	CDF                 []stats.Point `json:"cdf,omitempty"`
+}
+
+// ModeThreshold is the exact-value mass fraction past which a duration
+// counts as a renumbering mode in live AS queries (the paper's vertical
+// CDF segments).
+const ModeThreshold = 0.05
+
+// RenderASDetail renders one AS aggregate's exact response bytes.
+func RenderASDetail(agg *stream.ASAggregate) ([]byte, error) {
+	return marshalLine(ASDetail{
+		ASN:                 agg.ASN,
+		Probes:              agg.Probes,
+		Sessions:            agg.Sessions,
+		Changes:             agg.Changes,
+		NetworkOutages:      agg.NetworkOutages,
+		Reboots:             agg.Reboots,
+		OutageLinkedChanges: agg.OutageLinkedChanges,
+		TotalHours:          agg.TTF.Total(),
+		Modes:               agg.TTF.Modes(ModeThreshold),
+		CDF:                 agg.TTF.CDF(),
+	})
+}
+
+// ContinentRow is one continent's entry in GET /api/v1/live/continents
+// — the paper's Figure 1 grouping as a continuously served product.
+type ContinentRow struct {
+	Continent           string        `json:"continent"`
+	Probes              int           `json:"probes"`
+	Changes             int64         `json:"changes"`
+	NetworkOutages      int64         `json:"network_outages"`
+	Reboots             int64         `json:"reboots"`
+	OutageLinkedChanges int64         `json:"outage_linked_changes"`
+	ConnectedDays       float64       `json:"connected_days"`
+	TotalHours          float64       `json:"total_hours"`
+	CDF                 []stats.Point `json:"cdf,omitempty"`
+}
+
+// Continents is the JSON shape of GET /api/v1/live/continents.
+type Continents struct {
+	Continents []ContinentRow `json:"continents"`
+}
+
+// RenderContinents renders the continents endpoint's exact response
+// bytes: one row per populated continent in the paper's Figure 1 legend
+// order (a fixed order, so the bytes are deterministic).
+func RenderContinents(snap *stream.Snapshot) ([]byte, error) {
+	out := Continents{Continents: []ContinentRow{}}
+	for _, cont := range geo.Continents {
+		ca := snap.Continent(cont)
+		if ca == nil {
+			continue
+		}
+		out.Continents = append(out.Continents, ContinentRow{
+			Continent:           string(ca.Continent),
+			Probes:              ca.Probes,
+			Changes:             ca.Changes,
+			NetworkOutages:      ca.NetworkOutages,
+			Reboots:             ca.Reboots,
+			OutageLinkedChanges: ca.OutageLinkedChanges,
+			ConnectedDays:       ca.ConnectedDays,
+			TotalHours:          ca.TTF.Total(),
+			CDF:                 ca.TTF.CDF(),
+		})
+	}
+	return marshalLine(out)
+}
+
+// RenderAnalysis renders the analysis endpoint's exact response bytes.
+func RenderAnalysis(res *liveanalysis.Result) ([]byte, error) {
+	return marshalLine(res)
+}
+
+// RenderCursor renders the cursor endpoint's exact response bytes.
+func RenderCursor(cur stream.ProbeCursor) ([]byte, error) {
+	return marshalLine(cur)
+}
+
+// marshalLine matches json.NewEncoder(w).Encode's output — Marshal plus
+// a trailing newline — so pre-rendered artifacts are byte-identical to
+// what the handlers streamed before the cache existed.
+func marshalLine(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(data) + 1)
+	buf.Write(data)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// ETag formats a stream position as a strong entity tag. Both
+// components only grow, so a tag uniquely identifies analysis state
+// within one server process.
+func ETag(v stream.Version) string {
+	return fmt.Sprintf("\"g%d-s%d\"", v.Generation, v.Seq)
+}
+
+// ETagMatch implements If-None-Match against a strong ETag: a comma-
+// separated candidate list, "*" matching anything, and weak validators
+// (W/ prefix) compared by their opaque tag — weak comparison is what
+// RFC 9110 prescribes for If-None-Match.
+func ETagMatch(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}

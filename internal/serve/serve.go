@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynaddr/internal/liveanalysis"
+	"dynaddr/internal/obs"
+	"dynaddr/internal/stream"
+)
+
+// Tier maintains materialized live-query answers over an ingester.
+//
+// A refresh takes one snapshot barrier (plus one analysis barrier when
+// the state moved), pre-renders every stream-wide artifact, and
+// publishes an immutable *Generation behind an atomic pointer. Readers
+// pin whatever generation is current — snapshot isolation: a reader
+// never observes a half-applied batch, because barriers only complete
+// between records and a published generation never mutates. Staleness
+// is bounded by MaxStaleness, and refreshes are coalesced: any number
+// of concurrent readers arriving past the window cost one barrier, not
+// N. That is what decouples dashboard read traffic from ingest — the
+// authoritative shards see at most one marker per window regardless of
+// reader count.
+type Tier struct {
+	ing      *stream.Ingester
+	maxStale time.Duration
+	now      func() time.Time
+	m        *tierMetrics
+
+	cur atomic.Pointer[Generation]
+	mu  sync.Mutex // serializes refreshes; readers never take it on the hit path
+}
+
+// DefaultMaxStaleness bounds how old a served generation may be before
+// a read triggers a refresh barrier.
+const DefaultMaxStaleness = 500 * time.Millisecond
+
+// Option configures a Tier.
+type Option func(*Tier)
+
+// WithMaxStaleness sets the refresh window. Zero means every read
+// refreshes (the cache then only saves rendering and 304 bandwidth,
+// not barriers); negative means manual — the tier refreshes only on
+// the first read and explicit Refresh calls, which tests use to pin
+// generations deterministically.
+func WithMaxStaleness(d time.Duration) Option {
+	return func(t *Tier) { t.maxStale = d }
+}
+
+// WithMetrics publishes serve_* metrics into reg (nil is a no-op, like
+// every obs instrument).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(t *Tier) { t.m = newTierMetrics(reg, t) }
+}
+
+// WithClock overrides the tier's clock, for staleness tests.
+func WithClock(now func() time.Time) Option {
+	return func(t *Tier) { t.now = now }
+}
+
+// NewTier wraps an ingester. The caller owns the ingester's lifecycle;
+// the tier holds no background goroutines — all refreshes happen on
+// reader goroutines.
+func NewTier(ing *stream.Ingester, opts ...Option) *Tier {
+	t := &Tier{ing: ing, maxStale: DefaultMaxStaleness, now: time.Now}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.m == nil {
+		t.m = newTierMetrics(nil, t)
+	}
+	return t
+}
+
+// Generation is one immutable published read view: the pinned snapshot,
+// the analysis fold taken in the same refresh, and the pre-rendered
+// response bytes the live handlers serve verbatim.
+type Generation struct {
+	// Version is the stream position of the snapshot barrier; it keys the
+	// ETags of every snapshot-derived artifact.
+	Version stream.Version
+	// AnalysisVersion is the position of the analysis barrier from the
+	// same refresh. It can run ahead of Version (records may land between
+	// the two barriers) but never behind.
+	AnalysisVersion stream.Version
+	// Snap is the pinned snapshot the artifacts were rendered from.
+	Snap *stream.Snapshot
+	// Analysis is the pinned fold, nil when the ingester runs without the
+	// analysis engine.
+	Analysis *liveanalysis.Result
+
+	built      time.Time
+	summary    []byte
+	continents []byte
+	analysis   []byte // nil when analysis is disabled
+	as         *asCache
+}
+
+// asCache memoizes per-AS renders lazily: a generation may cover tens
+// of thousands of ASes and most are never queried before the
+// generation retires.
+type asCache struct {
+	mu sync.Mutex
+	m  map[uint32][]byte
+}
+
+// SummaryJSON returns the summary endpoint's exact response bytes.
+func (g *Generation) SummaryJSON() []byte { return g.summary }
+
+// ContinentsJSON returns the continents endpoint's exact response bytes.
+func (g *Generation) ContinentsJSON() []byte { return g.continents }
+
+// AnalysisJSON returns the analysis endpoint's exact response bytes,
+// nil when the ingester runs without the analysis engine.
+func (g *Generation) AnalysisJSON() []byte { return g.analysis }
+
+// ASJSON returns one AS detail's exact response bytes, rendering and
+// memoizing on first use. ok is false when no analyzable probe maps to
+// the AS in this generation.
+func (g *Generation) ASJSON(asn uint32) (body []byte, ok bool, err error) {
+	g.as.mu.Lock()
+	defer g.as.mu.Unlock()
+	if body, ok := g.as.m[asn]; ok {
+		return body, true, nil
+	}
+	agg := g.Snap.AS(asn)
+	if agg == nil {
+		return nil, false, nil
+	}
+	body, err = RenderASDetail(agg)
+	if err != nil {
+		return nil, true, err
+	}
+	g.as.m[asn] = body
+	return body, true, nil
+}
+
+// ETag is the cache validator for every snapshot-derived artifact.
+func (g *Generation) ETag() string { return ETag(g.Version) }
+
+// AnalysisETag is the validator for the analysis artifact.
+func (g *Generation) AnalysisETag() string { return ETag(g.AnalysisVersion) }
+
+// Built reports when the generation was published.
+func (g *Generation) Built() time.Time { return g.built }
+
+// Current returns the published generation without refreshing; nil
+// before the first refresh.
+func (t *Tier) Current() *Generation { return t.cur.Load() }
+
+// Generation returns a generation no older than the staleness window,
+// refreshing synchronously (and coalesced under the tier mutex) when
+// the current one has expired. This is the read path: fresh hits cost
+// two atomic loads and no locks.
+func (t *Tier) Generation(ctx context.Context) (*Generation, error) {
+	if g := t.cur.Load(); g != nil && !t.expired(g) {
+		t.m.observeAge(t.now().Sub(g.built))
+		return g, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Double-check: another reader may have refreshed while we queued.
+	if g := t.cur.Load(); g != nil && !t.expired(g) {
+		t.m.observeAge(t.now().Sub(g.built))
+		return g, nil
+	}
+	return t.refreshLocked(ctx)
+}
+
+// Refresh forces a new generation regardless of staleness.
+func (t *Tier) Refresh(ctx context.Context) (*Generation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.refreshLocked(ctx)
+}
+
+func (t *Tier) expired(g *Generation) bool {
+	if t.maxStale < 0 {
+		return false // manual mode: generations never expire on their own
+	}
+	return t.now().Sub(g.built) > t.maxStale
+}
+
+func (t *Tier) refreshLocked(ctx context.Context) (*Generation, error) {
+	start := t.now()
+	snap, err := t.ing.SnapshotContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if prev := t.cur.Load(); prev != nil && prev.Version == snap.Version {
+		// Nothing was applied since the previous barrier, so every
+		// artifact — the analysis fold included — is unchanged. Republish
+		// with a fresh build time, sharing the rendered bytes and the
+		// per-AS memo, and skip the analysis barrier entirely.
+		next := *prev
+		next.built = start
+		t.cur.Store(&next)
+		t.m.refreshed(t.now().Sub(start), true)
+		return &next, nil
+	}
+
+	g := &Generation{
+		Version: snap.Version,
+		Snap:    snap,
+		built:   start,
+		as:      &asCache{m: make(map[uint32][]byte)},
+	}
+	if g.summary, err = RenderSummary(snap); err != nil {
+		return nil, err
+	}
+	if g.continents, err = RenderContinents(snap); err != nil {
+		return nil, err
+	}
+	res, aver, err := t.ing.AnalysisVersioned(ctx)
+	switch {
+	case errors.Is(err, stream.ErrAnalysisDisabled):
+		// Served as 404 downstream; the generation stays valid.
+	case err != nil:
+		return nil, err
+	default:
+		g.Analysis = res
+		g.AnalysisVersion = aver
+		if g.analysis, err = RenderAnalysis(res); err != nil {
+			return nil, err
+		}
+	}
+	t.cur.Store(g)
+	t.m.refreshed(t.now().Sub(start), false)
+	return g, nil
+}
+
+// ObserveRequest records a serve-tier read outcome: hit means the
+// client revalidated (304, no body); miss means a full body was served.
+// Nil-receiver safe so handlers can call it without a tier configured.
+func (t *Tier) ObserveRequest(route string, hit bool) {
+	if t == nil {
+		return
+	}
+	t.m.request(route, hit)
+}
+
+// tierMetrics holds the serve-tier instruments. All fields are nil-safe
+// (obs instruments no-op on nil), and per-route counters are prebuilt
+// so the request path is two map lookups and an atomic add.
+type tierMetrics struct {
+	routes     map[string]*routeCounters
+	other      *routeCounters
+	refreshes  *obs.Counter
+	reused     *obs.Counter
+	refreshSec *obs.Histogram
+	ageSec     *obs.Histogram
+}
+
+type routeCounters struct {
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+// Routes the serve tier distinguishes in its hit/miss counters.
+var meteredRoutes = []string{"summary", "continents", "analysis", "as", "cursor"}
+
+func newTierMetrics(reg *obs.Registry, t *Tier) *tierMetrics {
+	m := &tierMetrics{routes: make(map[string]*routeCounters, len(meteredRoutes))}
+	for _, route := range append(append([]string(nil), meteredRoutes...), "other") {
+		rc := &routeCounters{
+			hits:   reg.Counter("serve_hits_total", "Conditional-GET revalidations answered 304 by the serve tier.", obs.L("route", route)),
+			misses: reg.Counter("serve_misses_total", "Full bodies served by the serve tier.", obs.L("route", route)),
+		}
+		if route == "other" {
+			m.other = rc
+		} else {
+			m.routes[route] = rc
+		}
+	}
+	m.refreshes = reg.Counter("serve_refreshes_total", "Generation refreshes taken by the serve tier.")
+	m.reused = reg.Counter("serve_refreshes_reused_total", "Refreshes that republished an unchanged generation without re-rendering.")
+	m.refreshSec = reg.Histogram("serve_refresh_seconds", "Wall time of a serve-tier refresh (barriers plus rendering).", nil)
+	m.ageSec = reg.Histogram("serve_staleness_seconds", "Age of the generation at each served read.", nil)
+	if reg != nil && t != nil {
+		reg.GaugeFunc("serve_generation_seq", "Applied-record sequence of the published generation.", func() float64 {
+			g := t.cur.Load()
+			if g == nil {
+				return 0
+			}
+			return float64(g.Version.Seq)
+		})
+	}
+	return m
+}
+
+func (m *tierMetrics) request(route string, hit bool) {
+	rc, ok := m.routes[route]
+	if !ok {
+		rc = m.other
+	}
+	if hit {
+		rc.hits.Inc()
+	} else {
+		rc.misses.Inc()
+	}
+}
+
+func (m *tierMetrics) refreshed(d time.Duration, reusedPrev bool) {
+	m.refreshes.Inc()
+	if reusedPrev {
+		m.reused.Inc()
+	}
+	m.refreshSec.Observe(d.Seconds())
+}
+
+func (m *tierMetrics) observeAge(d time.Duration) {
+	m.ageSec.Observe(d.Seconds())
+}

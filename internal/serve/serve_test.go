@@ -1,0 +1,305 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/ip4"
+	"dynaddr/internal/pfx2as"
+	"dynaddr/internal/serve"
+	"dynaddr/internal/simclock"
+	"dynaddr/internal/stream"
+)
+
+func testStore(t testing.TB) *pfx2as.SnapshotStore {
+	t.Helper()
+	tbl, err := pfx2as.NewTable([]pfx2as.Entry{
+		{Prefix: ip4.MustParsePrefix("10.0.0.0/16"), ASN: 64500},
+		{Prefix: ip4.MustParsePrefix("192.168.0.0/16"), ASN: 64501},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pfx2as.NewSnapshotStore()
+	for m := 201501; m <= 201512; m++ {
+		store.Put(pfx2as.Month(m), tbl)
+	}
+	return store
+}
+
+func hour(h int) simclock.Time {
+	return simclock.StudyStart.Add(simclock.Duration(h) * simclock.Hour)
+}
+
+// feed ingests a small multi-probe, multi-continent fixture: sessions
+// with address changes, a rejected out-of-order entry, ping rounds, and
+// an uptime reset, spread over enough probes that any shard count > 1
+// actually splits them.
+func feed(t testing.TB, ing *stream.Ingester) {
+	t.Helper()
+	countries := []string{"DE", "US", "JP", "BR", "ZA", "AU", "FR", "NL"}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cc := range countries {
+		id := atlasdata.ProbeID(100 + i)
+		must(ing.Meta(atlasdata.ProbeMeta{ID: id, Country: cc, Version: atlasdata.V3, ConnectedDays: 150 + float64(i)}))
+		a := fmt.Sprintf("10.0.%d.1", i)
+		b := fmt.Sprintf("10.0.%d.2", i)
+		must(ing.ConnLog(atlasdata.ConnLogEntry{Probe: id, Start: hour(0), End: hour(20 + i), Family: atlasdata.V4, Addr: ip4.MustParseAddr(a)}))
+		must(ing.ConnLog(atlasdata.ConnLogEntry{Probe: id, Start: hour(24 + i), End: hour(50), Family: atlasdata.V4, Addr: ip4.MustParseAddr(b)}))
+		// Rejected: starts before the previous session ended.
+		must(ing.ConnLog(atlasdata.ConnLogEntry{Probe: id, Start: hour(1), End: hour(2), Family: atlasdata.V4, Addr: ip4.MustParseAddr(a)}))
+		must(ing.KRoot(atlasdata.KRootRound{Probe: id, Timestamp: hour(21), Sent: 3, Success: 0, LTS: 600}))
+		must(ing.KRoot(atlasdata.KRootRound{Probe: id, Timestamp: hour(22), Sent: 3, Success: 3, LTS: 30}))
+		must(ing.Uptime(atlasdata.UptimeRecord{Probe: id, Timestamp: hour(30), Uptime: 30 * 3600}))
+		must(ing.Uptime(atlasdata.UptimeRecord{Probe: id, Timestamp: hour(40), Uptime: 60}))
+	}
+}
+
+// TestTierEquivalence is the tentpole's acceptance oracle: for every
+// shard count, each cached artifact must be byte-identical to the
+// authoritative fold rendered at the same barrier — and identical
+// across shard counts, because mergeViews folds in probe-ID order.
+func TestTierEquivalence(t *testing.T) {
+	ctx := context.Background()
+	type artifacts struct{ summary, continents, analysis []byte }
+	var first *artifacts
+	for _, shards := range []int{1, 2, 7} {
+		ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: testStore(t), Analysis: true})
+		feed(t, ing)
+		tier := serve.NewTier(ing, serve.WithMaxStaleness(-1))
+		gen, err := tier.Refresh(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Against the authoritative fold at the same stream position.
+		snap, err := ing.SnapshotContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Version != gen.Version {
+			t.Fatalf("shards=%d: stream moved between barriers: %+v vs %+v", shards, snap.Version, gen.Version)
+		}
+		wantSum, err := serve.RenderSummary(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gen.SummaryJSON(), wantSum) {
+			t.Errorf("shards=%d: cached summary differs from authoritative render", shards)
+		}
+		wantCont, err := serve.RenderContinents(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gen.ContinentsJSON(), wantCont) {
+			t.Errorf("shards=%d: cached continents differ from authoritative render", shards)
+		}
+		if gen.AnalysisJSON() == nil {
+			t.Fatalf("shards=%d: analysis enabled but cached analysis is nil", shards)
+		}
+		body, ok, err := gen.ASJSON(64500)
+		if err != nil || !ok {
+			t.Fatalf("shards=%d: ASJSON(64500) ok=%v err=%v", shards, ok, err)
+		}
+		wantAS, err := serve.RenderASDetail(snap.AS(64500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, wantAS) {
+			t.Errorf("shards=%d: cached AS detail differs from authoritative render", shards)
+		}
+		if _, ok, err := gen.ASJSON(64999); err != nil || ok {
+			t.Errorf("shards=%d: ASJSON for unknown AS: ok=%v err=%v, want false/nil", shards, ok, err)
+		}
+
+		// Across shard counts.
+		got := &artifacts{gen.SummaryJSON(), gen.ContinentsJSON(), gen.AnalysisJSON()}
+		if first == nil {
+			first = got
+		} else {
+			// The summary reports the shard count itself; normalize that
+			// one field before demanding equality.
+			if !bytes.Equal(stripShards(t, first.summary), stripShards(t, got.summary)) {
+				t.Errorf("shards=%d: summary differs from shards=1", shards)
+			}
+			if !bytes.Equal(first.continents, got.continents) {
+				t.Errorf("shards=%d: continents differ from shards=1", shards)
+			}
+			if !bytes.Equal(first.analysis, got.analysis) {
+				t.Errorf("shards=%d: analysis differs from shards=1", shards)
+			}
+		}
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// stripShards removes the summary's shard-count field, the one value
+// that legitimately differs across shard counts.
+func stripShards(t testing.TB, body []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "shards")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestContinentsShape decodes the continents artifact and checks the
+// fixture's geography actually landed: 8 countries over 6 continents,
+// every row carrying the fixture's per-probe change count.
+func TestContinentsShape(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: testStore(t)})
+	defer ing.Close()
+	feed(t, ing)
+	tier := serve.NewTier(ing, serve.WithMaxStaleness(-1))
+	gen, err := tier.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cont serve.Continents
+	if err := json.Unmarshal(gen.ContinentsJSON(), &cont); err != nil {
+		t.Fatal(err)
+	}
+	if len(cont.Continents) != 6 {
+		t.Fatalf("got %d continent rows, want 6: %s", len(cont.Continents), gen.ContinentsJSON())
+	}
+	probes := 0
+	for _, row := range cont.Continents {
+		probes += row.Probes
+		if row.Probes == 0 {
+			t.Errorf("continent %s has zero probes", row.Continent)
+		}
+	}
+	if probes != 8 {
+		t.Errorf("continent probes sum to %d, want 8", probes)
+	}
+}
+
+// TestGenerationImmutable pins snapshot isolation: a generation handed
+// to a reader must not change underneath it when ingest continues and a
+// newer generation is published.
+func TestGenerationImmutable(t *testing.T) {
+	ctx := context.Background()
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: testStore(t)})
+	defer ing.Close()
+	feed(t, ing)
+	tier := serve.NewTier(ing, serve.WithMaxStaleness(-1))
+	g1, err := tier.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedSummary := append([]byte(nil), g1.SummaryJSON()...)
+	pinnedVersion := g1.Version
+
+	id := atlasdata.ProbeID(900)
+	if err := ing.Meta(atlasdata.ProbeMeta{ID: id, Country: "IT", Version: atlasdata.V3, ConnectedDays: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.ConnLog(atlasdata.ConnLogEntry{Probe: id, Start: hour(0), End: hour(10), Family: atlasdata.V4, Addr: ip4.MustParseAddr("10.0.99.1")}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tier.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version == pinnedVersion {
+		t.Fatal("version did not advance after ingest")
+	}
+	if g2.ETag() == g1.ETag() {
+		t.Errorf("ETag unchanged across generations: %s", g1.ETag())
+	}
+	if !bytes.Equal(g1.SummaryJSON(), pinnedSummary) {
+		t.Error("pinned generation's summary bytes changed after a newer publish")
+	}
+	if g1.Version != pinnedVersion {
+		t.Error("pinned generation's version changed after a newer publish")
+	}
+}
+
+// TestRefreshDedup checks that a refresh with no new records republishes
+// the previous generation's artifacts (same bytes, same version) rather
+// than re-rendering, and that the republished copy is still served.
+func TestRefreshDedup(t *testing.T) {
+	ctx := context.Background()
+	ing := stream.NewIngester(stream.Config{Shards: 2, Pfx2AS: testStore(t)})
+	defer ing.Close()
+	feed(t, ing)
+	tier := serve.NewTier(ing, serve.WithMaxStaleness(-1))
+	g1, err := tier.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tier.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version != g1.Version {
+		t.Fatalf("version moved without ingest: %+v vs %+v", g1.Version, g2.Version)
+	}
+	// Shared backing arrays, not merely equal content: the dedup path
+	// must not re-render.
+	if &g1.SummaryJSON()[0] != &g2.SummaryJSON()[0] {
+		t.Error("dedup refresh re-rendered the summary instead of sharing bytes")
+	}
+	if got := tier.Current(); got != g2 {
+		t.Error("Current() does not serve the republished generation")
+	}
+}
+
+// TestAnalysisDisabled checks the tier stays useful without the
+// analysis engine: snapshot artifacts render, analysis stays nil.
+func TestAnalysisDisabled(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 1, Pfx2AS: testStore(t)})
+	defer ing.Close()
+	feed(t, ing)
+	tier := serve.NewTier(ing, serve.WithMaxStaleness(-1))
+	gen, err := tier.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.AnalysisJSON() != nil {
+		t.Error("analysis bytes present with the engine disabled")
+	}
+	if gen.SummaryJSON() == nil || gen.ContinentsJSON() == nil {
+		t.Error("snapshot artifacts missing")
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	etag := serve.ETag(stream.Version{Generation: 3, Seq: 17})
+	if etag != `"g3-s17"` {
+		t.Fatalf("ETag = %s, want %q", etag, `"g3-s17"`)
+	}
+	cases := []struct {
+		inm  string
+		want bool
+	}{
+		{"", false},
+		{`"g3-s17"`, true},
+		{`"g3-s16"`, false},
+		{`"g1-s1", "g3-s17"`, true},
+		{`W/"g3-s17"`, true},
+		{"*", true},
+	}
+	for _, c := range cases {
+		if got := serve.ETagMatch(c.inm, etag); got != c.want {
+			t.Errorf("ETagMatch(%q, %s) = %v, want %v", c.inm, etag, got, c.want)
+		}
+	}
+}

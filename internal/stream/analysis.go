@@ -20,6 +20,7 @@ var ErrAnalysisDisabled = errors.New("stream: live analysis disabled (Config.Ana
 type analysisView struct {
 	events []liveanalysis.ProbeEvents // sorted by probe ID
 	churn  map[int]core.PrefixChangeRow
+	ver    Version
 }
 
 // analysisView snapshots the shard's detector state. Called from the
@@ -27,7 +28,7 @@ type analysisView struct {
 // slices are copied, so the fold can run while the shard keeps
 // applying records.
 func (s *shard) analysisView() *analysisView {
-	v := &analysisView{churn: make(map[int]core.PrefixChangeRow)}
+	v := &analysisView{churn: make(map[int]core.PrefixChangeRow), ver: s.version()}
 	// Churn is the raw operational view: every probe counts, analyzable
 	// or not, exactly like the batch oracle's sweep over all connection
 	// logs. The shard's shared table already holds the merged counters.
@@ -93,8 +94,15 @@ func (in *Ingester) Analysis() (*liveanalysis.Result, error) {
 // AnalysisContext is Analysis under a context: a caller blocked behind
 // full shard buffers gets ctx.Err() on cancellation instead of hanging.
 func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, error) {
+	res, _, err := in.AnalysisVersioned(ctx)
+	return res, err
+}
+
+// AnalysisVersioned is AnalysisContext plus the stream position the
+// barrier was taken at, for the serving tier's cache keys.
+func (in *Ingester) AnalysisVersioned(ctx context.Context) (*liveanalysis.Result, Version, error) {
 	if !in.cfg.Analysis {
-		return nil, ErrAnalysisDisabled
+		return nil, Version{}, ErrAnalysisDisabled
 	}
 	in.mu.RLock()
 	if in.closed {
@@ -104,7 +112,8 @@ func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, 
 		for _, s := range in.shards {
 			views = append(views, s.analysisView())
 		}
-		return mergeAnalysis(views), nil
+		res, ver := mergeAnalysis(views)
+		return res, ver, nil
 	}
 	// Buffered to the full shard count so markers already sent keep a
 	// reply slot even if the collection is abandoned on cancellation.
@@ -114,7 +123,7 @@ func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, 
 		case s.in <- record{kind: kindAnalysis, analysis: ch}:
 		case <-ctx.Done():
 			in.mu.RUnlock()
-			return nil, ctx.Err()
+			return nil, Version{}, ctx.Err()
 		}
 	}
 	in.mu.RUnlock()
@@ -124,20 +133,23 @@ func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, 
 		case v := <-ch:
 			views = append(views, v)
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, Version{}, ctx.Err()
 		}
 	}
-	return mergeAnalysis(views), nil
+	res, ver := mergeAnalysis(views)
+	return res, ver, nil
 }
 
 // mergeAnalysis combines the shard contributions — events re-sorted
 // into global probe-ID order (the batch pipeline's probe discipline),
 // churn counters summed — and runs the query-time fold.
-func mergeAnalysis(views []*analysisView) *liveanalysis.Result {
+func mergeAnalysis(views []*analysisView) (*liveanalysis.Result, Version) {
 	var events []liveanalysis.ProbeEvents
+	var ver Version
 	churn := make(map[int]core.PrefixChangeRow)
 	for _, v := range views {
 		events = append(events, v.events...)
+		ver.add(v.ver)
 		for day, row := range v.churn {
 			r := churn[day]
 			r.Accumulate(row)
@@ -145,5 +157,5 @@ func mergeAnalysis(views []*analysisView) *liveanalysis.Result {
 		}
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].Probe < events[j].Probe })
-	return liveanalysis.Compute(events, churn, liveanalysis.Options{})
+	return liveanalysis.Compute(events, churn, liveanalysis.Options{}), ver
 }

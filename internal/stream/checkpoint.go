@@ -36,7 +36,12 @@ type shardCheckpoint struct {
 	Shard   int `json:"shard"`
 	// Seq is the last WAL sequence the checkpoint covers; recovery
 	// replays from Seq+1.
-	Seq          uint64           `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Generation counts the shard's completed checkpoints — this document
+	// is number Generation. The version stays at 1: old checkpoints
+	// without the field restore generation 0, which only means the shard's
+	// cache keys restart (they remain unique within the process).
+	Generation   uint64           `json:"generation,omitempty"`
 	Counts       RecordCounts     `json:"counts"`
 	SessionsByAS map[uint32]int64 `json:"sessions_by_as,omitempty"`
 	// Churn/ChurnOutside carry the shard's live-analysis churn table in
@@ -348,10 +353,11 @@ func unmarshalProbeState(j probeStateJSON, churn *liveanalysis.ChurnTable) *prob
 // quiescent.
 func (s *shard) buildCheckpoint() *shardCheckpoint {
 	ck := &shardCheckpoint{
-		Version: checkpointVersion,
-		Shard:   s.index,
-		Seq:     s.lastSeq,
-		Counts:  s.counts,
+		Version:    checkpointVersion,
+		Shard:      s.index,
+		Seq:        s.lastSeq,
+		Generation: s.gen,
+		Counts:     s.counts,
 	}
 	if len(s.sessionsByAS) > 0 {
 		ck.SessionsByAS = make(map[uint32]int64, len(s.sessionsByAS))
@@ -380,6 +386,7 @@ func (s *shard) buildCheckpoint() *shardCheckpoint {
 // allocated shard (before its goroutine starts).
 func (s *shard) restoreCheckpoint(ck *shardCheckpoint) {
 	s.counts = ck.Counts
+	s.gen = ck.Generation
 	for asn, n := range ck.SessionsByAS {
 		s.sessionsByAS[asn] = n
 	}

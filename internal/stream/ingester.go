@@ -42,8 +42,16 @@ type record struct {
 	uptime   atlasdata.UptimeRecord
 	snap     chan<- *shardView
 	probe    atlasdata.ProbeID    // kindCursor: which probe
-	cur      chan<- ProbeCursor   // kindCursor: reply channel
+	cur      chan<- cursorReply   // kindCursor: reply channel
 	analysis chan<- *analysisView // kindAnalysis: reply channel
+}
+
+// cursorReply pairs a probe cursor with the owning shard's stream
+// position at the barrier, so cursor responses can carry cache
+// validators without a second round trip.
+type cursorReply struct {
+	cur ProbeCursor
+	ver Version
 }
 
 // shard owns the state machines for a subset of probes. Only the
@@ -78,6 +86,11 @@ type shard struct {
 	ckptEvery int
 	sinceCkpt int
 	lastSeq   uint64 // sequence of the last appended record
+	// gen counts the shard's completed checkpoints (restored from the
+	// checkpoint document on recovery). Together with the consumed-record
+	// count it forms the shard's Version — the serving tier's cache key.
+	// An in-memory shard never checkpoints and stays at generation 0.
+	gen uint64
 
 	// metrics is nil when instrumentation is disabled; all its methods
 	// are nil-receiver safe. ametrics is the analysis-barrier slice of
@@ -337,24 +350,38 @@ func (in *Ingester) SnapshotContext(ctx context.Context) (*Snapshot, error) {
 // cursor describes exactly the durable prefix of the probe's stream —
 // a producer resumes by skipping that many records per kind.
 func (in *Ingester) Cursor(ctx context.Context, id atlasdata.ProbeID) (ProbeCursor, error) {
+	c, _, err := in.CursorVersioned(ctx, id)
+	return c, err
+}
+
+// CursorVersioned is Cursor plus the owning shard's stream position at
+// the barrier. The version validates conditional GETs of the cursor
+// endpoint: it is shard-local (only records routed to the probe's shard
+// advance it), so a changed version is necessary for — though not proof
+// of — a changed cursor, which is exactly the one-sided guarantee an
+// ETag needs. Cursors are never served from the cached read tier: a
+// stale cursor would make a resuming producer re-send already-applied
+// records.
+func (in *Ingester) CursorVersioned(ctx context.Context, id atlasdata.ProbeID) (ProbeCursor, Version, error) {
 	in.mu.RLock()
 	if in.closed {
 		in.mu.RUnlock()
-		return in.shardFor(id).cursor(id), nil
+		s := in.shardFor(id)
+		return s.cursor(id), s.version(), nil
 	}
-	ch := make(chan ProbeCursor, 1)
+	ch := make(chan cursorReply, 1)
 	select {
 	case in.shardFor(id).in <- record{kind: kindCursor, probe: id, cur: ch}:
 	case <-ctx.Done():
 		in.mu.RUnlock()
-		return ProbeCursor{}, ctx.Err()
+		return ProbeCursor{}, Version{}, ctx.Err()
 	}
 	in.mu.RUnlock()
 	select {
-	case c := <-ch:
-		return c, nil
+	case r := <-ch:
+		return r.cur, r.ver, nil
 	case <-ctx.Done():
-		return ProbeCursor{}, ctx.Err()
+		return ProbeCursor{}, Version{}, ctx.Err()
 	}
 }
 
@@ -407,7 +434,7 @@ func (s *shard) run() {
 			rec.snap <- s.view()
 			continue
 		case kindCursor:
-			rec.cur <- s.cursor(rec.probe)
+			rec.cur <- cursorReply{cur: s.cursor(rec.probe), ver: s.version()}
 			continue
 		case kindAnalysis:
 			// Like snapshots, the analysis barrier is a metrics barrier.
@@ -524,6 +551,12 @@ func (s *shard) checkpointNow() error {
 	if err := s.log.Sync(); err != nil {
 		return err
 	}
+	// The generation advances with the checkpoint attempt and is recorded
+	// inside the document, so a recovered shard resumes the same count.
+	// On a write failure the shard goes into sticky WAL-error mode and
+	// never checkpoints again; the orphaned increment merely retires a
+	// cache key early, which is always safe.
+	s.gen++
 	if err := writeCheckpoint(s.dir, s.buildCheckpoint()); err != nil {
 		return err
 	}
@@ -574,7 +607,7 @@ func (s *shard) state(id atlasdata.ProbeID) *probeState {
 // view copies the shard's aggregation-relevant state. Called from the
 // shard goroutine (in-band snapshot) or after Close (quiescent).
 func (s *shard) view() *shardView {
-	v := &shardView{counts: s.counts}
+	v := &shardView{counts: s.counts, ver: s.version()}
 	v.sessionsByAS = make(map[uint32]int64, len(s.sessionsByAS))
 	for asn, n := range s.sessionsByAS {
 		v.sessionsByAS[asn] = n

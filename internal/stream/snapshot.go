@@ -5,6 +5,7 @@ import (
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/core"
+	"dynaddr/internal/geo"
 	"dynaddr/internal/stats"
 )
 
@@ -14,6 +15,7 @@ type probeSummary struct {
 	ID             atlasdata.ProbeID
 	HasMeta        bool
 	Category       core.Category
+	Country        string // ISO code from probe metadata, "" when unregistered
 	ASN            uint32 // home AS when consistent and known, else 0
 	MultiAS        bool
 	Sessions       int64
@@ -29,6 +31,7 @@ type probeSummary struct {
 // shardView is one shard's contribution to a snapshot.
 type shardView struct {
 	counts       RecordCounts
+	ver          Version
 	sessionsByAS map[uint32]int64
 	probes       []probeSummary // sorted by probe ID
 }
@@ -56,6 +59,26 @@ type ASAggregate struct {
 	TTF *stats.Weighted `json:"-"`
 }
 
+// ContinentAggregate is the per-continent slice of the snapshot — the
+// paper's Figure 1 grouping (probe address-duration behaviour by the
+// continent of the probe's country) maintained as a continuously
+// updated product over the analyzable probes.
+type ContinentAggregate struct {
+	Continent geo.Continent `json:"continent"`
+	Probes    int           `json:"probes"`
+	Changes   int64         `json:"changes"`
+
+	NetworkOutages      int64 `json:"network_outages"`
+	Reboots             int64 `json:"reboots"`
+	OutageLinkedChanges int64 `json:"outage_linked_changes"`
+	// ConnectedDays sums the analyzable probes' connected time, the
+	// denominator for per-continent change-rate readings.
+	ConnectedDays float64 `json:"connected_days"`
+	// TTF is the continent's total-time-fraction distribution, merged in
+	// ascending probe-ID order like the per-AS aggregates.
+	TTF *stats.Weighted `json:"-"`
+}
+
 // Snapshot is a consistent point-in-time view of an Ingester's state.
 type Snapshot struct {
 	Shards  int          `json:"shards"`
@@ -78,11 +101,24 @@ type Snapshot struct {
 	OpenLossRuns        int   `json:"open_loss_runs"`
 	// PerAS holds the per-AS aggregates over analyzable single-AS probes.
 	PerAS map[uint32]*ASAggregate `json:"-"`
+	// PerContinent holds the Figure 1 aggregates over analyzable probes
+	// whose country code maps to a known continent.
+	PerContinent map[geo.Continent]*ContinentAggregate `json:"-"`
+	// Version is the stream position the snapshot was taken at — the sum
+	// of the shards' checkpoint generations and consumed-record counts.
+	// Excluded from the JSON shape: it keys caches, it is not analysis
+	// output, and it must not perturb the byte-equality recovery oracle
+	// (an in-memory replay is generation 0; a recovered one is not).
+	Version Version `json:"-"`
 }
 
 // AS returns the aggregate for one AS, or nil if no analyzable probe
 // maps there.
 func (s *Snapshot) AS(asn uint32) *ASAggregate { return s.PerAS[asn] }
+
+// Continent returns the aggregate for one continent, or nil if no
+// analyzable probe maps there.
+func (s *Snapshot) Continent(c geo.Continent) *ContinentAggregate { return s.PerContinent[c] }
 
 // ASNs returns the ASes present in the snapshot, ascending.
 func (s *Snapshot) ASNs() []uint32 {
@@ -99,13 +135,15 @@ func (s *Snapshot) ASNs() []uint32 {
 // TTF merging reproduces the batch GroupTTF accumulation order exactly.
 func mergeViews(views []*shardView, shards int) *Snapshot {
 	snap := &Snapshot{
-		Shards:     shards,
-		Categories: make(map[core.Category]int),
-		PerAS:      make(map[uint32]*ASAggregate),
+		Shards:       shards,
+		Categories:   make(map[core.Category]int),
+		PerAS:        make(map[uint32]*ASAggregate),
+		PerContinent: make(map[geo.Continent]*ContinentAggregate),
 	}
 	var all []probeSummary
 	for _, v := range views {
 		snap.Records.add(v.counts)
+		snap.Version.add(v.ver)
 		all = append(all, v.probes...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
@@ -135,6 +173,24 @@ func mergeViews(views []*shardView, shards int) *Snapshot {
 			continue
 		}
 		snap.GeoProbes++
+		// Figure 1 groups analyzable probes geographically; AS consistency
+		// does not gate the continent view. Unknown country codes are
+		// filterable, not fatal, matching the batch pipeline's handling of
+		// incomplete metadata.
+		if cont, err := geo.ContinentOf(p.Country); err == nil {
+			ca, ok := snap.PerContinent[cont]
+			if !ok {
+				ca = &ContinentAggregate{Continent: cont, TTF: &stats.Weighted{}}
+				snap.PerContinent[cont] = ca
+			}
+			ca.Probes++
+			ca.Changes += p.Changes
+			ca.NetworkOutages += p.NetworkOutages
+			ca.Reboots += p.Reboots
+			ca.OutageLinkedChanges += p.OutageLinked
+			ca.ConnectedDays += p.ConnectedDays
+			ca.TTF.AddDist(p.TTF)
+		}
 		if p.MultiAS {
 			continue
 		}

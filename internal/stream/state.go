@@ -498,6 +498,7 @@ func (ps *probeState) summarize() probeSummary {
 	}
 	if ps.hasMeta {
 		sum.Category = ps.category()
+		sum.Country = ps.meta.Country
 	}
 	if ps.homeConsistent && ps.homeASN != 0 {
 		sum.ASN = uint32(ps.homeASN)

@@ -1,0 +1,31 @@
+package stream
+
+// Version identifies a stream position for read-side caching: the sum
+// of the shards' checkpoint generations plus the total number of
+// records the shards have consumed (accepted and rejected alike — both
+// advance the state machines' position in the producer streams). Both
+// components only grow, so two equal Versions observed from one process
+// describe byte-identical analysis state; that is the property the
+// serving tier's ETags rely on. Seq is shard-count invariant (it counts
+// records, not barriers); Generation is not (each shard checkpoints on
+// its own cadence), which is fine — an ETag only needs to identify
+// state within one deployment, not across redeployments.
+type Version struct {
+	Generation uint64 `json:"generation"`
+	Seq        uint64 `json:"seq"`
+}
+
+// add accumulates a shard-local version into a stream-wide one.
+func (v *Version) add(o Version) {
+	v.Generation += o.Generation
+	v.Seq += o.Seq
+}
+
+// version reports the shard-local stream position. Called from the
+// shard goroutine (in-band marker) or after Close (quiescent).
+func (s *shard) version() Version {
+	return Version{
+		Generation: s.gen,
+		Seq:        uint64(s.counts.Total() + s.counts.Rejected),
+	}
+}

@@ -1,0 +1,104 @@
+package stream_test
+
+import (
+	"context"
+	"testing"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/stream"
+	"dynaddr/internal/wal"
+)
+
+// TestVersionTracksStream pins the Version invariants the serving tier
+// builds its cache keys on: Seq counts every consumed record (accepted
+// and rejected alike), Generation counts completed checkpoints, and
+// both are shard-count invariant in sum.
+func TestVersionTracksStream(t *testing.T) {
+	ing := stream.NewIngester(stream.Config{Shards: 3, Pfx2AS: testStore(t)})
+	defer ing.Close()
+
+	if v := ing.Snapshot().Version; v != (stream.Version{}) {
+		t.Fatalf("empty ingester version = %+v, want zero", v)
+	}
+
+	id := atlasdata.ProbeID(206)
+	if err := ing.Meta(meta(id)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.ConnLog(conn(id, at(0), at(24), "10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-order session is rejected by the shard but still consumed
+	// from the stream — it must advance Seq, or a producer that only
+	// sends rejects would look cache-fresh forever.
+	if err := ing.ConnLog(conn(id, at(0), at(10), "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := ing.Snapshot()
+	if snap.Version.Seq != 3 {
+		t.Errorf("Seq = %d, want 3 (2 accepted + 1 rejected)", snap.Version.Seq)
+	}
+	if snap.Version.Generation != 0 {
+		t.Errorf("in-memory Generation = %d, want 0 (never checkpoints)", snap.Version.Generation)
+	}
+
+	// The cursor validator is the owning shard's version: nonzero Seq,
+	// and stable when nothing new arrives.
+	_, v1, err := ing.CursorVersioned(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Seq == 0 || v1.Seq > snap.Version.Seq {
+		t.Errorf("cursor version Seq = %d, want in (0, %d]", v1.Seq, snap.Version.Seq)
+	}
+	_, v2, err := ing.CursorVersioned(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Errorf("cursor version moved without ingest: %+v then %+v", v1, v2)
+	}
+}
+
+// TestVersionGenerationAdvances checks that a durable ingester's
+// generation grows with checkpoints and survives recovery, so ETags
+// minted before a crash can never validate state from after it.
+func TestVersionGenerationAdvances(t *testing.T) {
+	dir := t.TempDir()
+	cfg := stream.Config{
+		Shards: 2, Pfx2AS: testStore(t),
+		WALDir: dir, Sync: wal.SyncNever, CheckpointEvery: 1,
+	}
+	ing := stream.NewIngester(cfg)
+	id := atlasdata.ProbeID(206)
+	if err := ing.Meta(meta(id)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.ConnLog(conn(id, at(0), at(24), "10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	snap := ing.Snapshot()
+	if snap.Version.Generation == 0 {
+		t.Fatalf("durable ingester with CheckpointEvery=1 stayed at generation 0: %+v", snap.Version)
+	}
+	if snap.Version.Seq != 2 {
+		t.Errorf("Seq = %d, want 2", snap.Version.Seq)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := stream.Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Snapshot().Version
+	if got.Generation < snap.Version.Generation {
+		t.Errorf("recovered generation %d < pre-crash %d", got.Generation, snap.Version.Generation)
+	}
+	if got.Seq != snap.Version.Seq {
+		t.Errorf("recovered Seq = %d, want %d", got.Seq, snap.Version.Seq)
+	}
+}
