@@ -603,6 +603,36 @@ func BenchmarkStreamIngest(b *testing.B) {
 			}
 			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 		})
+		// codec=binary plus the admission gate exercised per batch the
+		// way the HTTP handler does (pressure check, slot claim,
+		// release). The delta against the plain codec=binary run is the
+		// uncontended admission overhead (target < 2%, EXPERIMENTS.md).
+		b.Run(fmt.Sprintf("codec=binary/admission/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				ing := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: ds.Pfx2AS})
+				// HighWater above any reachable fill: the benchmark
+				// deliberately saturates the shard queues, and a real
+				// server would shed here — the point of this run is the
+				// per-batch cost of the check itself, so it must probe
+				// the queues but never trip.
+				adm := atlasapi.NewAdmission(atlasapi.AdmissionConfig{HighWater: 1.01}, ing.QueuePressure, nil)
+				for _, batch := range wireBatches {
+					release, reason, ok := adm.Admit("v2")
+					if !ok {
+						b.Fatalf("uncontended admission shed a batch (%s)", reason)
+					}
+					_, err := ing.IngestWire(ctx, batch)
+					release()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				check(b, ing)
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
 	}
 }
 

@@ -23,13 +23,26 @@
 // are mounted. /healthz answers as soon as the listener is up;
 // /readyz stays 503 until recovery has finished.
 //
+// The ingest tier is protected by admission control: at most
+// -ingest-max-inflight concurrent ingest requests (each waiting up to
+// -ingest-max-wait for a slot), shed with 429 + Retry-After beyond
+// that, and shed outright while the shard queues are over
+// -ingest-highwater full. WAL failures flip shards into read-only
+// degraded mode instead of killing the process: /readyz answers 503
+// with the degraded-shard count until the background probes re-arm the
+// logs, and records that fail decode or validation inside a good batch
+// are quarantined to per-shard dead-letter logs (GET
+// /api/v1/live/deadletter to inspect, churnctl -deadletter to drain).
+//
 // The -chaos-* flags wrap every endpoint in the deterministic
 // fault-injection middleware (internal/faultinject): request drops,
 // injected 503s, truncated response bodies and added latency, for
 // exercising scrape clients' retry/backoff/error-budget behaviour
-// against a live server:
+// against a live server. The -fault-wal-* flags inject WAL-level
+// failures (ENOSPC, fsync errors) to drive degraded mode end to end:
 //
 //	atlasd -seed 7 -chaos-drop 0.1 -chaos-truncate 0.05 -chaos-seed 42
+//	atlasd -live -wal-dir DIR -fault-wal-enospc-after 1000 -fault-wal-heal-after 30s
 package main
 
 import (
@@ -76,6 +89,13 @@ func main() {
 	wireV1 := flag.Bool("wire-v1", true, "keep the deprecated /api/v1/stream/* routes mounted (false answers them with 410 Gone)")
 	serveCache := flag.Bool("serve-cache", true, "serve live GETs from materialized snapshot generations with ETag caching (requires -live)")
 	serveMaxStale := flag.Duration("serve-max-stale", serve.DefaultMaxStaleness, "oldest generation -serve-cache may answer with before refreshing at a barrier")
+	ingestMaxInflight := flag.Int("ingest-max-inflight", atlasapi.DefaultMaxInFlight, "admission control: concurrent ingest requests before shedding 429 (negative disables the gate)")
+	ingestMaxWait := flag.Duration("ingest-max-wait", atlasapi.DefaultMaxWait, "admission control: bounded queue wait for an ingest slot before shedding (negative sheds immediately)")
+	ingestHighWater := flag.Float64("ingest-highwater", atlasapi.DefaultHighWater, "admission control: shard-queue fill fraction above which ingest is shed outright (negative disables)")
+	ingestRetryAfter := flag.Duration("ingest-retry-after", atlasapi.DefaultRetryAfter, "Retry-After pacing hint sent with shed and degraded responses")
+	faultWALWrites := flag.Int64("fault-wal-enospc-after", -1, "degraded-mode chaos: fail WAL writes with ENOSPC after this many succeed (negative disables; requires -wal-dir)")
+	faultWALSyncs := flag.Int64("fault-wal-sync-fail-after", -1, "degraded-mode chaos: fail WAL fsyncs after this many succeed (negative disables; requires -wal-dir)")
+	faultWALHeal := flag.Duration("fault-wal-heal-after", 0, "degraded-mode chaos: heal injected WAL faults after this delay (0 = never heal)")
 	flag.Parse()
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
@@ -135,6 +155,32 @@ func main() {
 			fatal(err)
 		}
 		scfg.Sync = pol
+	}
+	// WAL fault injection drives shards into degraded mode on demand —
+	// the robustness smoke test's disk-full lever. The faults arm when
+	// the flag's write/sync budget runs out and (optionally) heal on a
+	// timer, after which the shards' background probes re-arm the logs.
+	if *faultWALWrites >= 0 || *faultWALSyncs >= 0 {
+		if scfg.WALDir == "" {
+			fmt.Fprintln(os.Stderr, "atlasd: -fault-wal-* flags require -wal-dir")
+			os.Exit(2)
+		}
+		ffs := faultinject.NewFaultFS(wal.OSFS)
+		if *faultWALWrites >= 0 {
+			ffs.FailWritesAfter(*faultWALWrites, syscall.ENOSPC)
+		}
+		if *faultWALSyncs >= 0 {
+			ffs.FailSyncsAfter(*faultWALSyncs, syscall.EIO)
+		}
+		if *faultWALHeal > 0 {
+			time.AfterFunc(*faultWALHeal, func() {
+				ffs.Heal()
+				fmt.Println("atlasd: injected WAL faults healed")
+			})
+		}
+		scfg.FS = ffs
+		fmt.Printf("atlasd: WAL fault injection on (enospc-after=%d sync-fail-after=%d heal-after=%v)\n",
+			*faultWALWrites, *faultWALSyncs, *faultWALHeal)
 	}
 
 	mux := http.NewServeMux()
@@ -213,10 +259,21 @@ func main() {
 		} else {
 			ing = stream.NewIngester(scfg)
 		}
+		// Admission control gates every ingest route, keyed to the shard
+		// queues' fill fraction; /readyz drains the instance while any
+		// shard is degraded after a WAL failure.
+		adm := atlasapi.NewAdmission(atlasapi.AdmissionConfig{
+			MaxInFlight: *ingestMaxInflight,
+			MaxWait:     *ingestMaxWait,
+			HighWater:   *ingestHighWater,
+			RetryAfter:  *ingestRetryAfter,
+		}, ing.QueuePressure, reg)
+		health.SetDegraded(func() int { return len(ing.DegradedShards()) })
 		lsOpts := []atlasapi.LiveOption{
 			atlasapi.WithLiveMetrics(reg),
 			atlasapi.WithMaxBatchBytes(*wireMaxBatch),
 			atlasapi.WithV1Routes(*wireV1),
+			atlasapi.WithAdmission(adm),
 		}
 		if *serveCache {
 			tier := serve.NewTier(ing, serve.WithMetrics(reg), serve.WithMaxStaleness(*serveMaxStale))
@@ -226,8 +283,8 @@ func main() {
 		mux.Handle(atlasapi.RouteStreamRecords, ls)
 		mux.Handle("/api/v1/stream/", ls)
 		mux.Handle("/api/v1/live/", ls)
-		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v, serve cache=%v max-stale=%v)\n",
-			*addr, ing.Shards(), *analysis, *wireV1, *serveCache, *serveMaxStale)
+		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v, serve cache=%v max-stale=%v, max-inflight=%d)\n",
+			*addr, ing.Shards(), *analysis, *wireV1, *serveCache, *serveMaxStale, *ingestMaxInflight)
 	}
 	health.SetReady(true)
 

@@ -23,6 +23,14 @@
 // local analysis runs:
 //
 //	churnctl -url http://host:8042 -live-analysis [table5|table6|table7|fig6|fig7|fig8|churn|summary|all]
+//
+// With -deadletter, churnctl inspects and drains the ingest tier's
+// quarantine logs instead of running any analysis:
+//
+//	churnctl -deadletter status -url http://host:8042   # live counts
+//	churnctl -deadletter status -wal-dir DIR            # offline counts
+//	churnctl -deadletter list -wal-dir DIR              # entries as JSON lines
+//	churnctl -deadletter drain -wal-dir DIR -url URL    # replay + truncate
 package main
 
 import (
@@ -59,7 +67,14 @@ func main() {
 	retryCap := flag.Duration("retry-cap", 0, "scrape: backoff delay ceiling (0 = default 5s)")
 	allowFailures := flag.Int("allow-failures", 0, "scrape: probes allowed to fail before aborting (-1 = unlimited)")
 	liveAnalysis := flag.Bool("live-analysis", false, "query a live atlasd's streaming analysis endpoint (requires -url); no dataset is scraped")
+	deadletter := flag.String("deadletter", "", "dead-letter operation: status (-wal-dir or -url), list (-wal-dir), or drain (-wal-dir and -url)")
+	walDir := flag.String("wal-dir", "", "atlasd WAL directory for offline -deadletter operations (stop the server first)")
 	flag.Parse()
+
+	if *deadletter != "" {
+		deadletterMain(*deadletter, *walDir, *url)
+		return
+	}
 
 	if *liveAnalysis {
 		if *url == "" {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -143,11 +144,56 @@ func (s *scrapeStats) retry() {
 	}
 }
 
+// retryDelay picks the wait before a retry: the server's Retry-After
+// hint when it sent one (capped at the backoff policy's maximum delay,
+// so a misbehaving server cannot park the client), else the policy's
+// jittered exponential delay. u supplies the jitter entropy for the
+// latter case.
+func retryDelay(p backoff.Policy, attempt int, u uint64, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if max := p.MaxDelay(); retryAfter > max {
+			return max
+		}
+		return retryAfter
+	}
+	return p.Delay(attempt, u)
+}
+
+// parseRetryAfter reads a response's Retry-After pacing hint (the
+// integer-seconds form; the HTTP-date form is not used by this API).
+// Zero means no usable hint.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepFor waits d or until ctx is done, whichever comes first.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // get fetches a URL and hands the body to parse, converting HTTP errors
 // into Go errors with the response text attached. Transient failures
-// (transport errors, 5xx, truncated bodies) are retried with jittered
-// exponential backoff; 4xx and validation errors are permanent.
-// Cancelling ctx aborts the in-flight request and any backoff sleep.
+// (transport errors, 429/5xx, truncated bodies) are retried with
+// jittered exponential backoff; when the server sends a Retry-After
+// pacing hint (it does on 429 and capacity 503s) the hint is honoured
+// instead, capped at the policy's maximum delay. Other 4xx and
+// validation errors are permanent. Cancelling ctx aborts the in-flight
+// request and any backoff sleep.
 func get[T any](ctx context.Context, c *Client, path string, parse func(io.Reader) (T, error), st *scrapeStats) (T, error) {
 	var zero T
 	retries := c.Retries
@@ -156,24 +202,25 @@ func get[T any](ctx context.Context, c *Client, path string, parse func(io.Reade
 	}
 	cm := c.metrics()
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			st.retry()
 			// The delay is computed with the same jitter word the sleep
 			// consumes, so the recorded backoff is exactly the one served.
-			u := c.jitter.Uint64()
-			cm.retried(c.Backoff.Delay(attempt-1, u))
-			if err := c.Backoff.Sleep(ctx, attempt-1, u); err != nil {
+			d := retryDelay(c.Backoff, attempt-1, c.jitter.Uint64(), retryAfter)
+			cm.retried(d)
+			if err := sleepFor(ctx, d); err != nil {
 				return zero, fmt.Errorf("atlasapi: GET %s: cancelled during retry backoff: %w (last error: %v)", path, err, lastErr)
 			}
 		}
 		st.attempt()
 		cm.request()
-		v, retriable, err := getOnce(ctx, c, path, parse)
+		v, retriable, ra, err := getOnce(ctx, c, path, parse)
 		if err == nil {
 			return v, nil
 		}
-		lastErr = err
+		lastErr, retryAfter = err, ra
 		if !retriable || ctx.Err() != nil {
 			break
 		}
@@ -197,14 +244,14 @@ func (t *trackedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.Reader) (T, error)) (v T, retriable bool, err error) {
+func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.Reader) (T, error)) (v T, retriable bool, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return v, false, err
+		return v, false, 0, err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return v, true, err
+		return v, true, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -213,7 +260,10 @@ func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.R
 		// survives the error response (see StreamProducer.post).
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
 		err := fmt.Errorf("atlasapi: GET %s: %s: %s", path, resp.Status, msg)
-		return v, resp.StatusCode >= 500, err
+		// 429 is the admission controller shedding load — transient by
+		// definition, and its Retry-After says exactly when to return.
+		retriable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return v, retriable, parseRetryAfter(resp), err
 	}
 	body := &trackedReader{r: resp.Body}
 	v, err = parse(body)
@@ -224,13 +274,13 @@ func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.R
 		// burn the retry budget. No drain here: the body is suspect, and
 		// Close discarding the connection is the right outcome.
 		truncated := body.readErr != nil || errors.Is(err, io.ErrUnexpectedEOF)
-		return v, truncated, fmt.Errorf("atlasapi: GET %s: %w", path, err)
+		return v, truncated, 0, fmt.Errorf("atlasapi: GET %s: %w", path, err)
 	}
 	// Parsers stop at the end of the value they decode, which can leave
 	// trailing bytes (a final newline, an unread epilogue) on the wire;
 	// consume them so the connection returns to the pool.
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
-	return v, false, nil
+	return v, false, 0, nil
 }
 
 // FetchProbeArchiveContext retrieves all probe metadata.

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/obs"
@@ -34,6 +35,7 @@ import (
 //	GET  /api/v1/live/continents          per-continent aggregates, Figure 1 (JSON)
 //	GET  /api/v1/live/cursor?probe=N      a probe's resume cursor (JSON)
 //	GET  /api/v1/live/analysis            paper tables/figures computed live (JSON)
+//	GET  /api/v1/live/deadletter          quarantine counts and recent samples (JSON)
 //
 // Every live GET carries an ETag keyed on (checkpoint generation,
 // applied sequence) and honours If-None-Match with 304; Cache-Control
@@ -60,6 +62,7 @@ type LiveServer struct {
 
 	reg      *obs.Registry
 	tier     *serve.Tier
+	adm      *Admission
 	logf     func(format string, args ...any)
 	maxBatch int64
 	v1       bool
@@ -82,6 +85,7 @@ func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
 	s.mux.HandleFunc("/api/v1/live/continents", s.continents)
 	s.mux.HandleFunc("/api/v1/live/cursor", s.cursor)
 	s.mux.HandleFunc("/api/v1/live/analysis", s.analysis)
+	s.mux.HandleFunc("/api/v1/live/deadletter", s.deadletter)
 	return s
 }
 
@@ -91,9 +95,13 @@ func (s *LiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.S
 // errorEnvelope is the JSON error shape every live endpoint answers
 // with — including paths that previously fell through to http.Error's
 // text/plain, which broke clients keyed on the advertised Content-Type.
+// Ingest failures additionally report Accepted: the prefix of the batch
+// the server consumed (routed or quarantined) before the error, which a
+// partial-accept producer trims from its buffer instead of re-sending.
 type errorEnvelope struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error    string `json:"error"`
+	Status   int    `json:"status"`
+	Accepted int    `json:"accepted,omitempty"`
 }
 
 // apiError writes the envelope. msg must describe only the client's
@@ -113,10 +121,23 @@ func (s *LiveServer) internalError(w http.ResponseWriter, r *http.Request, err e
 	apiError(w, http.StatusInternalServerError, "internal server error")
 }
 
-func ingestError(w http.ResponseWriter, err error) {
+// retryAfter is the pacing hint capacity responses (429/503) carry.
+func (s *LiveServer) retryAfter() time.Duration {
+	if s.adm != nil {
+		return s.adm.RetryAfter()
+	}
+	return DefaultRetryAfter
+}
+
+// ingestError maps an ingest failure to its status: capacity
+// conditions (closed ingester, degraded shards, backpressure the
+// client abandoned) answer 503 with a Retry-After pacing hint, and
+// everything else is the client's 400. consumed is the batch prefix
+// already routed or quarantined, reported so the producer can trim.
+func (s *LiveServer) ingestError(w http.ResponseWriter, err error, consumed int) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, stream.ErrClosed):
+	case errors.Is(err, stream.ErrClosed), errors.Is(err, stream.ErrDegraded):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or the deadline fired while the send was
@@ -124,17 +145,28 @@ func ingestError(w http.ResponseWriter, err error) {
 		// request. 503 tells a well-behaved producer to back off and retry.
 		code = http.StatusServiceUnavailable
 	}
-	apiError(w, code, err.Error())
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter()))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: err.Error(), Status: code, Accepted: consumed}) //nolint:errcheck // headers are gone; nothing to do
 }
 
-// respondAccepted reports how many records an ingest call took.
-func respondAccepted(w http.ResponseWriter, n int) {
+// respondAccepted reports how many records an ingest call took. The
+// "accepted" shape is pinned by producers and the CI smokes; the
+// quarantined count appears only when records were dead-lettered.
+func respondAccepted(w http.ResponseWriter, st stream.WireStats) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"accepted\": %d}\n", n)
+	if st.Quarantined > 0 {
+		fmt.Fprintf(w, "{\"accepted\": %d, \"quarantined\": %d}\n", st.Accepted, st.Quarantined)
+		return
+	}
+	fmt.Fprintf(w, "{\"accepted\": %d}\n", st.Accepted)
 }
 
 func (s *LiveServer) postProbes(w http.ResponseWriter, r *http.Request) {
-	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+	s.v1Shim(w, r, "probes", func(ctx context.Context, body io.Reader) (int, error) {
 		probes, err := ParseProbeArchive(body)
 		if err != nil {
 			return 0, err
@@ -149,7 +181,7 @@ func (s *LiveServer) postProbes(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *LiveServer) postConnLogs(w http.ResponseWriter, r *http.Request) {
-	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+	s.v1Shim(w, r, "connlogs", func(ctx context.Context, body io.Reader) (int, error) {
 		idStr := r.URL.Query().Get("probe")
 		id, err := strconv.Atoi(idStr)
 		if err != nil || id <= 0 {
@@ -169,7 +201,7 @@ func (s *LiveServer) postConnLogs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *LiveServer) postKRoot(w http.ResponseWriter, r *http.Request) {
-	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+	s.v1Shim(w, r, "kroot", func(ctx context.Context, body io.Reader) (int, error) {
 		rounds, err := ParseKRootResults(body)
 		if err != nil {
 			return 0, err
@@ -184,7 +216,7 @@ func (s *LiveServer) postKRoot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *LiveServer) postUptime(w http.ResponseWriter, r *http.Request) {
-	s.v1Shim(w, r, func(ctx context.Context, body io.Reader) (int, error) {
+	s.v1Shim(w, r, "uptime", func(ctx context.Context, body io.Reader) (int, error) {
 		recs, err := ParseUptimeResults(body)
 		if err != nil {
 			return 0, err
@@ -221,10 +253,21 @@ func (s *LiveServer) writeJSON(w http.ResponseWriter, r *http.Request, route, et
 // generation pins the serving tier's current read view, refreshing if
 // the staleness window lapsed. Callers must only use it when s.tier is
 // non-nil.
+//
+// Pressure valve: while ingest is overloaded (admission is shedding or
+// the shard queues are over the high-watermark), a lapsed staleness
+// window would make every read race ingest for a snapshot barrier —
+// exactly when barriers are slowest. Reads keep serving the last
+// published generation instead; freshness resumes when ingest cools.
 func (s *LiveServer) generation(w http.ResponseWriter, r *http.Request) *serve.Generation {
+	if s.adm != nil && s.adm.Hot() {
+		if gen := s.tier.Current(); gen != nil {
+			return gen
+		}
+	}
 	gen, err := s.tier.Generation(r.Context())
 	if err != nil {
-		ingestError(w, err)
+		s.ingestError(w, err, 0)
 		return nil
 	}
 	return gen
@@ -237,7 +280,7 @@ func (s *LiveServer) generation(w http.ResponseWriter, r *http.Request) *serve.G
 func (s *LiveServer) snapshot(w http.ResponseWriter, r *http.Request) *stream.Snapshot {
 	snap, err := s.ing.SnapshotContext(r.Context())
 	if err != nil {
-		ingestError(w, err)
+		s.ingestError(w, err, 0)
 		return nil
 	}
 	return snap
@@ -298,7 +341,7 @@ func (s *LiveServer) cursor(w http.ResponseWriter, r *http.Request) {
 	}
 	cur, ver, err := s.ing.CursorVersioned(r.Context(), atlasdata.ProbeID(id))
 	if err != nil {
-		ingestError(w, err)
+		s.ingestError(w, err, 0)
 		return
 	}
 	body, err := serve.RenderCursor(cur)
@@ -334,7 +377,7 @@ func (s *LiveServer) analysis(w http.ResponseWriter, r *http.Request) {
 			apiError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		ingestError(w, err)
+		s.ingestError(w, err, 0)
 		return
 	}
 	body, err := serve.RenderAnalysis(res)
@@ -343,6 +386,22 @@ func (s *LiveServer) analysis(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, r, "analysis", serve.ETag(ver), body)
+}
+
+// deadletter reports the quarantine state: process-lifetime counts by
+// rejection reason plus a ring of recent samples (payloads omitted —
+// drain the durable logs with churnctl -deadletter for those). It is an
+// operator endpoint: no caching, always computed fresh, never behind
+// the serve tier or admission control.
+func (s *LiveServer) deadletter(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.ing.DeadLetter()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	json.NewEncoder(w).Encode(st) //nolint:errcheck // client gone; nothing to do
 }
 
 func (s *LiveServer) asDetail(w http.ResponseWriter, r *http.Request) {

@@ -257,6 +257,24 @@ func TestErrorEnvelope(t *testing.T) {
 	if len(logged) != 1 || !strings.Contains(logged[0], secret) {
 		t.Errorf("server log = %q, want the real error", logged)
 	}
+
+	// 429: admission sheds with the same envelope plus a Retry-After
+	// pacing hint.
+	shedding := NewLiveServer(ing, WithAdmission(NewAdmission(
+		AdmissionConfig{MaxInFlight: 1}, func() float64 { return 1.0 }, nil)))
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, RouteStreamRecords, strings.NewReader(""))
+	req.Header.Set("Content-Type", ContentTypeNDJSON)
+	shedding.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed POST = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed 429 is missing the Retry-After header")
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Status != http.StatusTooManyRequests || !strings.Contains(env.Error, "overloaded") {
+		t.Errorf("shed envelope = %q (err %v)", rec.Body, err)
+	}
 }
 
 // TestProducerKeepAliveReuse is the body-drain regression: a server

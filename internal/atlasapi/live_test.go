@@ -258,20 +258,33 @@ func TestLiveAnalysisEndpoint(t *testing.T) {
 
 // TestIngestErrorStatusMapping pins the status codes the ingest error
 // translator hands producers: capacity conditions (closed ingester,
-// cancelled or timed-out context) are 503 retry-later, only malformed
-// input is 400.
+// degraded shards, cancelled or timed-out context) are 503 retry-later
+// with a Retry-After pacing hint, only malformed input is 400.
 func TestIngestErrorStatusMapping(t *testing.T) {
-	for _, err := range []error{stream.ErrClosed, context.Canceled, context.DeadlineExceeded} {
+	s := &LiveServer{}
+	for _, err := range []error{stream.ErrClosed, stream.ErrDegraded, context.Canceled, context.DeadlineExceeded} {
 		rec := httptest.NewRecorder()
-		ingestError(rec, fmt.Errorf("entry 3 of 9: %w", err))
+		s.ingestError(rec, fmt.Errorf("entry 3 of 9: %w", err), 3)
 		if rec.Code != http.StatusServiceUnavailable {
 			t.Errorf("%v mapped to %d, want 503", err, rec.Code)
 		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%v: 503 without Retry-After", err)
+		}
+		var env struct {
+			Accepted int `json:"accepted"`
+		}
+		if jerr := json.Unmarshal(rec.Body.Bytes(), &env); jerr != nil || env.Accepted != 3 {
+			t.Errorf("%v: envelope accepted = %d (parse err %v), want 3", err, env.Accepted, jerr)
+		}
 	}
 	rec := httptest.NewRecorder()
-	ingestError(rec, errors.New("probe 3: bad record"))
+	s.ingestError(rec, errors.New("probe 3: bad record"), 0)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("validation error mapped to %d, want 400", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("400 carries Retry-After; pacing hints are for capacity conditions")
 	}
 }
 

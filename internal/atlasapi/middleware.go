@@ -10,8 +10,10 @@ import (
 // RecoverPanics wraps a handler so a panic in request handling answers
 // 500 and is logged instead of killing the serving goroutine's
 // connection with an opaque reset — one bad request must not take the
-// ingest tier down. http.ErrAbortHandler is re-panicked: it is the
-// sanctioned way to abort a response, not a defect.
+// ingest tier down. The body is the standard JSON error envelope with a
+// generic message: the panic value is operator information and goes to
+// the log, never to the client. http.ErrAbortHandler is re-panicked: it
+// is the sanctioned way to abort a response, not a defect.
 func RecoverPanics(h http.Handler, logf func(format string, args ...any)) http.Handler {
 	if logf == nil {
 		logf = log.Printf
@@ -28,7 +30,7 @@ func RecoverPanics(h http.Handler, logf func(format string, args ...any)) http.H
 			logf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
 			// If the handler already wrote a status this is a no-op write
 			// on a broken response; nothing better is possible.
-			http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			apiError(w, http.StatusInternalServerError, "internal server error")
 		}()
 		h.ServeHTTP(w, r)
 	})
@@ -37,13 +39,20 @@ func RecoverPanics(h http.Handler, logf func(format string, args ...any)) http.H
 // Health serves the liveness and readiness endpoints:
 //
 //	GET /healthz  200 as long as the process serves HTTP (liveness)
-//	GET /readyz   200 once SetReady(true), 503 before (readiness)
+//	GET /readyz   200 once SetReady(true) and no shard is degraded;
+//	              503 before readiness or while shards are degraded
 //
 // atlasd starts its listener before WAL recovery so orchestrators see
 // liveness immediately, and flips readiness only after recovery
-// finishes and the live endpoints are mounted.
+// finishes and the live endpoints are mounted. SetDegraded additionally
+// wires readiness to the ingester's degraded-shard count: while any
+// shard is in read-only degraded mode (WAL failure pending re-arm),
+// /readyz answers 503 with the count, so load balancers drain the
+// instance until the background probe heals it. 503 bodies use the
+// standard JSON error envelope.
 type Health struct {
-	ready atomic.Bool
+	ready    atomic.Bool
+	degraded atomic.Value // func() int
 }
 
 // SetReady flips the readiness state.
@@ -51,6 +60,23 @@ func (h *Health) SetReady(v bool) { h.ready.Store(v) }
 
 // Ready reports the current readiness state.
 func (h *Health) Ready() bool { return h.ready.Load() }
+
+// SetDegraded wires a degraded-shard counter (typically wrapping
+// stream.Ingester.DegradedShards) into readiness. A nil fn detaches it.
+func (h *Health) SetDegraded(fn func() int) {
+	if fn == nil {
+		fn = func() int { return 0 }
+	}
+	h.degraded.Store(fn)
+}
+
+// Degraded reports the wired degraded-shard count (zero when detached).
+func (h *Health) Degraded() int {
+	if fn, ok := h.degraded.Load().(func() int); ok {
+		return fn()
+	}
+	return 0
+}
 
 // Register mounts /healthz and /readyz on mux.
 func (h *Health) Register(mux *http.ServeMux) {
@@ -62,7 +88,12 @@ func (h *Health) Register(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "application/json")
 		if !h.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, `{"status": "starting"}`)
+			fmt.Fprintln(w, `{"error": "starting", "status": 503}`)
+			return
+		}
+		if n := h.Degraded(); n > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error": "%d shard(s) degraded after WAL failure, re-arm pending", "status": 503, "degraded_shards": %d}`+"\n", n, n)
 			return
 		}
 		fmt.Fprintln(w, `{"status": "ready"}`)

@@ -1,6 +1,7 @@
 package atlasapi
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -26,8 +27,17 @@ func TestRecoverPanics(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("panicking handler answered %d, want 500", rec.Code)
 	}
-	if !strings.Contains(rec.Body.String(), "kaboom") {
-		t.Errorf("500 body %q does not name the panic", rec.Body.String())
+	// The body is the standard error envelope with a generic message:
+	// panic values can carry internal state and must reach the log, not
+	// the client.
+	if body := rec.Body.String(); body != "{\"error\":\"internal server error\",\"status\":500}\n" {
+		t.Errorf("500 body = %q, want generic error envelope", body)
+	}
+	if strings.Contains(rec.Body.String(), "kaboom") {
+		t.Errorf("500 body %q leaks the panic value", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("500 Content-Type = %q, want application/json", ct)
 	}
 	if len(logged) != 1 {
 		t.Errorf("panic logged %d times, want 1", len(logged))
@@ -63,12 +73,39 @@ func TestHealthEndpoints(t *testing.T) {
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		return rec
 	}
+	// envelope asserts the body is JSON with the expected error/status
+	// fields ("" means a non-error body).
+	envelope := func(rec *httptest.ResponseRecorder, wantErr string) {
+		t.Helper()
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		var env map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("body %q is not JSON: %v", rec.Body, err)
+		}
+		errText, _ := env["error"].(string)
+		if wantErr == "" {
+			if errText != "" {
+				t.Errorf("unexpected error envelope: %q", rec.Body)
+			}
+			return
+		}
+		status, _ := env["status"].(float64)
+		if !strings.Contains(errText, wantErr) || int(status) != rec.Code {
+			t.Errorf("envelope = %q, want error containing %q with status %d", rec.Body, wantErr, rec.Code)
+		}
+	}
 
 	if rec := get("/healthz"); rec.Code != http.StatusOK {
 		t.Errorf("/healthz = %d, want 200", rec.Code)
+	} else {
+		envelope(rec, "")
 	}
 	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("/readyz before ready = %d, want 503", rec.Code)
+	} else {
+		envelope(rec, "starting")
 	}
 	h.SetReady(true)
 	if rec := get("/readyz"); rec.Code != http.StatusOK {
@@ -77,5 +114,53 @@ func TestHealthEndpoints(t *testing.T) {
 	h.SetReady(false)
 	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("/readyz after un-ready = %d, want 503", rec.Code)
+	}
+}
+
+// TestHealthDegradedShards: while any shard is in read-only degraded
+// mode, /readyz answers 503 with the count so load balancers drain the
+// instance; recovery flips it back without touching SetReady.
+func TestHealthDegradedShards(t *testing.T) {
+	var h Health
+	mux := http.NewServeMux()
+	h.Register(mux)
+	h.SetReady(true)
+
+	degraded := 0
+	h.SetDegraded(func() int { return degraded })
+
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec
+	}
+
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz with 0 degraded shards = %d, want 200", rec.Code)
+	}
+	degraded = 2
+	rec := get()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with degraded shards = %d, want 503", rec.Code)
+	}
+	var env struct {
+		Error          string `json:"error"`
+		Status         int    `json:"status"`
+		DegradedShards int    `json:"degraded_shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("degraded body %q is not JSON: %v", rec.Body, err)
+	}
+	if env.Status != 503 || env.DegradedShards != 2 || !strings.Contains(env.Error, "degraded") {
+		t.Fatalf("degraded envelope = %+v", env)
+	}
+	degraded = 0
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after shards re-armed = %d, want 200", rec.Code)
+	}
+	// Detaching restores plain readiness semantics.
+	h.SetDegraded(nil)
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after detach = %d, want 200", rec.Code)
 	}
 }

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/backoff"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/wire"
 )
 
@@ -29,9 +31,15 @@ import (
 // All three preserve the cross-stream interleaving the ingester's
 // per-probe state machines observe, so streaming through the producer
 // is equivalent to feeding the ingester in process under any codec.
-// Transient failures (transport errors, 5xx) are retried with the same
-// jittered exponential backoff the scrape client uses; 4xx responses
-// are permanent.
+// Transient failures (transport errors, 429, 5xx) are retried with the
+// same jittered exponential backoff the scrape client uses, honouring
+// server Retry-After pacing hints (capped at the policy maximum);
+// other 4xx responses are permanent. Under sustained shedding a
+// circuit breaker holds requests off for a cooldown, and batches
+// adaptively halve (regrowing on success) so each attempt clears
+// admission faster. A partially accepted batch is trimmed to the
+// server-reported consumed prefix before the retry — no record is ever
+// sent twice.
 //
 // Configure it with options (WithCodec, WithBatchSize, WithBackoff, …);
 // the exported fields remain settable for older call sites.
@@ -54,11 +62,13 @@ type StreamProducer struct {
 	// flushes; zero means 128.
 	BatchSize int
 
-	ctx    context.Context
-	codec  Codec
-	jitter backoff.Jitter
-	buf    []streamRecord
-	wire   wire.BatchWriter
+	ctx      context.Context
+	codec    Codec
+	jitter   backoff.Jitter
+	buf      []streamRecord
+	wire     wire.BatchWriter
+	breaker  backoff.Breaker
+	curBatch int
 }
 
 // ProducerOption configures a StreamProducer.
@@ -88,6 +98,37 @@ func WithRetries(n int) ProducerOption {
 // WithHTTPClient replaces http.DefaultClient.
 func WithHTTPClient(c *http.Client) ProducerOption {
 	return func(p *StreamProducer) { p.HTTPClient = c }
+}
+
+// WithBreaker tunes the producer's circuit breaker (consecutive
+// failures before opening, cooldown while open). The zero-value
+// breaker — threshold 5, cooldown 2s — is always active; this option
+// only re-parameterises it.
+func WithBreaker(threshold int, cooldown time.Duration) ProducerOption {
+	return func(p *StreamProducer) {
+		p.breaker.Threshold = threshold
+		p.breaker.Cooldown = cooldown
+	}
+}
+
+// WithProducerMetrics registers the producer's breaker-state gauge
+// (0 closed, 1 half-open, 2 open) on reg, labelled by name so several
+// producers can share a registry.
+func WithProducerMetrics(reg *obs.Registry, name string) ProducerOption {
+	return func(p *StreamProducer) {
+		br := &p.breaker
+		reg.GaugeFunc("producer_breaker_state",
+			"Producer circuit-breaker position: 0 closed, 1 half-open, 2 open.",
+			func() float64 {
+				switch br.State(time.Now()) {
+				case backoff.BreakerOpen:
+					return 2
+				case backoff.BreakerHalfOpen:
+					return 1
+				}
+				return 0
+			}, obs.L("producer", name))
+	}
 }
 
 type recordKind int
@@ -160,40 +201,79 @@ func (p *StreamProducer) Uptime(u atlasdata.UptimeRecord) error {
 	return p.push(streamRecord{kind: kindUptime, uptime: u})
 }
 
+// minAdaptiveBatch is the floor the adaptive batch size halves down to
+// under sustained rejection (unless the configured batch is smaller).
+const minAdaptiveBatch = 16
+
+// effBatch is the current adaptive batch size: how many records one
+// POST carries. It starts at the configured BatchSize, halves toward
+// minAdaptiveBatch when the server sheds load (smaller batches clear
+// admission faster and lose less work per rejection), and doubles back
+// once deliveries succeed.
+func (p *StreamProducer) effBatch() int {
+	if p.curBatch <= 0 {
+		p.curBatch = p.batchSize()
+	}
+	return p.curBatch
+}
+
+func (p *StreamProducer) shrinkBatch() {
+	floor := minAdaptiveBatch
+	if bs := p.batchSize(); bs < floor {
+		floor = bs
+	}
+	if p.curBatch = p.effBatch() / 2; p.curBatch < floor {
+		p.curBatch = floor
+	}
+}
+
+func (p *StreamProducer) growBatch() {
+	if p.curBatch = p.effBatch() * 2; p.curBatch > p.batchSize() {
+		p.curBatch = p.batchSize()
+	}
+}
+
 // Flush delivers the buffer under the configured codec. The v2 codecs
-// send the whole buffer as one batch; CodecJSON POSTs consecutive
-// same-kind runs (connection-log runs additionally break on probe
-// changes — the v1 endpoint is per-probe). Call it when the stream
-// ends; a failed flush leaves the undelivered records buffered, so it
-// is safe to retry.
+// send adaptive-size batches; CodecJSON POSTs consecutive same-kind
+// runs (connection-log runs additionally break on probe changes — the
+// v1 endpoint is per-probe). Call it when the stream ends; a failed
+// flush leaves the undelivered records buffered, so it is safe to
+// retry, and a partially accepted batch is trimmed so nothing already
+// consumed by the server is re-sent.
 func (p *StreamProducer) Flush() error {
+	var encode func([]streamRecord) (encodedBatch, error)
 	switch p.codec {
 	case CodecBinary:
-		return p.flushBinary()
+		encode = p.encodeBinary
 	case CodecNDJSON:
-		return p.flushNDJSON()
+		encode = p.encodeNDJSON
+	default:
+		encode = p.encodeRun
 	}
 	for len(p.buf) > 0 {
-		n, err := p.sendRun()
-		if err != nil {
+		if err := p.deliverOne(encode); err != nil {
 			return err
 		}
-		p.buf = p.buf[n:]
 	}
 	p.buf = nil
 	return nil
 }
 
-// flushBinary frames the buffer as one wire batch. The batch writer
-// (and its buffers) are reused across flushes, so a steady producer
-// stops allocating once its batch buffer has grown to size.
-func (p *StreamProducer) flushBinary() error {
-	if len(p.buf) == 0 {
-		p.buf = nil
-		return nil
-	}
+// encodedBatch is one POST-able prefix of the buffer: where it goes,
+// how it is framed, and how many buffered records it carries.
+type encodedBatch struct {
+	path        string
+	contentType string
+	body        []byte
+	n           int
+}
+
+// encodeBinary frames a buffer prefix as one wire batch. The batch
+// writer (and its buffers) are reused across flushes, so a steady
+// producer stops allocating once its batch buffer has grown to size.
+func (p *StreamProducer) encodeBinary(recs []streamRecord) (encodedBatch, error) {
 	p.wire.Reset()
-	for _, r := range p.buf {
+	for _, r := range recs {
 		var err error
 		switch r.kind {
 		case kindMeta:
@@ -206,14 +286,10 @@ func (p *StreamProducer) flushBinary() error {
 			err = p.wire.Uptime(r.uptime)
 		}
 		if err != nil {
-			return err
+			return encodedBatch{}, err
 		}
 	}
-	if err := p.post(RouteStreamRecords, ContentTypeBinary, p.wire.Bytes()); err != nil {
-		return err
-	}
-	p.buf = nil
-	return nil
+	return encodedBatch{path: RouteStreamRecords, contentType: ContentTypeBinary, body: p.wire.Bytes(), n: len(recs)}, nil
 }
 
 // envelope converts a buffered record to its NDJSON line shape.
@@ -259,38 +335,30 @@ func (r streamRecord) envelope() recordEnvelope {
 	}
 }
 
-// flushNDJSON sends the buffer as v2 envelope lines.
-func (p *StreamProducer) flushNDJSON() error {
-	if len(p.buf) == 0 {
-		p.buf = nil
-		return nil
-	}
+// encodeNDJSON frames a buffer prefix as v2 envelope lines.
+func (p *StreamProducer) encodeNDJSON(recs []streamRecord) (encodedBatch, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
-	for _, r := range p.buf {
+	for _, r := range recs {
 		if err := enc.Encode(r.envelope()); err != nil {
-			return err
+			return encodedBatch{}, err
 		}
 	}
-	if err := p.post(RouteStreamRecords, ContentTypeNDJSON, body.Bytes()); err != nil {
-		return err
-	}
-	p.buf = nil
-	return nil
+	return encodedBatch{path: RouteStreamRecords, contentType: ContentTypeNDJSON, body: body.Bytes(), n: len(recs)}, nil
 }
 
-// sendRun posts the longest prefix of the buffer that shares one
-// endpoint and returns its length.
-func (p *StreamProducer) sendRun() (int, error) {
-	kind := p.buf[0].kind
+// encodeRun frames the longest prefix of recs that shares one v1
+// endpoint.
+func (p *StreamProducer) encodeRun(recs []streamRecord) (encodedBatch, error) {
+	kind := recs[0].kind
 	n := 1
-	for n < len(p.buf) && p.buf[n].kind == kind {
-		if kind == kindConn && p.buf[n].conn.Probe != p.buf[0].conn.Probe {
+	for n < len(recs) && recs[n].kind == kind {
+		if kind == kindConn && recs[n].conn.Probe != recs[0].conn.Probe {
 			break
 		}
 		n++
 	}
-	run := p.buf[:n]
+	run := recs[:n]
 	var buf bytes.Buffer
 	var path, contentType string
 	switch kind {
@@ -300,7 +368,7 @@ func (p *StreamProducer) sendRun() (int, error) {
 			probes[i] = r.meta
 		}
 		if err := WriteProbeArchive(&buf, probes); err != nil {
-			return 0, err
+			return encodedBatch{}, err
 		}
 		path, contentType = "/api/v1/stream/probes", "application/json"
 	case kindConn:
@@ -309,7 +377,7 @@ func (p *StreamProducer) sendRun() (int, error) {
 			entries[i] = r.conn
 		}
 		if err := WriteConnectionHistory(&buf, run[0].conn.Probe, entries); err != nil {
-			return 0, err
+			return encodedBatch{}, err
 		}
 		path = fmt.Sprintf("/api/v1/stream/connlogs?probe=%d", run[0].conn.Probe)
 		contentType = "text/plain; charset=utf-8"
@@ -319,7 +387,7 @@ func (p *StreamProducer) sendRun() (int, error) {
 			rounds[i] = r.kroot
 		}
 		if err := WriteKRootResults(&buf, rounds); err != nil {
-			return 0, err
+			return encodedBatch{}, err
 		}
 		path, contentType = "/api/v1/stream/kroot", "application/x-ndjson"
 	case kindUptime:
@@ -328,63 +396,141 @@ func (p *StreamProducer) sendRun() (int, error) {
 			recs[i] = r.uptime
 		}
 		if err := WriteUptimeResults(&buf, recs); err != nil {
-			return 0, err
+			return encodedBatch{}, err
 		}
 		path, contentType = "/api/v1/stream/uptime", "application/x-ndjson"
 	}
-	if err := p.post(path, contentType, buf.Bytes()); err != nil {
-		return 0, err
-	}
-	return n, nil
+	return encodedBatch{path: path, contentType: contentType, body: buf.Bytes(), n: n}, nil
 }
 
-// post sends one batch, retrying transient failures with backoff. The
-// body is replayed from memory on each attempt; an attempt that failed
-// before the server processed it is safe to resend.
-func (p *StreamProducer) post(path, contentType string, body []byte) error {
-	ctx := p.context()
+// postResult is what one POST attempt came back with.
+type postResult struct {
+	status     int
+	statusLine string
+	retryAfter time.Duration
+	// consumed is the batch prefix the server reports having taken —
+	// the full batch on 200, the error envelope's "accepted" field
+	// otherwise. Either way these records must not be re-sent.
+	consumed int
+	msg      []byte
+}
+
+// postOnce sends one batch attempt. A returned error is a transport
+// failure; HTTP-level failures come back in the postResult.
+func (p *StreamProducer) postOnce(ctx context.Context, eb encodedBatch) (postResult, error) {
 	client := p.HTTPClient
 	if client == nil {
 		client = http.DefaultClient
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+eb.path, bytes.NewReader(eb.body))
+	if err != nil {
+		return postResult{}, err
+	}
+	req.Header.Set("Content-Type", eb.contentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return postResult{}, err
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	// Drain whatever follows the captured prefix before closing:
+	// closing a body with unread bytes kills the underlying
+	// connection, so a sustained producer would open a fresh one per
+	// batch instead of reusing its keep-alive connection.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
+	resp.Body.Close()
+	res := postResult{status: resp.StatusCode, statusLine: resp.Status, retryAfter: parseRetryAfter(resp), msg: msg}
+	if resp.StatusCode == http.StatusOK {
+		res.consumed = eb.n
+		return res, nil
+	}
+	// Ingest error envelopes carry the consumed batch prefix in
+	// "accepted"; responses without one (proxies, panics) leave it 0 and
+	// the whole batch is retried, which the ingester tolerates only for
+	// idempotent re-sends — hence the server reports it whenever it
+	// consumed anything.
+	var env struct {
+		Accepted int `json:"accepted"`
+	}
+	if json.Unmarshal(msg, &env) == nil && env.Accepted > 0 {
+		if env.Accepted > eb.n {
+			env.Accepted = eb.n
+		}
+		res.consumed = env.Accepted
+	}
+	return res, nil
+}
+
+// deliverOne sends one encoded batch off the front of the buffer,
+// retrying transient failures. Between attempts the accepted prefix is
+// trimmed and the remainder re-encoded, so a partially consumed batch
+// is never duplicated; the circuit breaker paces attempts while the
+// server sheds, and 429/503 Retry-After hints replace the backoff
+// delay (capped at the policy maximum). Progress (any accepted prefix)
+// resets the retry budget.
+func (p *StreamProducer) deliverOne(encode func([]streamRecord) (encodedBatch, error)) error {
+	ctx := p.context()
 	retries := p.Retries
 	if retries <= 0 {
 		retries = 2
 	}
 	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			if err := p.Backoff.Sleep(ctx, attempt-1, p.jitter.Uint64()); err != nil {
-				return fmt.Errorf("atlasapi: POST %s: cancelled during retry backoff: %w (last error: %v)", path, err, lastErr)
+	var retryAfter time.Duration
+	attempt := 0
+	for len(p.buf) > 0 {
+		if w := p.breaker.Wait(time.Now()); w > 0 {
+			if err := sleepFor(ctx, w); err != nil {
+				return fmt.Errorf("atlasapi: POST: cancelled during breaker cooldown: %w (last error: %v)", err, lastErr)
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+path, bytes.NewReader(body))
+		if attempt > 0 {
+			d := retryDelay(p.Backoff, attempt-1, p.jitter.Uint64(), retryAfter)
+			if err := sleepFor(ctx, d); err != nil {
+				return fmt.Errorf("atlasapi: POST: cancelled during retry backoff: %w (last error: %v)", err, lastErr)
+			}
+		}
+		chunk := p.buf
+		if lim := p.effBatch(); len(chunk) > lim {
+			chunk = chunk[:lim]
+		}
+		eb, err := encode(chunk)
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", contentType)
-		resp, err := client.Do(req)
-		if err != nil {
+		res, err := p.postOnce(ctx, eb)
+		if err != nil { // transport failure; nothing was consumed
+			p.breaker.Fail(time.Now())
 			lastErr = err
+			retryAfter = 0
 			if ctx.Err() != nil {
-				break
+				return lastErr
+			}
+			if attempt++; attempt > retries {
+				return lastErr
 			}
 			continue
 		}
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		// Drain whatever follows the captured prefix before closing:
-		// closing a body with unread bytes kills the underlying
-		// connection, so a sustained producer would open a fresh one per
-		// batch instead of reusing its keep-alive connection.
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
+		if res.consumed > 0 {
+			p.buf = p.buf[res.consumed:]
+		}
+		if res.status == http.StatusOK {
+			p.breaker.OK()
+			p.growBatch()
 			return nil
 		}
-		lastErr = fmt.Errorf("atlasapi: POST %s: %s: %s", path, resp.Status, msg)
-		if resp.StatusCode < 500 {
-			break // permanent: the payload or the request is wrong
+		lastErr = fmt.Errorf("atlasapi: POST %s: %s: %s", eb.path, res.statusLine, res.msg)
+		if res.status != http.StatusTooManyRequests && res.status < 500 {
+			return lastErr // permanent: the payload or the request is wrong
+		}
+		p.breaker.Fail(time.Now())
+		p.shrinkBatch()
+		retryAfter = res.retryAfter
+		if res.consumed > 0 {
+			attempt = 0 // forward progress: keep going at fresh budget
+			continue
+		}
+		if attempt++; attempt > retries {
+			return lastErr
 		}
 	}
-	return lastErr
+	return nil
 }

@@ -1,0 +1,186 @@
+package atlasapi
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/simclock"
+)
+
+// overloadServer records every ingest POST's NDJSON line count and
+// replies from a scripted queue of responses.
+type overloadServer struct {
+	mu      sync.Mutex
+	batches [][]string // lines of each POST, in arrival order
+	times   []time.Time
+	script  []func(w http.ResponseWriter, n int) // response per request; last repeats
+}
+
+func (s *overloadServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	s.mu.Lock()
+	s.batches = append(s.batches, lines)
+	s.times = append(s.times, time.Now())
+	idx := len(s.batches) - 1
+	if idx >= len(s.script) {
+		idx = len(s.script) - 1
+	}
+	respond := s.script[idx]
+	s.mu.Unlock()
+	respond(w, len(lines))
+}
+
+func accept(w http.ResponseWriter, n int) {
+	fmt.Fprintf(w, "{\"accepted\": %d}\n", n)
+}
+
+// shed answers a 429 with a partial-accept envelope.
+func shed(accepted int) func(http.ResponseWriter, int) {
+	return func(w http.ResponseWriter, n int) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, "{\"error\": \"ingest overloaded\", \"status\": 429, \"accepted\": %d}\n", accepted)
+	}
+}
+
+func producerRecords(n int) []atlasdata.UptimeRecord {
+	out := make([]atlasdata.UptimeRecord, n)
+	for i := range out {
+		out[i] = atlasdata.UptimeRecord{Probe: 42, Timestamp: simclock.Time(1000 + 60*i), Uptime: int64(60 * (i + 1))}
+	}
+	return out
+}
+
+// TestProducerPartialAcceptTrim: a 503/429 whose error envelope reports
+// a consumed prefix must trim exactly that prefix — the retry carries
+// only the tail, and no record is ever delivered twice.
+func TestProducerPartialAcceptTrim(t *testing.T) {
+	srv := &overloadServer{script: []func(http.ResponseWriter, int){
+		shed(2), // first POST: 5 records sent, server kept 2
+		accept,  // second POST: remainder accepted
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	p := NewStreamProducer(context.Background(), ts.URL,
+		WithCodec(CodecNDJSON),
+		WithBackoff(fastBackoff),
+		WithBreaker(100, time.Millisecond)) // keep the breaker out of this test
+	// The 1s Retry-After hint must also be capped at fastBackoff's 4ms
+	// maximum — a shedding server cannot stall the producer beyond its
+	// own policy.
+	start := time.Now()
+	for _, u := range producerRecords(5) {
+		if err := p.Uptime(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("flush took %v: Retry-After hint not capped at the policy maximum", elapsed)
+	}
+
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.batches) != 2 {
+		t.Fatalf("%d POSTs, want 2", len(srv.batches))
+	}
+	if len(srv.batches[0]) != 5 || len(srv.batches[1]) != 3 {
+		t.Fatalf("batch sizes %d then %d, want 5 then 3 (trimmed to the consumed prefix)", len(srv.batches[0]), len(srv.batches[1]))
+	}
+	// The retry's lines are exactly the tail of the original batch.
+	for i, line := range srv.batches[1] {
+		if want := srv.batches[0][2+i]; line != want {
+			t.Fatalf("retry line %d = %s, want %s (records must not be re-sent or reordered)", i, line, want)
+		}
+	}
+}
+
+// TestProducerAdaptiveBatch: sustained shedding halves the batch toward
+// the floor; success doubles it back toward the configured size.
+func TestProducerAdaptiveBatch(t *testing.T) {
+	srv := &overloadServer{script: []func(http.ResponseWriter, int){
+		shed(0), // 64 → shrink
+		shed(0), // 32 → shrink
+		accept,  // 16 → grow
+		accept,  // 32 → grow
+		accept,  // 16 (the remainder)
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	p := NewStreamProducer(context.Background(), ts.URL,
+		WithCodec(CodecNDJSON),
+		WithBatchSize(64),
+		WithRetries(5),
+		WithBackoff(fastBackoff),
+		WithBreaker(100, time.Millisecond))
+	for _, u := range producerRecords(64) {
+		if err := p.Uptime(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// push flushed at 64 buffered records; everything is delivered.
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	var sizes []int
+	for _, b := range srv.batches {
+		sizes = append(sizes, len(b))
+	}
+	want := []int{64, 32, 16, 32, 16}
+	if fmt.Sprint(sizes) != fmt.Sprint(want) {
+		t.Fatalf("batch size sequence %v, want %v", sizes, want)
+	}
+}
+
+// TestProducerBreakerPacing: after Threshold consecutive rejections the
+// breaker opens and the next attempt waits out the cooldown, giving the
+// server a quiet window.
+func TestProducerBreakerPacing(t *testing.T) {
+	srv := &overloadServer{script: []func(http.ResponseWriter, int){shed(0)}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const cooldown = 250 * time.Millisecond
+	p := NewStreamProducer(context.Background(), ts.URL,
+		WithCodec(CodecNDJSON),
+		WithRetries(2),
+		WithBackoff(fastBackoff),
+		WithBreaker(2, cooldown))
+	for _, u := range producerRecords(4) {
+		if err := p.Uptime(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := p.Flush()
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("flush against an always-shedding server: %v, want a 429 error", err)
+	}
+
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.times) != 3 {
+		t.Fatalf("%d attempts, want 3 (initial + 2 retries)", len(srv.times))
+	}
+	// Attempts 1→2: breaker still closed (one failure), spaced only by
+	// backoff. Attempts 2→3: two consecutive failures opened it, so the
+	// third waits out the cooldown.
+	if gap := srv.times[2].Sub(srv.times[1]); gap < cooldown-20*time.Millisecond {
+		t.Fatalf("attempt 3 came %v after attempt 2, want >=%v (breaker cooldown)", gap, cooldown)
+	}
+	if gap := srv.times[1].Sub(srv.times[0]); gap > cooldown {
+		t.Fatalf("attempt 2 came %v after attempt 1, want well under the cooldown (breaker must not be open yet)", gap)
+	}
+}

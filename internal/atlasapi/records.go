@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -89,6 +90,15 @@ func WithServeTier(t *serve.Tier) LiveOption {
 	return func(s *LiveServer) { s.tier = t }
 }
 
+// WithAdmission gates the ingest routes behind an admission controller:
+// requests beyond its in-flight budget (or arriving while the shard
+// queues are over the high-watermark) are shed with 429 and a
+// Retry-After pacing hint instead of queueing without bound. The same
+// controller drives the serve-tier pressure valve.
+func WithAdmission(a *Admission) LiveOption {
+	return func(s *LiveServer) { s.adm = a }
+}
+
 // WithErrorLog routes server-side error logging (the real text behind
 // generic 500 bodies). Default log.Printf; nil discards.
 func WithErrorLog(logf func(format string, args ...any)) LiveOption {
@@ -163,45 +173,64 @@ func (s *LiveServer) batchRejected(codec Codec) {
 		"Ingest batches rejected, by codec.", obs.L("codec", string(codec))).Inc()
 }
 
-// postRecords is the v2 dispatch core: negotiate the codec, decode the
-// batch straight into the shards, answer {"accepted": n}.
+// admit claims an ingest slot for route, answering 429 with a
+// Retry-After pacing hint when admission refuses. The returned release
+// must be deferred when ok.
+func (s *LiveServer) admit(w http.ResponseWriter, route string) (release func(), ok bool) {
+	if s.adm == nil {
+		return func() {}, true
+	}
+	release, reason, ok := s.adm.Admit(route)
+	if !ok {
+		w.Header().Set("Retry-After", retryAfterHeader(s.adm.RetryAfter()))
+		apiError(w, http.StatusTooManyRequests, "ingest overloaded ("+reason+"); retry after the indicated delay")
+		return nil, false
+	}
+	return release, true
+}
+
+// postRecords is the v2 dispatch core: admission, codec negotiation,
+// decode straight into the shards, answer {"accepted": n}.
 func (s *LiveServer) postRecords(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		apiError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	release, ok := s.admit(w, "v2")
+	if !ok {
+		return
+	}
+	defer release()
 	codec, err := negotiateCodec(r.Header.Get("Content-Type"))
 	if err != nil {
 		s.batchRejected(Codec("unknown"))
 		apiError(w, http.StatusUnsupportedMediaType, err.Error())
 		return
 	}
-	var (
-		n int
-	)
+	var st stream.WireStats
 	switch codec {
 	case CodecBinary:
-		n, err = s.ingestBinary(w, r)
+		st, err = s.ingestBinary(w, r)
 	default:
-		n, err = s.ingestNDJSON(w, r)
+		st, err = s.ingestNDJSON(w, r)
 	}
 	if err != nil {
 		s.batchRejected(codec)
-		ingestError(w, err)
+		s.ingestError(w, err, st.Consumed())
 		return
 	}
-	s.batchAccepted(codec, n)
-	respondAccepted(w, n)
+	s.batchAccepted(codec, st.Accepted)
+	respondAccepted(w, st)
 }
 
 // ingestBinary buffers the body (pooled, bounded) and hands the raw
 // frames to the ingester — no intermediate structs, zero heap
 // allocations per v4 record.
-func (s *LiveServer) ingestBinary(w http.ResponseWriter, r *http.Request) (int, error) {
+func (s *LiveServer) ingestBinary(w http.ResponseWriter, r *http.Request) (stream.WireStats, error) {
 	buf := batchPool.Get().(*bytes.Buffer)
 	defer s.putBatchBuf(buf)
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxBatch)); err != nil {
-		return 0, fmt.Errorf("reading batch: %w", err)
+		return stream.WireStats{}, fmt.Errorf("reading batch: %w", err)
 	}
 	return s.ing.IngestWire(r.Context(), buf.Bytes())
 }
@@ -280,11 +309,42 @@ func (e *recordEnvelope) ingest(ctx context.Context, ing *stream.Ingester) error
 	return fmt.Errorf("unknown record kind %q", e.Kind)
 }
 
-// ingestNDJSON streams the envelope fallback line by line.
-func (s *LiveServer) ingestNDJSON(w http.ResponseWriter, r *http.Request) (int, error) {
+// ingestAbort reports whether an ingest failure is a capacity or
+// lifecycle condition that must fail the batch (closed or degraded
+// ingester, cancelled request) rather than a per-record defect the
+// dead-letter queue absorbs.
+func ingestAbort(err error) bool {
+	return errors.Is(err, stream.ErrClosed) || errors.Is(err, stream.ErrDegraded) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// knownEnvelopeKind reports whether an NDJSON envelope names one of the
+// four record streams.
+func knownEnvelopeKind(k string) bool {
+	switch k {
+	case "meta", "connlog", "kroot", "uptime":
+		return true
+	}
+	return false
+}
+
+// ingestNDJSON streams the envelope fallback line by line. A line that
+// fails to parse, names an unknown kind, or fails validation is
+// quarantined to the dead-letter queue and the batch continues; only
+// framing failures of the batch itself (oversize, truncated body) and
+// capacity conditions abort.
+func (s *LiveServer) ingestNDJSON(w http.ResponseWriter, r *http.Request) (stream.WireStats, error) {
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.maxBatch))
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	n := 0
+	var st stream.WireStats
+	quar := func(kind string, probe atlasdata.ProbeID, reason string, cause error, line []byte) error {
+		err := s.ing.Quarantine(r.Context(), kind, probe, reason, cause.Error(), line)
+		if err != nil {
+			return fmt.Errorf("record %d: quarantine: %w", st.Consumed(), err)
+		}
+		st.Quarantined++
+		return nil
+	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -292,23 +352,40 @@ func (s *LiveServer) ingestNDJSON(w http.ResponseWriter, r *http.Request) (int, 
 		}
 		var env recordEnvelope
 		if err := json.Unmarshal(line, &env); err != nil {
-			return n, fmt.Errorf("record %d: %w", n, err)
+			if qerr := quar("frame", 0, "decode", err, line); qerr != nil {
+				return st, qerr
+			}
+			continue
+		}
+		if !knownEnvelopeKind(env.Kind) {
+			err := fmt.Errorf("unknown record kind %q", env.Kind)
+			if qerr := quar("frame", atlasdata.ProbeID(env.Probe), "unknown-kind", err, line); qerr != nil {
+				return st, qerr
+			}
+			continue
 		}
 		if err := env.ingest(r.Context(), s.ing); err != nil {
-			return n, fmt.Errorf("record %d (%s): %w", n, env.Kind, err)
+			if ingestAbort(err) {
+				return st, fmt.Errorf("record %d (%s): %w", st.Consumed(), env.Kind, err)
+			}
+			if qerr := quar(env.Kind, atlasdata.ProbeID(env.Probe), "validate", err, line); qerr != nil {
+				return st, qerr
+			}
+			continue
 		}
-		n++
+		st.Accepted++
 	}
 	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("reading batch: %w", err)
+		return st, fmt.Errorf("reading batch: %w", err)
 	}
-	return n, nil
+	return st, nil
 }
 
 // v1Shim frames a deprecated per-kind route over the shared
-// accept/reject core: deprecation headers, method check, per-codec
-// counters, and the common {"accepted": n} response.
-func (s *LiveServer) v1Shim(w http.ResponseWriter, r *http.Request, ingest func(ctx context.Context, body io.Reader) (int, error)) {
+// accept/reject core: admission, deprecation headers, method check,
+// per-codec counters, and the common {"accepted": n} response. route is
+// the admission label ("probes", "connlogs", "kroot", "uptime").
+func (s *LiveServer) v1Shim(w http.ResponseWriter, r *http.Request, route string, ingest func(ctx context.Context, body io.Reader) (int, error)) {
 	if !s.v1 {
 		apiError(w, http.StatusGone, "v1 stream routes disabled; POST "+RouteStreamRecords)
 		return
@@ -319,12 +396,17 @@ func (s *LiveServer) v1Shim(w http.ResponseWriter, r *http.Request, ingest func(
 		apiError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	release, ok := s.admit(w, route)
+	if !ok {
+		return
+	}
+	defer release()
 	n, err := ingest(r.Context(), r.Body)
 	if err != nil {
 		s.batchRejected(CodecJSON)
-		ingestError(w, err)
+		s.ingestError(w, err, n)
 		return
 	}
 	s.batchAccepted(CodecJSON, n)
-	respondAccepted(w, n)
+	respondAccepted(w, stream.WireStats{Accepted: n})
 }

@@ -109,9 +109,16 @@ func TestV2StreamRecordsNDJSON(t *testing.T) {
 		t.Errorf("ingest_batch_records_total{codec=ndjson} = %v, want 4", v)
 	}
 
-	// Unknown kind inside a line rejects the batch.
-	if code, _ := postRaw(t, srv.URL+RouteStreamRecords, ContentTypeNDJSON, []byte(`{"kind":"bogus","probe":1}`)); code != 400 {
-		t.Fatalf("unknown kind returned %d, want 400", code)
+	// An unknown kind inside a line is quarantined to the dead-letter
+	// queue, not a batch failure: the response reports it and the batch
+	// stays 200.
+	code, body = postRaw(t, srv.URL+RouteStreamRecords, ContentTypeNDJSON, []byte(`{"kind":"bogus","probe":1}`))
+	if code != 200 || !strings.Contains(body, `"accepted": 0`) || !strings.Contains(body, `"quarantined": 1`) {
+		t.Fatalf("unknown kind: %d %q, want 200 with quarantined count", code, body)
+	}
+	ing.Snapshot() // barrier: the quarantine record rides the shard channel
+	if dl := ing.DeadLetter(); dl.Total != 1 || dl.ByReason["unknown-kind"] != 1 {
+		t.Fatalf("dead letter status = %+v, want 1 unknown-kind entry", dl)
 	}
 }
 

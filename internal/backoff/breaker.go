@@ -1,0 +1,121 @@
+package backoff
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults used when a field is zero.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: Wait returns the remaining cooldown.
+	BreakerOpen
+	// BreakerHalfOpen allows trial requests after the cooldown; one
+	// success closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	}
+	return "half-open"
+}
+
+// Breaker is a consecutive-failure circuit breaker for a single
+// upstream: after Threshold consecutive Fail calls it opens and Wait
+// reports the remaining Cooldown, so the caller stops hammering a
+// server that is shedding load and gives it a quiet window to recover.
+// Once the cooldown lapses the breaker is half-open: requests may flow
+// again, and the next OK closes it while the next Fail re-opens it for
+// another full cooldown.
+//
+// Time is passed in by the caller (like Policy's jitter word), keeping
+// the breaker deterministic under test. The zero value is ready to use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker;
+	// zero means DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long the breaker stays open; zero means
+	// DefaultBreakerCooldown.
+	Cooldown time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return DefaultBreakerThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+// Fail records one failed request. Reaching the threshold (or failing
+// a half-open trial) opens the breaker for a full cooldown from now.
+func (b *Breaker) Fail(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails >= b.threshold() {
+		b.openUntil = now.Add(b.cooldown())
+	}
+}
+
+// OK records one successful request, closing the breaker.
+func (b *Breaker) OK() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+}
+
+// Wait returns how long the caller must hold off before its next
+// request: zero when closed or half-open, the remaining cooldown when
+// open.
+func (b *Breaker) Wait(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w := b.openUntil.Sub(now); w > 0 {
+		return w
+	}
+	return 0
+}
+
+// State reports the breaker's position at now.
+func (b *Breaker) State(now time.Time) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.fails < b.threshold():
+		return BreakerClosed
+	case b.openUntil.After(now):
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
+// MaxDelay exposes the policy's delay cap — the bound a server-supplied
+// Retry-After hint is clamped to, so a misconfigured or hostile server
+// cannot park a client indefinitely.
+func (p Policy) MaxDelay() time.Duration { return p.max() }

@@ -1,0 +1,95 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: 10 * time.Second}
+	now := time.Unix(1000, 0)
+
+	if got := b.State(now); got != BreakerClosed {
+		t.Fatalf("fresh breaker state = %v, want closed", got)
+	}
+	if w := b.Wait(now); w != 0 {
+		t.Fatalf("fresh breaker Wait = %v, want 0", w)
+	}
+
+	// Failures below the threshold keep it closed.
+	b.Fail(now)
+	b.Fail(now)
+	if got := b.State(now); got != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	// The third consecutive failure opens it for a full cooldown.
+	b.Fail(now)
+	if got := b.State(now); got != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", got)
+	}
+	if w := b.Wait(now.Add(4 * time.Second)); w != 6*time.Second {
+		t.Fatalf("Wait mid-cooldown = %v, want 6s", w)
+	}
+
+	// Cooldown elapsed: half-open, no wait.
+	later := now.Add(10 * time.Second)
+	if got := b.State(later); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if w := b.Wait(later); w != 0 {
+		t.Fatalf("Wait after cooldown = %v, want 0", w)
+	}
+
+	// A half-open failure re-opens for another full cooldown...
+	b.Fail(later)
+	if got := b.State(later); got != BreakerOpen {
+		t.Fatalf("state after half-open failure = %v, want open", got)
+	}
+	if w := b.Wait(later); w != 10*time.Second {
+		t.Fatalf("Wait after re-open = %v, want full 10s", w)
+	}
+	// ...and one success closes it completely.
+	b.OK()
+	if got := b.State(later); got != BreakerClosed {
+		t.Fatalf("state after OK = %v, want closed", got)
+	}
+	if w := b.Wait(later); w != 0 {
+		t.Fatalf("Wait after OK = %v, want 0", w)
+	}
+
+	// An interleaved success resets the consecutive count.
+	b.Fail(later)
+	b.Fail(later)
+	b.OK()
+	b.Fail(later)
+	b.Fail(later)
+	if got := b.State(later); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	var b Breaker
+	now := time.Unix(0, 0)
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		b.Fail(now)
+	}
+	if got := b.State(now); got != BreakerOpen {
+		t.Fatalf("zero-value breaker after %d failures = %v, want open", DefaultBreakerThreshold, got)
+	}
+	if w := b.Wait(now); w != DefaultBreakerCooldown {
+		t.Fatalf("zero-value cooldown = %v, want %v", w, DefaultBreakerCooldown)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,14 +61,22 @@ type Stats struct {
 	Delays    uint64
 }
 
-// Injector is the middleware; it implements http.Handler.
+// Injector is the middleware; it implements http.Handler. The fault
+// counters are lock-free atomics so concurrent request handlers never
+// contend (or race) on bookkeeping; the mutex guards only the PRNG
+// state, which must advance serially to stay deterministic.
 type Injector struct {
 	cfg   Config
 	inner http.Handler
 
 	mu    sync.Mutex
 	state uint64
-	stats Stats
+
+	requests  atomic.Uint64
+	drops     atomic.Uint64
+	errors    atomic.Uint64
+	truncates atomic.Uint64
+	delays    atomic.Uint64
 }
 
 // New wraps inner with fault injection per cfg.
@@ -81,9 +90,13 @@ func New(cfg Config, inner http.Handler) *Injector {
 
 // Stats returns a snapshot of the fault counters.
 func (in *Injector) Stats() Stats {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.stats
+	return Stats{
+		Requests:  in.requests.Load(),
+		Drops:     in.drops.Load(),
+		Errors:    in.errors.Load(),
+		Truncates: in.truncates.Load(),
+		Delays:    in.delays.Load(),
+	}
 }
 
 type fate int
@@ -107,25 +120,30 @@ func (in *Injector) next() float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
-// decide draws the fate of one request and updates the counters.
+// decide draws the fate of one request and updates the counters. Only
+// the PRNG draws hold the mutex; the counters are atomic.
 func (in *Injector) decide() (delay time.Duration, f fate) {
+	in.requests.Add(1)
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.stats.Requests++
-	if in.cfg.DelayProb > 0 && in.cfg.DelayBy > 0 && in.next() < in.cfg.DelayProb {
-		in.stats.Delays++
+	var du, u float64
+	if in.cfg.DelayProb > 0 && in.cfg.DelayBy > 0 {
+		du = in.next()
+	}
+	u = in.next()
+	in.mu.Unlock()
+	if in.cfg.DelayProb > 0 && in.cfg.DelayBy > 0 && du < in.cfg.DelayProb {
+		in.delays.Add(1)
 		delay = in.cfg.DelayBy
 	}
-	u := in.next()
 	switch {
 	case u < in.cfg.Drop:
-		in.stats.Drops++
+		in.drops.Add(1)
 		f = fateDrop
 	case u < in.cfg.Drop+in.cfg.Error:
-		in.stats.Errors++
+		in.errors.Add(1)
 		f = fateError
 	case u < in.cfg.Drop+in.cfg.Error+in.cfg.Truncate:
-		in.stats.Truncates++
+		in.truncates.Add(1)
 		f = fateTruncate
 	}
 	return delay, f

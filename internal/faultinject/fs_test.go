@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynaddr/internal/wal"
+)
+
+// TestStatsConcurrent is the -race regression for the fault counters:
+// many handlers deciding fates at once must neither race nor lose
+// increments.
+func TestStatsConcurrent(t *testing.T) {
+	inj := New(Config{Error: 0.5, DelayProb: 0.5, DelayBy: time.Nanosecond}, okHandler("hi"))
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Get(srv.URL)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := inj.Stats()
+	if st.Requests != workers*perWorker {
+		t.Errorf("Requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	if st.Errors == 0 {
+		t.Error("no injected errors counted at 50% probability")
+	}
+}
+
+func TestFaultFSWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	ffs.FailWritesAfter(10, nil)
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "x"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	// This write crosses the budget: 2 bytes still fit, then ENOSPC.
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got n=%d err=%v", n, err)
+	}
+	if n != 2 {
+		t.Errorf("torn write persisted %d bytes, want 2", n)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "12345678ab" {
+		t.Errorf("on-disk prefix = %q, want torn %q", data, "12345678ab")
+	}
+	if st := ffs.Stats(); st.WriteFailures == 0 {
+		t.Error("write failure not counted")
+	}
+
+	// Heal restores writes.
+	ffs.Heal()
+	if _, err := f.Write([]byte("after")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestFaultFSSyncAndCreate(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "y"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.FailSyncsAfter(1, nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync within budget: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO on second sync, got %v", err)
+	}
+
+	ffs.FailCreates(nil)
+	if _, err := ffs.OpenFile(filepath.Join(dir, "z"), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC on create, got %v", err)
+	}
+	// Re-opening an existing file without O_CREATE is unaffected.
+	if _, err := ffs.OpenFile(filepath.Join(dir, "y"), os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		t.Fatalf("append open while create fault armed: %v", err)
+	}
+	if st := ffs.Stats(); st.SyncFailures == 0 || st.CreateFailures == 0 {
+		t.Errorf("stats = %+v, want sync and create failures counted", st)
+	}
+
+	ffs.Heal()
+	if err := wal.ProbeWrite(ffs, dir); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+}
+
+// TestProbeWriteFails pins the degraded-shard re-arm predicate: the
+// probe must fail while any write-path fault is armed and succeed once
+// healed.
+func TestProbeWriteFails(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+
+	ffs.FailWritesAfter(0, nil)
+	if err := wal.ProbeWrite(ffs, dir); err == nil {
+		t.Error("probe succeeded with writes failing")
+	}
+	ffs.Heal()
+
+	ffs.FailCreates(nil)
+	if err := wal.ProbeWrite(ffs, dir); err == nil {
+		t.Error("probe succeeded with creates failing")
+	}
+	ffs.Heal()
+
+	if err := wal.ProbeWrite(ffs, dir); err != nil {
+		t.Errorf("probe after heal: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".probe")); !os.IsNotExist(err) {
+		t.Error("probe scratch file left behind")
+	}
+}

@@ -6,16 +6,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/liveanalysis"
+	"dynaddr/internal/obs"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/wal"
 )
 
 // ErrClosed is returned by ingest calls after Close.
 var ErrClosed = errors.New("stream: ingester closed")
+
+// ErrDegraded is returned by ingest calls routed to a shard that is in
+// degraded read-only mode after a WAL failure: the shard serves queries
+// but sheds writes until its background probe re-arms the log. Callers
+// should retry after a pause (the HTTP layer maps this to 503 +
+// Retry-After).
+var ErrDegraded = errors.New("stream: shard degraded after WAL failure, retry later")
 
 type recordKind uint8
 
@@ -30,6 +39,10 @@ const (
 	// never reach the log, but keeping them last means the byte values of
 	// persisted kinds never shift when markers are added.
 	kindAnalysis
+	// kindQuarantine carries an API-layer dead-letter entry in-band to
+	// the probe's shard, which owns the quarantine log. Never persisted
+	// to the main WAL.
+	kindQuarantine
 )
 
 // record is the envelope travelling through a shard's channel. Exactly
@@ -44,6 +57,7 @@ type record struct {
 	probe    atlasdata.ProbeID    // kindCursor: which probe
 	cur      chan<- cursorReply   // kindCursor: reply channel
 	analysis chan<- *analysisView // kindAnalysis: reply channel
+	q        *quarantineRecord    // kindQuarantine: the dead-letter entry
 }
 
 // cursorReply pairs a probe cursor with the owning shard's stream
@@ -97,10 +111,32 @@ type shard struct {
 	// the instrumentation, also nil-safe and touched only at barriers.
 	metrics  *shardMetrics
 	ametrics *analysisMetrics
+	// reg is the raw registry for cold-path instruments (dead-letter
+	// counters); nil when instrumentation is disabled.
+	reg *obs.Registry
 
-	// walErr is the first durability error (append, sync, checkpoint).
-	// Once set the shard stops appending — ingest stays available but
-	// degraded — and the error is reported by WALError and Close.
+	// Degraded mode: a durability error (append, fsync, rotation,
+	// checkpoint) flips the shard read-only instead of killing it.
+	// Queries keep answering from memory, new writes are shed at send()
+	// with ErrDegraded, and records already queued are parked. The run
+	// loop probes the WAL directory every rearmEvery; once writes
+	// succeed again it reopens the log (repairing any torn tail the
+	// failed append left), flushes the parked records in arrival order,
+	// and clears the flag. The acked⇒durable contract is unchanged: a
+	// record is only acknowledged once appended, so nothing acked is
+	// ever lost to the degraded window.
+	degraded   atomic.Bool
+	parked     []record
+	walOpt     wal.Options // reopen options for the re-arm path
+	rearmEvery time.Duration
+
+	// dl is the shard's dead-letter quarantine state (counts, samples,
+	// lazy durable log).
+	dl dlState
+
+	// walErr is the shard's current durability error: set when the
+	// shard degrades (or its log fails to close), cleared by a
+	// successful re-arm. Reported by WALError and Close.
 	errMu  sync.Mutex
 	walErr error
 }
@@ -120,6 +156,52 @@ func (s *shard) walError() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return s.walErr
+}
+
+// degrade flips the shard into read-only degraded mode.
+func (s *shard) degrade(err error) {
+	s.errMu.Lock()
+	s.walErr = err
+	s.errMu.Unlock()
+	s.degraded.Store(true)
+}
+
+// tryRearm probes the WAL directory and, if it takes durable writes
+// again, reopens the log and flushes the parked records through the
+// normal append-before-apply path. Runs on the shard goroutine.
+func (s *shard) tryRearm() {
+	if s.log == nil || !s.degraded.Load() {
+		return
+	}
+	if err := wal.ProbeWrite(s.walOpt.FS, s.dir); err != nil {
+		return
+	}
+	// The old handle is broken (mid-frame, failed fd, or unsynced);
+	// reopening repairs the torn tail and resumes at the last durable
+	// sequence, exactly like crash recovery.
+	s.log.Close()
+	log, err := wal.Open(s.dir, s.walOpt)
+	if err != nil {
+		return
+	}
+	s.log = log
+	s.lastSeq = log.NextSeq() - 1
+	s.errMu.Lock()
+	s.walErr = nil
+	s.errMu.Unlock()
+	s.degraded.Store(false)
+
+	parked := s.parked
+	s.parked = nil
+	for i, rec := range parked {
+		s.ingestOne(rec)
+		if s.degraded.Load() {
+			// Re-degraded mid-flush: ingestOne re-parked rec; keep the rest
+			// behind it in order.
+			s.parked = append(s.parked, parked[i+1:]...)
+			return
+		}
+	}
 }
 
 // RecordCounts tallies what an ingester (or one shard) has processed.
@@ -188,12 +270,28 @@ func newIngester(cfg Config) *Ingester {
 			sessionsByAS: make(map[uint32]int64),
 			pfx:          cfg.Pfx2AS,
 			metrics:      newShardMetrics(cfg.Metrics, i),
+			reg:          cfg.Metrics,
+			rearmEvery:   cfg.RearmEvery,
 		}
 		if cfg.Analysis {
 			in.shards[i].churn = &liveanalysis.ChurnTable{}
 			in.shards[i].ametrics = newAnalysisMetrics(cfg.Metrics, i)
 		}
 		registerQueueDepth(cfg.Metrics, i, in.shards[i].in)
+	}
+	if cfg.Metrics != nil {
+		shards := in.shards
+		cfg.Metrics.GaugeFunc("wal_degraded_shards",
+			"Shards in degraded read-only mode after a WAL failure, pending re-arm.",
+			func() float64 {
+				n := 0
+				for _, s := range shards {
+					if s.degraded.Load() {
+						n++
+					}
+				}
+				return float64(n)
+			})
 	}
 	return in
 }
@@ -229,8 +327,16 @@ func (in *Ingester) send(ctx context.Context, id atlasdata.ProbeID, rec record) 
 	if in.closed {
 		return ErrClosed
 	}
+	s := in.shardFor(id)
+	if s.degraded.Load() {
+		// The shard is read-only until its WAL re-arms: shed instead of
+		// queueing work it could only park. (A record that slips past this
+		// check while the shard degrades is parked and flushed on re-arm,
+		// so the acked⇒durable contract holds either way.)
+		return ErrDegraded
+	}
 	select {
-	case in.shardFor(id).in <- rec:
+	case s.in <- rec:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -385,11 +491,12 @@ func (in *Ingester) CursorVersioned(ctx context.Context, id atlasdata.ProbeID) (
 	}
 }
 
-// WALError reports the first durability failure any shard has hit, or
-// nil. A failing shard keeps ingesting in memory (availability over
-// durability) but stops appending, so once this is non-nil the WAL no
-// longer covers the live state and a recovered process will serve the
-// pre-failure prefix.
+// WALError reports the current durability failure any shard is
+// suffering, or nil. A failing shard degrades to read-only — queries
+// keep answering, ingest to it sheds with ErrDegraded — and a
+// background probe re-arms it once writes succeed again, clearing the
+// error. The WAL therefore always covers the applied state: records
+// are only applied after their append succeeds.
 func (in *Ingester) WALError() error {
 	for _, s := range in.shards {
 		if err := s.walError(); err != nil {
@@ -397,6 +504,35 @@ func (in *Ingester) WALError() error {
 		}
 	}
 	return nil
+}
+
+// DegradedShards lists the indexes of shards currently in degraded
+// read-only mode, oldest index first. Empty means fully healthy.
+func (in *Ingester) DegradedShards() []int {
+	var out []int
+	for _, s := range in.shards {
+		if s.degraded.Load() {
+			out = append(out, s.index)
+		}
+	}
+	return out
+}
+
+// QueuePressure returns the fullest shard queue as a fraction of its
+// capacity, in [0, 1]. It is the end-to-end backpressure signal: the
+// admission layer sheds new batches with 429 once it crosses the
+// configured high-watermark, instead of letting producers pile up
+// behind a slow shard.
+func (in *Ingester) QueuePressure() float64 {
+	p := 0.0
+	for _, s := range in.shards {
+		if c := cap(s.in); c > 0 {
+			if f := float64(len(s.in)) / float64(c); f > p {
+				p = f
+			}
+		}
+	}
+	return p
 }
 
 // Close stops accepting records, drains every shard's queue, syncs and
@@ -423,9 +559,30 @@ func (in *Ingester) Close() error {
 // run is the shard goroutine: drain the channel, persist, then drive
 // the state machines. The append-before-apply order is the durability
 // contract — the WAL always holds a superset of the applied records,
-// in per-probe arrival order.
+// in per-probe arrival order. While degraded the loop keeps serving
+// markers (queries stay up) and wakes every rearmEvery to probe the
+// WAL directory for recovered writability.
 func (s *shard) run() {
-	for rec := range s.in {
+	for {
+		var (
+			rec record
+			ok  bool
+		)
+		if s.degraded.Load() && s.rearmEvery > 0 {
+			timer := time.NewTimer(s.rearmEvery)
+			select {
+			case rec, ok = <-s.in:
+				timer.Stop()
+			case <-timer.C:
+				s.tryRearm()
+				continue
+			}
+		} else {
+			rec, ok = <-s.in
+		}
+		if !ok {
+			break
+		}
 		switch rec.kind {
 		case kindSnapshot:
 			// The snapshot barrier is also the metrics barrier: a scrape
@@ -444,39 +601,80 @@ func (s *shard) run() {
 			rec.analysis <- v
 			continue
 		}
-		s.persist(rec)
-		s.apply(rec)
-		s.maybeCheckpoint()
+		if s.degraded.Load() && rec.kind != kindQuarantine {
+			// In-flight records that raced the degrade: park them, bounded
+			// by the channel capacity, and flush them on re-arm.
+			s.parked = append(s.parked, rec)
+			continue
+		}
+		s.ingestOne(rec)
+	}
+	// Last chance to land parked records before the logs close.
+	if s.degraded.Load() {
+		s.tryRearm()
 	}
 	s.metrics.flush()
-	if s.log != nil {
+	if s.log != nil && !s.degraded.Load() {
 		s.setWALErr(s.log.Close())
+	} else if s.log != nil {
+		s.log.Close()
+	}
+	if s.dl.log != nil {
+		s.dl.log.Close()
 	}
 }
 
-// persist appends the record to the shard WAL. Failures are sticky:
-// the first one disables further appends and is reported by WALError.
-func (s *shard) persist(rec record) {
-	if s.log == nil || s.walError() != nil {
+// ingestOne persists and applies one data or quarantine record. An
+// append failure degrades the shard and parks the record — it is
+// applied only once its bytes are in the log, so recovery never
+// diverges from the live state.
+func (s *shard) ingestOne(rec record) {
+	if rec.kind == kindQuarantine {
+		s.quarantine(rec.q.entry)
 		return
 	}
-	payload, err := encodeRecord(rec)
-	if err != nil {
-		s.setWALErr(err)
-		return
+	if s.log != nil {
+		payload, err := encodeRecord(rec)
+		if err != nil {
+			// A record that cannot be encoded is poison, not a disk
+			// problem: dead-letter it and move on without applying (it
+			// could never be recovered from the WAL).
+			s.quarantineRejected(rec, "encode", err.Error())
+			return
+		}
+		seq, err := s.log.Append(payload)
+		if err != nil {
+			s.degrade(err)
+			s.parked = append(s.parked, rec)
+			return
+		}
+		s.lastSeq = seq
 	}
-	seq, err := s.log.Append(payload)
-	if err != nil {
-		s.setWALErr(err)
-		return
-	}
-	s.lastSeq = seq
+	// Apply-time order rejections are counted and dropped, NOT
+	// quarantined: under at-least-once delivery a resumed producer
+	// legitimately re-sends already-applied records, and dead-lettering
+	// every stale duplicate would bury real poison records (and put an
+	// encode+append on the steady-state redelivery path).
+	s.apply(rec)
+	s.maybeCheckpoint()
 }
+
+// applyResult says whether apply accepted the record into the
+// aggregates or rejected it (time order, in-shard validation).
+type applyResult uint8
+
+const (
+	applyOK applyResult = iota
+	applyRejected
+)
 
 // apply drives one record through its probe's state machines. Recovery
 // replays WAL records through this same function, so everything here
-// must be deterministic in the record sequence.
-func (s *shard) apply(rec record) {
+// must be deterministic in the record sequence — which is why the
+// dead-letter side effects of a rejection live in the caller (replay
+// ignores the result instead of re-quarantining).
+func (s *shard) apply(rec record) applyResult {
+	res := applyOK
 	t0, timed := s.metrics.sampleStart()
 	switch rec.kind {
 	case kindMeta:
@@ -498,6 +696,7 @@ func (s *shard) apply(rec record) {
 		} else {
 			s.counts.Rejected++
 			s.metrics.reject()
+			res = applyRejected
 		}
 	case kindKRoot:
 		ps := s.state(rec.kroot.Probe)
@@ -508,6 +707,7 @@ func (s *shard) apply(rec record) {
 		} else {
 			s.counts.Rejected++
 			s.metrics.reject()
+			res = applyRejected
 		}
 	case kindUptime:
 		ps := s.state(rec.uptime.Probe)
@@ -518,18 +718,20 @@ func (s *shard) apply(rec record) {
 		} else {
 			s.counts.Rejected++
 			s.metrics.reject()
+			res = applyRejected
 		}
 	}
 	if timed {
 		s.metrics.applySec.ObserveSince(t0)
 	}
+	return res
 }
 
 // maybeCheckpoint counts applied records and, at the configured
 // cadence, checkpoints the shard and drops the WAL segments the
 // checkpoint makes obsolete.
 func (s *shard) maybeCheckpoint() {
-	if s.log == nil || s.ckptEvery <= 0 || s.walError() != nil {
+	if s.log == nil || s.ckptEvery <= 0 || s.degraded.Load() {
 		return
 	}
 	s.sinceCkpt++
@@ -537,7 +739,10 @@ func (s *shard) maybeCheckpoint() {
 		return
 	}
 	if err := s.checkpointNow(); err != nil {
-		s.setWALErr(err)
+		// The record that triggered this was already appended and
+		// applied; only the checkpoint is missing. Degrade and retry
+		// after re-arm (sinceCkpt stays over threshold).
+		s.degrade(err)
 	}
 }
 
@@ -553,9 +758,9 @@ func (s *shard) checkpointNow() error {
 	}
 	// The generation advances with the checkpoint attempt and is recorded
 	// inside the document, so a recovered shard resumes the same count.
-	// On a write failure the shard goes into sticky WAL-error mode and
-	// never checkpoints again; the orphaned increment merely retires a
-	// cache key early, which is always safe.
+	// On a write failure the shard degrades and retries the checkpoint
+	// after re-arm; the orphaned increment merely retires a cache key
+	// early, which is always safe.
 	s.gen++
 	if err := writeCheckpoint(s.dir, s.buildCheckpoint()); err != nil {
 		return err

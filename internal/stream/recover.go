@@ -184,7 +184,11 @@ func recoverShard(s *shard, cfg Config, st *RecoverStats) error {
 		SegmentBytes: cfg.SegmentBytes,
 		Sync:         cfg.Sync,
 		Metrics:      wal.NewMetrics(cfg.Metrics, strconv.Itoa(s.index)),
+		FS:           cfg.FS,
 	}
+	// Keep the FirstSeq-free base options: degraded-mode re-arm and the
+	// lazy dead-letter log reopen with exactly these.
+	s.walOpt = opt
 	log, err := wal.Open(s.dir, opt)
 	if err != nil {
 		return err

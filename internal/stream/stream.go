@@ -27,6 +27,8 @@
 package stream
 
 import (
+	"time"
+
 	"dynaddr/internal/obs"
 	"dynaddr/internal/pfx2as"
 	"dynaddr/internal/wal"
@@ -67,6 +69,15 @@ type Config struct {
 	// SegmentBytes is the WAL segment rotation size; zero means the wal
 	// package default (1 MiB).
 	SegmentBytes int64
+	// FS routes the shard WALs' filesystem operations; nil means the
+	// real filesystem. The chaos harness passes a faultinject.FaultFS
+	// here to drive shards into degraded mode with injected ENOSPC and
+	// fsync failures.
+	FS wal.FS
+	// RearmEvery is how often a degraded shard probes its WAL directory
+	// for recovered writability (a successful probe reopens the log and
+	// flushes parked records). Zero means 500ms.
+	RearmEvery time.Duration
 
 	// Metrics, when non-nil, receives ingest and WAL instrumentation
 	// (per-shard record counters, queue-depth gauges, sampled apply
@@ -93,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 4096
+	}
+	if c.RearmEvery <= 0 {
+		c.RearmEvery = 500 * time.Millisecond
 	}
 	return c
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"dynaddr/internal/atlasdata"
 	"dynaddr/internal/wire"
 )
 
@@ -16,6 +17,17 @@ var _ = [1]struct{}{}[recordKind(wire.KindConn)-kindConn]
 var _ = [1]struct{}{}[recordKind(wire.KindKRoot)-kindKRoot]
 var _ = [1]struct{}{}[recordKind(wire.KindUptime)-kindUptime]
 
+// WireStats summarises one wire batch ingest: how many records were
+// routed into the shards and how many were dead-lettered instead.
+type WireStats struct {
+	Accepted    int
+	Quarantined int
+}
+
+// Consumed is the count of records drawn from the batch, accepted or
+// quarantined — the prefix a partial-accept producer must not re-send.
+func (st WireStats) Consumed() int { return st.Accepted + st.Quarantined }
+
 // IngestWire decodes a binary wire batch (concatenated internal/wire
 // frames) straight into the shards: each frame becomes one record
 // envelope on its probe's shard channel, with no intermediate structs,
@@ -23,71 +35,115 @@ var _ = [1]struct{}{}[recordKind(wire.KindUptime)-kindUptime]
 // and uptime reports take zero heap allocations per record; probe
 // metadata and IPv6 sessions allocate only their strings.
 //
-// It returns the number of records routed. On a malformed frame,
-// record, or validation failure, ingestion stops at the offending
-// record — everything before it is already in flight, mirroring the
-// v1 handlers' partial-batch semantics.
-func (in *Ingester) IngestWire(ctx context.Context, batch []byte) (int, error) {
+// Failure semantics: a record that fails decode or validation inside
+// an otherwise well-framed batch is quarantined to the dead-letter
+// queue and ingestion continues — one poison record no longer fails
+// its batch. Frame-level corruption (bad CRC, torn frame) still aborts
+// at the offending frame, as do send failures (closed, cancelled, or
+// degraded shard): everything before the abort is already in flight,
+// and the error reports Consumed() records as the non-resend prefix.
+func (in *Ingester) IngestWire(ctx context.Context, batch []byte) (WireStats, error) {
 	it := wire.Frames(batch)
-	n := 0
+	var st WireStats
 	for {
 		payload, done, err := it.Next()
 		if err != nil {
-			return n, fmt.Errorf("record %d: %w", n, err)
+			return st, fmt.Errorf("record %d: %w", st.Consumed(), err)
 		}
 		if done {
-			return n, nil
+			return st, nil
 		}
+		// The hot path stays closure-free: a per-record defect routes
+		// through quarantineWire (cold, never inlined into this loop) and
+		// the happy path is a plain decode+validate+send per kind.
 		kind, err := wire.PayloadKind(payload)
 		if err != nil {
-			return n, fmt.Errorf("record %d: %w", n, err)
+			if qerr := in.quarantineWire(ctx, &st, "frame", 0, "unknown-kind", err, payload); qerr != nil {
+				return st, qerr
+			}
+			continue
 		}
+		var (
+			probe     atlasdata.ProbeID
+			kindLabel string
+			reason    string
+			rec       record
+		)
 		switch kind {
 		case wire.KindMeta:
-			m, err := wire.DecodeMeta(payload)
-			if err == nil {
-				err = m.Validate()
+			kindLabel = "meta"
+			m, derr := wire.DecodeMeta(payload)
+			if derr != nil {
+				err, reason = derr, "decode"
+				break
 			}
-			if err == nil {
-				err = in.send(ctx, m.ID, record{kind: kindMeta, meta: m})
+			probe = m.ID
+			if verr := m.Validate(); verr != nil {
+				err, reason = verr, "validate"
+				break
 			}
-			if err != nil {
-				return n, fmt.Errorf("record %d (meta): %w", n, err)
-			}
+			rec = record{kind: kindMeta, meta: m}
 		case wire.KindConn:
-			e, err := wire.DecodeConnLog(payload)
-			if err == nil {
-				err = e.Validate()
+			kindLabel = "connlog"
+			e, derr := wire.DecodeConnLog(payload)
+			if derr != nil {
+				err, reason = derr, "decode"
+				break
 			}
-			if err == nil {
-				err = in.send(ctx, e.Probe, record{kind: kindConn, conn: e})
+			probe = e.Probe
+			if verr := e.Validate(); verr != nil {
+				err, reason = verr, "validate"
+				break
 			}
-			if err != nil {
-				return n, fmt.Errorf("record %d (connlog): %w", n, err)
-			}
+			rec = record{kind: kindConn, conn: e}
 		case wire.KindKRoot:
-			k, err := wire.DecodeKRoot(payload)
-			if err == nil {
-				err = k.Validate()
+			kindLabel = "kroot"
+			k, derr := wire.DecodeKRoot(payload)
+			if derr != nil {
+				err, reason = derr, "decode"
+				break
 			}
-			if err == nil {
-				err = in.send(ctx, k.Probe, record{kind: kindKRoot, kroot: k})
+			probe = k.Probe
+			if verr := k.Validate(); verr != nil {
+				err, reason = verr, "validate"
+				break
 			}
-			if err != nil {
-				return n, fmt.Errorf("record %d (kroot): %w", n, err)
-			}
+			rec = record{kind: kindKRoot, kroot: k}
 		case wire.KindUptime:
-			u, err := wire.DecodeUptime(payload)
-			if err == nil {
-				err = u.Validate()
+			kindLabel = "uptime"
+			u, derr := wire.DecodeUptime(payload)
+			if derr != nil {
+				err, reason = derr, "decode"
+				break
 			}
-			if err == nil {
-				err = in.send(ctx, u.Probe, record{kind: kindUptime, uptime: u})
+			probe = u.Probe
+			if verr := u.Validate(); verr != nil {
+				err, reason = verr, "validate"
+				break
 			}
-			if err != nil {
-				return n, fmt.Errorf("record %d (uptime): %w", n, err)
-			}
+			rec = record{kind: kindUptime, uptime: u}
 		}
-		n++
+		if err != nil {
+			if qerr := in.quarantineWire(ctx, &st, kindLabel, probe, reason, err, payload); qerr != nil {
+				return st, qerr
+			}
+			continue
+		}
+		if err := in.send(ctx, probe, rec); err != nil {
+			return st, fmt.Errorf("record %d (%s): %w", st.Consumed(), kindLabel, err)
+		}
+		st.Accepted++
 	}
+}
+
+// quarantineWire dead-letters one undecodable wire record; its own
+// error is a send failure and aborts the batch like any other.
+//
+//go:noinline
+func (in *Ingester) quarantineWire(ctx context.Context, st *WireStats, kindLabel string, probe atlasdata.ProbeID, reason string, cause error, payload []byte) error {
+	if err := in.Quarantine(ctx, kindLabel, probe, reason, cause.Error(), payload); err != nil {
+		return fmt.Errorf("record %d (%s): quarantine: %w", st.Consumed(), kindLabel, err)
+	}
+	st.Quarantined++
+	return nil
 }

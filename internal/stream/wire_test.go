@@ -45,12 +45,12 @@ func TestIngestWireEquivalence(t *testing.T) {
 			typed := stream.NewIngester(stream.Config{Shards: shards, Pfx2AS: testStore(t)})
 
 			batch := wireBatch(t, 9)
-			n, err := bin.IngestWire(context.Background(), batch)
+			st, err := bin.IngestWire(context.Background(), batch)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if n != 9*5 {
-				t.Fatalf("routed %d records, want %d", n, 9*5)
+			if st.Accepted != 9*5 || st.Quarantined != 0 {
+				t.Fatalf("routed %d records (%d quarantined), want %d routed", st.Accepted, st.Quarantined, 9*5)
 			}
 			for i := 0; i < 9; i++ {
 				id := atlasdata.ProbeID(100 + i)
@@ -101,24 +101,38 @@ func TestIngestWireStopsAtMalformedRecord(t *testing.T) {
 	}
 	batch := append([]byte(nil), w.Bytes()...)
 
-	// Bit-flip inside the second frame's payload.
+	// Bit-flip inside the second frame's payload: frame-level corruption
+	// still aborts the batch — the framing itself is untrustworthy past
+	// that point.
 	torn := append([]byte(nil), batch...)
 	torn[len(torn)-3] ^= 0x04
-	n, err := ing.IngestWire(context.Background(), torn)
+	st, err := ing.IngestWire(context.Background(), torn)
 	if !errors.Is(err, wire.ErrChecksum) {
 		t.Fatalf("err = %v, want ErrChecksum", err)
 	}
-	if n != 1 {
-		t.Fatalf("routed %d records before the bad frame, want 1", n)
+	if st.Accepted != 1 || st.Quarantined != 0 {
+		t.Fatalf("routed %d records (%d quarantined) before the bad frame, want 1 routed", st.Accepted, st.Quarantined)
 	}
 
-	// An invalid record (end before start) fails validation, not framing.
+	// An invalid record (end before start) in a well-framed batch is
+	// quarantined to the dead-letter queue, not a batch failure.
 	w.Reset()
 	if err := w.ConnLog(atlasdata.ConnLogEntry{Probe: 2, Start: at(5), End: at(1), Family: atlasdata.V4, Addr: 9}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ing.IngestWire(context.Background(), w.Bytes()); err == nil {
-		t.Fatal("invalid record ingested without error")
+	st, err = ing.IngestWire(context.Background(), w.Bytes())
+	if err != nil {
+		t.Fatalf("invalid record failed the batch: %v", err)
+	}
+	if st.Accepted != 0 || st.Quarantined != 1 {
+		t.Fatalf("invalid record: accepted %d, quarantined %d; want 0/1", st.Accepted, st.Quarantined)
+	}
+	// Quarantine rides the shard channel like any record; a snapshot
+	// barrier orders the read after it lands.
+	ing.Snapshot()
+	dl := ing.DeadLetter()
+	if dl.Total != 1 || dl.ByReason["validate"] != 1 {
+		t.Fatalf("dead letter status = %+v, want 1 validate entry", dl)
 	}
 }
 

@@ -104,11 +104,19 @@ type Options struct {
 	FirstSeq uint64
 	// Metrics, when non-nil, receives append/fsync/rotation counts.
 	Metrics *Metrics
+	// FS, when non-nil, routes every filesystem operation the log makes
+	// (segment create/append/fsync/scan/remove). Nil means the real
+	// filesystem (OSFS). The fault-injection harness substitutes a
+	// failing FS here to exercise degraded-mode handling.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = OSFS
 	}
 	o.Sync = o.Sync.normalized()
 	return o
@@ -137,8 +145,8 @@ type Log struct {
 	dir string
 	opt Options
 
-	f        *os.File // active segment
-	segStart uint64   // sequence of the active segment's first frame
+	f        File   // active segment
+	segStart uint64 // sequence of the active segment's first frame
 	segSize  int64
 	nextSeq  uint64
 	unsynced int
@@ -166,8 +174,8 @@ func parseSegName(name string) (uint64, bool) {
 
 // segments lists the directory's segment files sorted by first
 // sequence.
-func segments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func segments(fs FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -185,8 +193,8 @@ func segments(dir string) ([]uint64, error) {
 // for each valid frame, and returns the number of valid frames and the
 // byte offset where the first invalid frame (if any) begins. A clean
 // segment returns valid == size.
-func scanSegment(path string, firstSeq uint64, fn func(seq uint64, payload []byte) error) (frames int, valid int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs FS, path string, firstSeq uint64, fn func(seq uint64, payload []byte) error) (frames int, valid int64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -231,10 +239,10 @@ func scanSegment(path string, firstSeq uint64, fn func(seq uint64, payload []byt
 // the reopened log is exactly the longest valid prefix ever synced.
 func Open(dir string, opt Options) (*Log, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	seqs, err := segments(dir)
+	seqs, err := segments(opt.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +261,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	for len(seqs) > 0 && seqs[0] < start {
 		// Stale segments from before the pinned start: remove them so the
 		// gap check below doesn't mistake them for the log head.
-		if err := os.Remove(filepath.Join(dir, segName(seqs[0]))); err != nil {
+		if err := opt.FS.Remove(filepath.Join(dir, segName(seqs[0]))); err != nil {
 			return nil, err
 		}
 		seqs = seqs[1:]
@@ -269,17 +277,17 @@ func Open(dir string, opt Options) (*Log, error) {
 			break
 		}
 		path := filepath.Join(dir, segName(first))
-		frames, valid, err := scanSegment(path, first, nil)
+		frames, valid, err := scanSegment(opt.FS, path, first, nil)
 		if err != nil {
 			return nil, err
 		}
 		l.nextSeq = first + uint64(frames)
-		fi, err := os.Stat(path)
+		fi, err := opt.FS.Stat(path)
 		if err != nil {
 			return nil, err
 		}
 		if valid != fi.Size() {
-			if err := os.Truncate(path, valid); err != nil {
+			if err := opt.FS.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 			damaged = i + 1
@@ -288,7 +296,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	if damaged >= 0 {
 		for _, first := range seqs[min(damaged, len(seqs)):] {
-			if err := os.Remove(filepath.Join(dir, segName(first))); err != nil {
+			if err := opt.FS.Remove(filepath.Join(dir, segName(first))); err != nil {
 				return nil, err
 			}
 		}
@@ -299,7 +307,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if len(seqs) > 0 {
 		l.segStart = seqs[len(seqs)-1]
 		path := filepath.Join(dir, segName(l.segStart))
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opt.FS.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -318,12 +326,12 @@ func Open(dir string, opt Options) (*Log, error) {
 }
 
 func (l *Log) openSegment(firstSeq uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opt.FS.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
 	l.f, l.segStart, l.segSize = f, firstSeq, 0
-	return syncDir(l.dir)
+	return syncDir(l.opt.FS, l.dir)
 }
 
 // NextSeq returns the sequence the next Append will be assigned.
@@ -421,7 +429,7 @@ func (l *Log) TruncateBefore(seq uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
-	seqs, err := segments(l.dir)
+	seqs, err := segments(l.opt.FS, l.dir)
 	if err != nil {
 		return err
 	}
@@ -440,13 +448,13 @@ func (l *Log) TruncateBefore(seq uint64) error {
 		if next > seq {
 			break // this segment still holds frames >= seq
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+		if err := l.opt.FS.Remove(filepath.Join(l.dir, segName(first))); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
-		return syncDir(l.dir)
+		return syncDir(l.opt.FS, l.dir)
 	}
 	return nil
 }
@@ -456,7 +464,9 @@ func (l *Log) TruncateBefore(seq uint64) error {
 // the last valid frame, mirroring Open's repair; fn errors abort and
 // are returned.
 func Replay(dir string, from uint64, fn func(seq uint64, payload []byte) error) error {
-	seqs, err := segments(dir)
+	// Replay reads via the real filesystem: it is the recovery path, and
+	// injected write faults have nothing to say about reads.
+	seqs, err := segments(OSFS, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -469,7 +479,7 @@ func Replay(dir string, from uint64, fn func(seq uint64, payload []byte) error) 
 			return nil // gap: valid prefix ends at the previous segment
 		}
 		path := filepath.Join(dir, segName(first))
-		frames, valid, err := scanSegment(path, first, func(seq uint64, payload []byte) error {
+		frames, valid, err := scanSegment(OSFS, path, first, func(seq uint64, payload []byte) error {
 			if seq < from {
 				return nil
 			}
@@ -490,8 +500,8 @@ func Replay(dir string, from uint64, fn func(seq uint64, payload []byte) error) 
 // crash. fsync on a directory is advisory on some platforms and
 // filesystems, so its failure is tolerated rather than failing the
 // append path over it.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}

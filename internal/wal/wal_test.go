@@ -94,7 +94,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendN(t, l, 0, 40)
-	segsBefore, err := segments(dir)
+	segsBefore, err := segments(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	if err := l.TruncateBefore(26); err != nil {
 		t.Fatal(err)
 	}
-	segsAfter, err := segments(dir)
+	segsAfter, err := segments(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestDamagedMidLogDropsLaterSegments(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := segments(dir)
+	segs, err := segments(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestDamagedMidLogDropsLaterSegments(t *testing.T) {
 	if want := uint64(len(got) + 1); l.NextSeq() != want {
 		t.Fatalf("NextSeq = %d, want %d", l.NextSeq(), want)
 	}
-	left, err := segments(dir)
+	left, err := segments(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestSyncPolicyParsing(t *testing.T) {
 
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := segments(dir)
+	segs, err := segments(OSFS, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments in %s: %v", dir, err)
 	}
