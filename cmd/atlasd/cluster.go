@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/cluster"
+	"dynaddr/internal/faultinject"
+	"dynaddr/internal/obs"
+)
+
+// parsePeers reads the -peers flag: "id=url,id=url".
+func parsePeers(s string) ([]cluster.Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no peers given (want id=url,id=url)")
+	}
+	var peers []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=url)", part)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers given (want id=url,id=url)")
+	}
+	return peers, nil
+}
+
+// ownedPartitions resolves the -partitions flag for a peer:
+//
+//   - "none"           an empty rebalance target (owns nothing until adopt)
+//   - "0,3,5"          an explicit list
+//   - "" with -peers   this node's rendezvous share of the ring
+//   - "" without       every partition (single peer running the whole space)
+func ownedPartitions(partsFlag, peersFlag, nodeID string, total int) ([]int, error) {
+	switch {
+	case partsFlag == "none":
+		return []int{}, nil
+	case partsFlag != "":
+		var owned []int
+		seen := make(map[int]bool)
+		for _, f := range strings.Split(partsFlag, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			p, err := strconv.Atoi(f)
+			if err != nil || p < 0 || p >= total {
+				return nil, fmt.Errorf("bad partition %q (want 0..%d)", f, total-1)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("partition %d listed twice", p)
+			}
+			seen[p] = true
+			owned = append(owned, p)
+		}
+		sort.Ints(owned)
+		return owned, nil
+	case peersFlag != "":
+		if nodeID == "" {
+			return nil, fmt.Errorf("-peers without -node-id: cannot tell which ring share is ours")
+		}
+		peers, err := parsePeers(peersFlag)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, len(peers))
+		for i, p := range peers {
+			ids[i] = p.ID
+		}
+		ring, err := cluster.NewRing(ids, total)
+		if err != nil {
+			return nil, err
+		}
+		owned := ring.Partitions(nodeID)
+		if owned == nil {
+			owned = []int{}
+		}
+		return owned, nil
+	default:
+		owned := make([]int, total)
+		for p := range owned {
+			owned[p] = p
+		}
+		return owned, nil
+	}
+}
+
+// coordOpts carries the flag values coordinator mode needs.
+type coordOpts struct {
+	addr       string
+	peers      string
+	total      int
+	nodeID     string
+	retryAfter time.Duration
+	maxBatch   int64
+	metricsOn  bool
+	pprofOn    bool
+	chaos      faultinject.Config
+}
+
+// runCoordinator is atlasd's -coordinator mode: no local dataset, no
+// local ingester — just the cluster front door. The server scaffolding
+// mirrors single-node atlasd (health endpoints outside the fault
+// injector, instrumented request paths, panic recovery) so operators
+// point the same probes and dashboards at either tier.
+func runCoordinator(opts coordOpts) {
+	start := time.Now()
+	peers, err := parsePeers(opts.peers)
+	if err != nil {
+		fatal(fmt.Errorf("-coordinator: %w", err))
+	}
+	if opts.total <= 0 {
+		fatal(fmt.Errorf("-coordinator requires -partitions-total"))
+	}
+
+	var reg *obs.Registry
+	if opts.metricsOn {
+		reg = obs.NewRegistry()
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Peers:           peers,
+		TotalPartitions: opts.total,
+		RetryAfter:      opts.retryAfter,
+		MaxBatchBytes:   opts.maxBatch,
+		Client:          &http.Client{Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var handler http.Handler = coord
+	var injector *faultinject.Injector
+	if opts.chaos.Enabled() {
+		injector = faultinject.New(opts.chaos, coord)
+		handler = injector
+		fmt.Printf("atlasd: fault injection on (drop=%.2f error=%.2f truncate=%.2f delay=%v@%.2f seed=%d)\n",
+			opts.chaos.Drop, opts.chaos.Error, opts.chaos.Truncate, opts.chaos.DelayBy, opts.chaos.DelayProb, opts.chaos.Seed)
+	}
+
+	health := &atlasapi.Health{}
+	if opts.nodeID != "" {
+		health.SetNodeID(opts.nodeID)
+	}
+	root := http.NewServeMux()
+	health.Register(root)
+	if reg != nil {
+		root.Handle("/metrics", obs.Handler(reg))
+	}
+	if opts.pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	root.Handle("/", atlasapi.InstrumentHTTP(reg, handler))
+
+	srv := &http.Server{
+		Addr:         opts.addr,
+		Handler:      atlasapi.RecoverPanics(root, nil),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	health.SetReady(true)
+
+	ids := make([]string, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID
+	}
+	fmt.Printf("atlasd: coordinator up addr=%s partitions=%d peers=%s\n",
+		opts.addr, opts.total, strings.Join(ids, ","))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("atlasd: shutting down")
+	health.SetReady(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "atlasd: shutdown:", err)
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("atlasd: chaos stats: %d requests, %d dropped, %d errored, %d truncated, %d delayed\n",
+			st.Requests, st.Drops, st.Errors, st.Truncates, st.Delays)
+	}
+	fmt.Printf("atlasd: down uptime=%s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -96,7 +96,34 @@ func main() {
 	faultWALWrites := flag.Int64("fault-wal-enospc-after", -1, "degraded-mode chaos: fail WAL writes with ENOSPC after this many succeed (negative disables; requires -wal-dir)")
 	faultWALSyncs := flag.Int64("fault-wal-sync-fail-after", -1, "degraded-mode chaos: fail WAL fsyncs after this many succeed (negative disables; requires -wal-dir)")
 	faultWALHeal := flag.Duration("fault-wal-heal-after", 0, "degraded-mode chaos: heal injected WAL faults after this delay (0 = never heal)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers (routes ingest by partition owner, merges query fan-outs)")
+	peersFlag := flag.String("peers", "", "cluster membership as id=url,id=url (required with -coordinator; lets a peer derive its ring share)")
+	nodeID := flag.String("node-id", "", "this peer's cluster node ID: mounts the inter-peer endpoints and tags /healthz and /readyz (requires -live and -partitions-total)")
+	partsTotal := flag.Int("partitions-total", 0, "cluster-wide partition count; every peer and the coordinator must agree (0 = single-node)")
+	partsFlag := flag.String("partitions", "", "partitions this peer owns: comma-separated IDs, 'none' for an empty rebalance target, or empty to derive from -peers/-node-id (all partitions when no -peers); an existing -wal-dir layout always wins")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(coordOpts{
+			addr:       *addr,
+			peers:      *peersFlag,
+			total:      *partsTotal,
+			nodeID:     *nodeID,
+			retryAfter: *ingestRetryAfter,
+			maxBatch:   *wireMaxBatch,
+			metricsOn:  *metricsOn,
+			pprofOn:    *pprofOn,
+			chaos: faultinject.Config{
+				Seed:      *chaosSeed,
+				Drop:      *chaosDrop,
+				Error:     *chaosError,
+				Truncate:  *chaosTruncate,
+				DelayProb: *chaosDelayProb,
+				DelayBy:   *chaosDelay,
+			},
+		})
+		return
+	}
 
 	// A zero seed is a valid world; flag.Visit distinguishes "-seed 0"
 	// from the flag never being given.
@@ -137,6 +164,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atlasd: -wal-dir requires -live")
 		os.Exit(2)
 	}
+	if (*nodeID != "" || *partsTotal > 0 || *partsFlag != "") && !*live {
+		fmt.Fprintln(os.Stderr, "atlasd: -node-id/-partitions-total/-partitions require -live")
+		os.Exit(2)
+	}
+	if *nodeID != "" && *partsTotal <= 0 {
+		fmt.Fprintln(os.Stderr, "atlasd: -node-id requires -partitions-total")
+		os.Exit(2)
+	}
 	// reg stays nil with -metrics=false: the instrumented paths all
 	// treat a nil registry as "record nothing".
 	var reg *obs.Registry
@@ -147,6 +182,27 @@ func main() {
 	scfg := stream.Config{Shards: *shards, CheckpointEvery: *ckptEvery, Metrics: reg, Analysis: *analysis}
 	if ds != nil {
 		scfg.Pfx2AS = ds.Pfx2AS
+	}
+	if *partsTotal > 0 {
+		scfg.TotalPartitions = *partsTotal
+		owned, err := ownedPartitions(*partsFlag, *peersFlag, *nodeID, *partsTotal)
+		if err != nil {
+			fatal(err)
+		}
+		// A WAL laid out on disk is the authority on what this peer owns:
+		// a rebalance may have moved partitions since the flags were
+		// written, and adopting ships data the flags know nothing about.
+		if *walDir != "" {
+			disk, err := stream.DiscoverPartitions(*walDir)
+			if err != nil {
+				fatal(err)
+			}
+			if len(disk) > 0 {
+				owned = disk
+				fmt.Printf("atlasd: WAL layout owns partitions %v (overriding flags)\n", disk)
+			}
+		}
+		scfg.OwnedPartitions = owned
 	}
 	if *walDir != "" {
 		scfg.WALDir = *walDir
@@ -279,10 +335,19 @@ func main() {
 			tier := serve.NewTier(ing, serve.WithMetrics(reg), serve.WithMaxStaleness(*serveMaxStale))
 			lsOpts = append(lsOpts, atlasapi.WithServeTier(tier))
 		}
+		if *nodeID != "" {
+			lsOpts = append(lsOpts, atlasapi.WithClusterNode(*nodeID))
+			health.SetNodeID(*nodeID)
+		}
 		ls := atlasapi.NewLiveServer(ing, lsOpts...)
 		mux.Handle(atlasapi.RouteStreamRecords, ls)
 		mux.Handle("/api/v1/stream/", ls)
 		mux.Handle("/api/v1/live/", ls)
+		if *nodeID != "" {
+			mux.Handle("/api/v1/cluster/", ls)
+			fmt.Printf("atlasd: cluster peer %s owns partitions %v of %d\n",
+				*nodeID, ing.OwnedPartitions(), ing.TotalPartitions())
+		}
 		fmt.Printf("atlasd: live ingest on %s (%d shards, analysis=%v, v1 routes=%v, serve cache=%v max-stale=%v, max-inflight=%d)\n",
 			*addr, ing.Shards(), *analysis, *wireV1, *serveCache, *serveMaxStale, *ingestMaxInflight)
 	}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"dynaddr/internal/cluster"
+)
+
+// clusterMain implements churnctl -cluster: operator visibility into a
+// multi-node atlasd cluster through its coordinator.
+//
+//	churnctl -cluster status -url http://coordinator:8042
+//
+// status prints one row per peer: node ID, state (ready, starting,
+// degraded, down — from the peer's /readyz as the coordinator sees it),
+// the partitions it owns, its stream version, and its URL.
+func clusterMain(op, url string) {
+	if url == "" {
+		fatal(fmt.Errorf("-cluster %s requires -url (the coordinator)", op))
+	}
+	switch op {
+	case "status":
+		clusterStatus(url)
+	default:
+		fatal(fmt.Errorf("unknown -cluster operation %q (want status)", op))
+	}
+}
+
+func clusterStatus(url string) {
+	resp, err := http.Get(strings.TrimSuffix(url, "/") + "/api/v1/cluster/status")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET /api/v1/cluster/status: %s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var st cluster.StatusReply
+	if err := json.Unmarshal(body, &st); err != nil {
+		fatal(fmt.Errorf("bad status body: %w", err))
+	}
+
+	fmt.Printf("cluster: %d partitions, %d peers", st.TotalPartitions, len(st.Peers))
+	if st.Rebalancing {
+		fmt.Print(", REBALANCING (queries shed until it completes)")
+	}
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "PEER\tSTATE\tPARTITIONS\tVERSION\tURL")
+	down := 0
+	for _, p := range st.Peers {
+		if !p.Ready {
+			down++
+		}
+		parts := make([]string, len(p.Partitions))
+		for i, pt := range p.Partitions {
+			parts[i] = fmt.Sprint(pt)
+		}
+		pl := strings.Join(parts, ",")
+		if pl == "" {
+			pl = "-"
+		}
+		state := p.State
+		if p.Error != "" && p.State != "ready" {
+			state += " (" + p.Error + ")"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\tgen=%d seq=%d\t%s\n",
+			p.ID, state, pl, p.Version.Generation, p.Version.Seq, p.URL)
+	}
+	w.Flush()
+	if down > 0 {
+		os.Exit(1)
+	}
+}

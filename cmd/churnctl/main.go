@@ -31,6 +31,14 @@
 //	churnctl -deadletter status -wal-dir DIR            # offline counts
 //	churnctl -deadletter list -wal-dir DIR              # entries as JSON lines
 //	churnctl -deadletter drain -wal-dir DIR -url URL    # replay + truncate
+//
+// With -cluster, churnctl talks to a multi-node cluster's coordinator:
+//
+//	churnctl -cluster status -url http://coordinator:8042
+//
+// prints one row per peer — node ID, readiness state, owned
+// partitions, stream version — and exits nonzero if any peer is not
+// ready.
 package main
 
 import (
@@ -69,10 +77,16 @@ func main() {
 	liveAnalysis := flag.Bool("live-analysis", false, "query a live atlasd's streaming analysis endpoint (requires -url); no dataset is scraped")
 	deadletter := flag.String("deadletter", "", "dead-letter operation: status (-wal-dir or -url), list (-wal-dir), or drain (-wal-dir and -url)")
 	walDir := flag.String("wal-dir", "", "atlasd WAL directory for offline -deadletter operations (stop the server first)")
+	clusterOp := flag.String("cluster", "", "cluster operation against a coordinator at -url: status (per-peer ownership, version, readiness)")
 	flag.Parse()
 
 	if *deadletter != "" {
 		deadletterMain(*deadletter, *walDir, *url)
+		return
+	}
+
+	if *clusterOp != "" {
+		clusterMain(*clusterOp, *url)
 		return
 	}
 

@@ -1,0 +1,335 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynaddr/internal/atlasapi"
+	"dynaddr/internal/atlasdata"
+	"dynaddr/internal/cluster"
+	"dynaddr/internal/sim"
+	"dynaddr/internal/stream"
+)
+
+// clusterPeerArgs builds the atlasd argument list for one durable
+// cluster peer. Checkpointing is disabled so the version generation
+// stays 0 on every topology — the ETag oracle needs byte-equal
+// versions, and an in-memory reference never checkpoints.
+func clusterPeerArgs(walDir, addr, nodeID string, total int, owned []int) []string {
+	parts := "none"
+	if len(owned) > 0 {
+		strs := make([]string, len(owned))
+		for i, p := range owned {
+			strs[i] = strconv.Itoa(p)
+		}
+		parts = strings.Join(strs, ",")
+	}
+	return []string{
+		"-live", "-node-id", nodeID,
+		"-partitions-total", strconv.Itoa(total), "-partitions", parts,
+		// Interval fsync: a SIGKILL (unlike power loss) cannot lose data
+		// already write()n to the unbuffered WAL, and per-record fsync
+		// makes the 5-peer topology crawl.
+		"-wal-dir", walDir, "-fsync", "64", "-checkpoint-every", "-1",
+		"-addr", addr,
+	}
+}
+
+func getFull(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// checkClusterMatchesReference compares the three merged artifacts (and
+// their ETags) against the single-node reference bytes.
+func checkClusterMatchesReference(t *testing.T, coordBase string, ref map[string][]byte, refETag map[string]string) {
+	t.Helper()
+	for _, path := range []string{"/api/v1/live/summary", "/api/v1/live/analysis", "/api/v1/live/continents"} {
+		code, body, hdr := getFull(t, coordBase+path)
+		if code != http.StatusOK {
+			t.Errorf("%s: %d %s", path, code, body)
+			continue
+		}
+		if !bytes.Equal(body, ref[path]) {
+			t.Errorf("%s: coordinator bytes differ from single-node reference (%d vs %d bytes)",
+				path, len(body), len(ref[path]))
+		}
+		if got := hdr.Get("ETag"); got != refETag[path] {
+			t.Errorf("%s: ETag %q, reference %q", path, got, refETag[path])
+		}
+	}
+}
+
+// TestClusterEquivalence is the tentpole acceptance test at the process
+// level: the same dataset streamed through a coordinator over 1, 2 and
+// 5 atlasd peer processes yields live summary, analysis and continents
+// byte-identical to one uninterrupted single-process server — ETags
+// included — and stays identical after a SIGKILL + restart of a peer
+// (2-peer topology) and after a live rebalance onto a freshly booted
+// peer (5-peer topology).
+func TestClusterEquivalence(t *testing.T) {
+	bins := buildBinaries(t)
+	atlasd := filepath.Join(bins, "atlasd")
+	churnctl := filepath.Join(bins, "churnctl")
+	ds := crashWorld(t, 41)
+	const total = 8
+	ctx := context.Background()
+
+	// Single-process reference: all partitions, in memory, whole stream.
+	refAddr := pickAddr(t)
+	refSrv := exec.Command(atlasd, "-live", "-shards", strconv.Itoa(total), "-addr", refAddr)
+	if err := refSrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		refSrv.Process.Kill()
+		refSrv.Wait()
+	}()
+	waitForListen(t, refAddr)
+	refBase := "http://" + refAddr
+	waitForReady(t, refBase)
+	refProd := atlasapi.NewStreamProducer(ctx, refBase, atlasapi.WithCodec(atlasapi.CodecBinary))
+	if err := sim.ReplayDataset(ds, refProd); err != nil {
+		t.Fatal(err)
+	}
+	if err := refProd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[string][]byte)
+	refETag := make(map[string]string)
+	for _, path := range []string{"/api/v1/live/summary", "/api/v1/live/analysis", "/api/v1/live/continents"} {
+		code, body, hdr := getFull(t, refBase+path)
+		if code != http.StatusOK {
+			t.Fatalf("reference %s: %d %s", path, code, body)
+		}
+		ref[path] = body
+		refETag[path] = hdr.Get("ETag")
+	}
+
+	for _, n := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("peers=%d", n), func(t *testing.T) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("peer-%d", i)
+			}
+			ring, err := cluster.NewRing(ids, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			addrs := make([]string, n)
+			walDirs := make([]string, n)
+			procs := make([]*exec.Cmd, n)
+			peerSpecs := make([]string, n)
+			for i, id := range ids {
+				addrs[i] = pickAddr(t)
+				walDirs[i] = filepath.Join(t.TempDir(), id)
+				procs[i] = exec.Command(atlasd, clusterPeerArgs(walDirs[i], addrs[i], id, total, ring.Partitions(id))...)
+				if err := procs[i].Start(); err != nil {
+					t.Fatal(err)
+				}
+				peerSpecs[i] = id + "=http://" + addrs[i]
+			}
+			defer func() {
+				for _, p := range procs {
+					if p.Process != nil {
+						p.Process.Kill()
+						p.Wait()
+					}
+				}
+			}()
+			for i := range addrs {
+				waitForListen(t, addrs[i])
+				waitForReady(t, "http://"+addrs[i])
+			}
+
+			coordAddr := pickAddr(t)
+			coordProc := exec.Command(atlasd, "-coordinator",
+				"-peers", strings.Join(peerSpecs, ","),
+				"-partitions-total", strconv.Itoa(total),
+				"-addr", coordAddr)
+			if err := coordProc.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				coordProc.Process.Kill()
+				coordProc.Wait()
+			}()
+			waitForListen(t, coordAddr)
+			coordBase := "http://" + coordAddr
+
+			// Whole stream through the coordinator, binary codec.
+			prod := atlasapi.NewStreamProducer(ctx, coordBase, atlasapi.WithCodec(atlasapi.CodecBinary))
+			if err := sim.ReplayDataset(ds, prod); err != nil {
+				t.Fatal(err)
+			}
+			if err := prod.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			checkClusterMatchesReference(t, coordBase, ref, refETag)
+
+			switch n {
+			case 2:
+				killAndRestartPeer(t, atlasd, coordBase, ring, ids, addrs, walDirs, procs, total)
+				checkClusterMatchesReference(t, coordBase, ref, refETag)
+			case 5:
+				rebalanceOntoNewPeer(t, atlasd, churnctl, coordBase, ids, addrs, total)
+				checkClusterMatchesReference(t, coordBase, ref, refETag)
+			}
+		})
+	}
+}
+
+// killAndRestartPeer SIGKILLs one peer, verifies the coordinator sheds
+// (503 + Retry-After, never a partial merge, never a silent ingest
+// ack), then restarts the peer on its WAL directory and waits for
+// recovery.
+func killAndRestartPeer(t *testing.T, atlasd, coordBase string, ring *cluster.Ring, ids, addrs, walDirs []string, procs []*exec.Cmd, total int) {
+	t.Helper()
+	victim := 1
+	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+
+	code, body, hdr := getFull(t, coordBase+"/api/v1/live/summary")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("summary with a peer dead: %d %s (must shed, never merge partially)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	// Ingest routed at the dead peer: refused with nothing consumed.
+	var probe atlasdata.ProbeID
+	for id := atlasdata.ProbeID(900000); id < 990000; id++ {
+		if ring.Owner(stream.PartitionOf(id, total)) == ids[victim] {
+			probe = id
+			break
+		}
+	}
+	line := fmt.Sprintf("{\"kind\":\"meta\",\"probe\":%d,\"country\":\"DE\",\"version\":3}\n", probe)
+	resp, err := http.Post(coordBase+atlasapi.RouteStreamRecords, atlasapi.ContentTypeNDJSON, strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest for a dead peer's partition: %d %s, want 503", resp.StatusCode, rb)
+	}
+	var env struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.Unmarshal(rb, &env); err != nil {
+		t.Fatalf("shed envelope not JSON: %s", rb)
+	}
+	if env.Accepted != 0 {
+		t.Errorf("dead-peer batch reported %d accepted, want 0", env.Accepted)
+	}
+
+	// Restart on the same WAL directory and address; the WAL layout (not
+	// the flags) decides what it owns.
+	procs[victim] = exec.Command(atlasd, clusterPeerArgs(walDirs[victim], addrs[victim], ids[victim], total, nil)...)
+	if err := procs[victim].Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForListen(t, addrs[victim])
+	waitForReady(t, "http://"+addrs[victim])
+
+	// The coordinator's breaker for the dead peer may still be cooling
+	// down; recovery is complete when a merge succeeds again.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body, _ := getFull(t, coordBase+"/api/v1/live/summary")
+		if code == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered after restart: %d %s", code, body)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// rebalanceOntoNewPeer boots an empty peer, rebalances the membership
+// through the coordinator (WAL segments and checkpoints ship for every
+// moved partition), and checks churnctl -cluster status sees the new
+// topology.
+func rebalanceOntoNewPeer(t *testing.T, atlasd, churnctl, coordBase string, ids, addrs []string, total int) {
+	t.Helper()
+	newID := fmt.Sprintf("peer-%d", len(ids))
+	newAddr := pickAddr(t)
+	newWAL := filepath.Join(t.TempDir(), newID)
+	proc := exec.Command(atlasd, clusterPeerArgs(newWAL, newAddr, newID, total, nil)...)
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		proc.Process.Kill()
+		proc.Wait()
+	})
+	waitForListen(t, newAddr)
+	waitForReady(t, "http://"+newAddr)
+
+	members := make([]cluster.Peer, 0, len(ids)+1)
+	for i, id := range ids {
+		members = append(members, cluster.Peer{ID: id, URL: "http://" + addrs[i]})
+	}
+	members = append(members, cluster.Peer{ID: newID, URL: "http://" + newAddr})
+	body, err := json.Marshal(map[string]any{"peers": members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(coordBase+"/api/v1/cluster/members", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("members POST: %d %s", resp.StatusCode, rb)
+	}
+	var reply struct {
+		Moves []cluster.Move `json:"moves"`
+	}
+	if err := json.Unmarshal(rb, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Moves) == 0 {
+		t.Fatal("rebalance onto a sixth peer moved nothing")
+	}
+	for _, mv := range reply.Moves {
+		if mv.To != newID {
+			t.Errorf("move %+v: growing the ring must only move partitions to the new peer", mv)
+		}
+	}
+
+	out := run(t, churnctl, "-cluster", "status", "-url", coordBase)
+	if !strings.Contains(out, newID) {
+		t.Errorf("churnctl -cluster status does not mention %s:\n%s", newID, out)
+	}
+	if strings.Count(out, "ready") < len(ids)+1 {
+		t.Errorf("churnctl -cluster status does not show %d ready peers:\n%s", len(ids)+1, out)
+	}
+}

@@ -159,19 +159,30 @@ func retryDelay(p backoff.Policy, attempt int, u uint64, retryAfter time.Duratio
 	return p.Delay(attempt, u)
 }
 
-// parseRetryAfter reads a response's Retry-After pacing hint (the
-// integer-seconds form; the HTTP-date form is not used by this API).
-// Zero means no usable hint.
-func parseRetryAfter(resp *http.Response) time.Duration {
-	v := resp.Header.Get("Retry-After")
+// ParseRetryAfter reads a response's Retry-After pacing hint, accepting
+// both RFC 7231 forms: delay-seconds ("3") and HTTP-date ("Tue, 29 Oct
+// 2024 16:56:32 GMT" and the obsolete date formats http.ParseTime
+// knows). A date is converted to a delay against the local clock; dates
+// in the past, negative seconds and garbage all mean "no usable hint"
+// and return zero. Exported because the cluster coordinator paces its
+// per-peer forwarding off the same header its own clients see.
+func ParseRetryAfter(resp *http.Response) time.Duration {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // sleepFor waits d or until ctx is done, whichever comes first.
@@ -263,7 +274,7 @@ func getOnce[T any](ctx context.Context, c *Client, path string, parse func(io.R
 		// 429 is the admission controller shedding load — transient by
 		// definition, and its Retry-After says exactly when to return.
 		retriable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
-		return v, retriable, parseRetryAfter(resp), err
+		return v, retriable, ParseRetryAfter(resp), err
 	}
 	body := &trackedReader{r: resp.Body}
 	v, err = parse(body)

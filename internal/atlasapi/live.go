@@ -66,6 +66,11 @@ type LiveServer struct {
 	logf     func(format string, args ...any)
 	maxBatch int64
 	v1       bool
+
+	// Cluster peer mode (WithClusterNode): the inter-peer endpoints are
+	// mounted and labelled with this node ID.
+	nodeID  string
+	cluster bool
 }
 
 // NewLiveServer wraps an ingester. The caller owns the ingester's
@@ -86,6 +91,13 @@ func NewLiveServer(ing *stream.Ingester, opts ...LiveOption) *LiveServer {
 	s.mux.HandleFunc("/api/v1/live/cursor", s.cursor)
 	s.mux.HandleFunc("/api/v1/live/analysis", s.analysis)
 	s.mux.HandleFunc("/api/v1/live/deadletter", s.deadletter)
+	if s.cluster {
+		s.mux.HandleFunc(RouteClusterView, s.clusterView)
+		s.mux.HandleFunc(RouteClusterAnalysisView, s.clusterAnalysisView)
+		s.mux.HandleFunc(RouteClusterInfo, s.clusterInfo)
+		s.mux.HandleFunc(RouteClusterRelease, s.clusterRelease)
+		s.mux.HandleFunc(RouteClusterAdopt, s.clusterAdopt)
+	}
 	return s
 }
 
@@ -144,6 +156,11 @@ func (s *LiveServer) ingestError(w http.ResponseWriter, err error, consumed int)
 		// blocked on backpressure — a capacity condition, not a malformed
 		// request. 503 tells a well-behaved producer to back off and retry.
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, stream.ErrNotOwner):
+		// A cluster peer got records for a partition it does not own —
+		// the coordinator (or a stale producer) misrouted. 421 tells the
+		// sender to re-resolve ownership, not to retry here.
+		code = http.StatusMisdirectedRequest
 	}
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterHeader(s.retryAfter()))

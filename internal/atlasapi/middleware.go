@@ -53,10 +53,33 @@ func RecoverPanics(h http.Handler, logf func(format string, args ...any)) http.H
 type Health struct {
 	ready    atomic.Bool
 	degraded atomic.Value // func() int
+	nodeID   atomic.Value // string
 }
 
 // SetReady flips the readiness state.
 func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// SetNodeID labels the health envelopes with the process's cluster node
+// ID, so smoke scripts hitting several peers behind one address space
+// can tell them apart. The empty default (single-node mode) leaves the
+// envelopes byte-identical to the pre-cluster output.
+func (h *Health) SetNodeID(id string) { h.nodeID.Store(id) }
+
+// NodeID reports the configured cluster node ID ("" single-node).
+func (h *Health) NodeID() string {
+	if v, ok := h.nodeID.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// nodeField renders the optional `, "node_id": "..."` envelope suffix.
+func (h *Health) nodeField() string {
+	if id := h.NodeID(); id != "" {
+		return fmt.Sprintf(", %q: %q", "node_id", id)
+	}
+	return ""
+}
 
 // Ready reports the current readiness state.
 func (h *Health) Ready() bool { return h.ready.Load() }
@@ -82,20 +105,20 @@ func (h *Health) Degraded() int {
 func (h *Health) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status": "ok"}`)
+		fmt.Fprintf(w, `{"status": "ok"%s}`+"\n", h.nodeField())
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if !h.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, `{"error": "starting", "status": 503}`)
+			fmt.Fprintf(w, `{"error": "starting", "status": 503%s}`+"\n", h.nodeField())
 			return
 		}
 		if n := h.Degraded(); n > 0 {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, `{"error": "%d shard(s) degraded after WAL failure, re-arm pending", "status": 503, "degraded_shards": %d}`+"\n", n, n)
+			fmt.Fprintf(w, `{"error": "%d shard(s) degraded after WAL failure, re-arm pending", "status": 503, "degraded_shards": %d%s}`+"\n", n, n, h.nodeField())
 			return
 		}
-		fmt.Fprintln(w, `{"status": "ready"}`)
+		fmt.Fprintf(w, `{"status": "ready"%s}`+"\n", h.nodeField())
 	})
 }

@@ -164,3 +164,52 @@ func TestHealthDegradedShards(t *testing.T) {
 		t.Fatalf("/readyz after detach = %d, want 200", rec.Code)
 	}
 }
+
+// TestHealthNodeID: cluster deployments label the health envelopes with
+// a node_id so smoke scripts can tell peers apart; the single-node
+// default (no SetNodeID, or empty) must keep the envelopes
+// byte-identical to the pre-cluster output.
+func TestHealthNodeID(t *testing.T) {
+	get := func(h *Health, path string) *httptest.ResponseRecorder {
+		mux := http.NewServeMux()
+		h.Register(mux)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	// Single-node: exact legacy bytes, with and without an explicit
+	// empty SetNodeID.
+	for _, prep := range []func(*Health){func(*Health) {}, func(h *Health) { h.SetNodeID("") }} {
+		var h Health
+		prep(&h)
+		if got := get(&h, "/healthz").Body.String(); got != "{\"status\": \"ok\"}\n" {
+			t.Errorf("single-node /healthz body = %q, want legacy envelope", got)
+		}
+		if got := get(&h, "/readyz").Body.String(); got != "{\"error\": \"starting\", \"status\": 503}\n" {
+			t.Errorf("single-node /readyz (starting) body = %q, want legacy envelope", got)
+		}
+		h.SetReady(true)
+		if got := get(&h, "/readyz").Body.String(); got != "{\"status\": \"ready\"}\n" {
+			t.Errorf("single-node /readyz body = %q, want legacy envelope", got)
+		}
+	}
+
+	// Cluster node: envelopes carry node_id and stay valid JSON.
+	var h Health
+	h.SetNodeID("peer-2")
+	h.SetReady(true)
+	h.SetDegraded(func() int { return 1 })
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := get(&h, path)
+		var env struct {
+			NodeID string `json:"node_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s body %q is not JSON: %v", path, rec.Body, err)
+		}
+		if env.NodeID != "peer-2" {
+			t.Errorf("%s node_id = %q, want peer-2", path, env.NodeID)
+		}
+	}
+}

@@ -438,7 +438,7 @@ func (p *StreamProducer) postOnce(ctx context.Context, eb encodedBatch) (postRes
 	// batch instead of reusing its keep-alive connection.
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
 	resp.Body.Close()
-	res := postResult{status: resp.StatusCode, statusLine: resp.Status, retryAfter: parseRetryAfter(resp), msg: msg}
+	res := postResult{status: resp.StatusCode, statusLine: resp.Status, retryAfter: ParseRetryAfter(resp), msg: msg}
 	if resp.StatusCode == http.StatusOK {
 		res.consumed = eb.n
 		return res, nil

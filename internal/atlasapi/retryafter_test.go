@@ -47,10 +47,24 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0", 0},
 		{"-1", 0},
 		{"soon", 0},
-		{"Tue, 29 Oct 2024 16:56:32 GMT", 0}, // HTTP-date form unsupported, ignored
+		{"Tue, 29 Oct 2024 16:56:32 GMT", 0},    // HTTP-date in the past: no usable hint
+		{"Tue, 29 Oct 2024 16:56:32 UTC+1", 0},  // not an RFC 7231 date
+		{"2024-10-29T16:56:32Z", 0},             // RFC 3339 is not an HTTP-date
+		{"99999999999999999999999999999999", 0}, // overflows delay-seconds, not a date
 	} {
-		if got := parseRetryAfter(mk(tc.v)); got != tc.want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+		if got := ParseRetryAfter(mk(tc.v)); got != tc.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+
+	// The HTTP-date form is relative to the local clock, so a future
+	// date must be generated at test time. Allow scheduling slop on the
+	// low side; the hint can never exceed the true distance.
+	future := time.Now().Add(90 * time.Second)
+	for _, layout := range []string{http.TimeFormat, time.RFC850, time.ANSIC} {
+		got := ParseRetryAfter(mk(future.UTC().Format(layout)))
+		if got <= 80*time.Second || got > 91*time.Second {
+			t.Errorf("ParseRetryAfter(%s date 90s out) = %v, want ~90s", layout, got)
 		}
 	}
 }

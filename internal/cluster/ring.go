@@ -1,0 +1,137 @@
+// Package cluster scales the live ingest tier past one machine: N
+// atlasd peers each own a slice of the probe partition space (shards,
+// WAL, dead letters and serve tier exactly as single-node), and a
+// coordinator routes ingest batches to partition owners and merges
+// scatter-gather query fan-outs back into the single-node artifacts.
+//
+// The partition function is stream.PartitionOf — the same Fibonacci
+// hash the single-node ingester shards with — so a cluster of N peers
+// over T partitions processes exactly the record placement a single
+// node with T shards would. Merging peer views in global probe-ID order
+// (stream.MergePeerViews) then reproduces the single-node fold bit for
+// bit: a peer boundary is just a shard boundary that happens to cross a
+// network.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring assigns partitions to named nodes by rendezvous (highest random
+// weight) hashing: every (node, partition) pair gets a deterministic
+// score and the highest score owns the partition. Rendezvous hashing
+// needs no virtual-node tuning and has the minimal-movement property a
+// rebalance wants — adding a node only moves partitions onto it,
+// removing one only moves that node's partitions off it; no third
+// party's assignment ever changes.
+type Ring struct {
+	total int
+	nodes []string
+	// assign is partition → owning node, fully materialized at
+	// construction (T and N are small; queries must be O(1)).
+	assign []string
+}
+
+// NewRing builds the assignment for the given node IDs over total
+// partitions. Node order does not matter (IDs are sorted internally);
+// empty and duplicate IDs are errors.
+func NewRing(nodes []string, total int) (*Ring, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs a positive partition count, got %d", total)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	seen := make(map[string]bool, len(nodes))
+	sorted := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n)
+		}
+		seen[n] = true
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	r := &Ring{total: total, nodes: sorted, assign: make([]string, total)}
+	for p := 0; p < total; p++ {
+		best, bestScore := "", uint64(0)
+		for _, n := range sorted {
+			// Ties broken by node order via strict >: with sorted nodes the
+			// winner is deterministic even in the (negligible) equal-score
+			// case.
+			if s := score(n, p); best == "" || s > bestScore {
+				best, bestScore = n, s
+			}
+		}
+		r.assign[p] = best
+	}
+	return r, nil
+}
+
+// score is the rendezvous weight of (node, partition): the node name is
+// FNV-1a hashed, the partition mixed in SplitMix64-style. Deterministic
+// across processes and architectures.
+func score(node string, p int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 1099511628211
+	}
+	z := h ^ (uint64(p)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Total returns the ring's partition count.
+func (r *Ring) Total() int { return r.total }
+
+// Nodes returns the ring's node IDs, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning partition p.
+func (r *Ring) Owner(p int) string { return r.assign[p] }
+
+// Partitions returns the sorted partitions a node owns (empty for an
+// unknown node).
+func (r *Ring) Partitions(node string) []int {
+	var out []int
+	for p, n := range r.assign {
+		if n == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Assignments returns the full partition → node table (a copy).
+func (r *Ring) Assignments() []string { return append([]string(nil), r.assign...) }
+
+// Moves diffs two rings over the same partition space: the partitions
+// whose owner changes going from r to next, in partition order.
+func (r *Ring) Moves(next *Ring) ([]Move, error) {
+	if r.total != next.total {
+		return nil, fmt.Errorf("cluster: ring partition counts differ: %d vs %d", r.total, next.total)
+	}
+	var moves []Move
+	for p := 0; p < r.total; p++ {
+		if r.assign[p] != next.assign[p] {
+			moves = append(moves, Move{Partition: p, From: r.assign[p], To: next.assign[p]})
+		}
+	}
+	return moves, nil
+}
+
+// Move is one partition changing owner during a rebalance.
+type Move struct {
+	Partition int    `json:"partition"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing([]string{"a"}, 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 8); err == nil {
+		t.Error("duplicate node ID accepted")
+	}
+}
+
+// TestRingDeterminism: the assignment is a pure function of the node
+// set (order-independent) and the partition count.
+func TestRingDeterminism(t *testing.T) {
+	r1, err := NewRing([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"c", "a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Assignments(), r2.Assignments()) {
+		t.Error("assignment depends on node order")
+	}
+}
+
+// TestRingCoverage: every partition has exactly one owner, and the
+// per-node partition lists tile the space.
+func TestRingCoverage(t *testing.T) {
+	const total = 97
+	r, err := NewRing([]string{"peer-1", "peer-2", "peer-3", "peer-4"}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, total)
+	for _, n := range r.Nodes() {
+		for _, p := range r.Partitions(n) {
+			if covered[p] {
+				t.Fatalf("partition %d covered twice", p)
+			}
+			covered[p] = true
+			if r.Owner(p) != n {
+				t.Fatalf("Partitions(%s) includes %d but Owner(%d)=%s", n, p, p, r.Owner(p))
+			}
+		}
+	}
+	for p, ok := range covered {
+		if !ok {
+			t.Fatalf("partition %d unowned", p)
+		}
+	}
+}
+
+// TestRingBalance: rendezvous scores are uniform enough that no node
+// ends up starved or hot. Loose bounds — this is a sanity check on the
+// hash, not a statistics exam.
+func TestRingBalance(t *testing.T) {
+	const total, nodes = 256, 4
+	r, err := NewRing([]string{"n0", "n1", "n2", "n3"}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Nodes() {
+		got := len(r.Partitions(n))
+		if got < total/nodes/3 || got > total*3/nodes {
+			t.Errorf("node %s owns %d of %d partitions, outside [%d, %d]",
+				n, got, total, total/nodes/3, total*3/nodes)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the property rendezvous hashing is chosen
+// for: adding a node only moves partitions TO it, removing a node only
+// moves partitions FROM it; nothing shuffles between survivors.
+func TestRingMinimalMovement(t *testing.T) {
+	const total = 128
+	base, err := NewRing([]string{"a", "b", "c"}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := NewRing([]string{"a", "b", "c", "d"}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := base.Moves(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Error("adding a node moved nothing (suspicious for 128 partitions)")
+	}
+	for _, mv := range moves {
+		if mv.To != "d" {
+			t.Errorf("adding d moved partition %d %s→%s (only moves TO the new node are minimal)",
+				mv.Partition, mv.From, mv.To)
+		}
+	}
+
+	shrunk, err := NewRing([]string{"a", "b"}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err = base.Moves(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range moves {
+		if mv.From != "c" {
+			t.Errorf("removing c moved partition %d %s→%s (only moves FROM the removed node are minimal)",
+				mv.Partition, mv.From, mv.To)
+		}
+	}
+
+	if _, err := base.Moves(mustRing(t, []string{"a"}, 64)); err == nil {
+		t.Error("Moves across differing partition counts accepted")
+	}
+}
+
+func mustRing(t *testing.T, nodes []string, total int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,196 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is the client-side counterpart of Injector: an
+// http.RoundTripper that injects deterministic faults into outbound
+// requests. It exists for inter-peer chaos — a cluster coordinator
+// whose HTTP client is wrapped in a Transport sees the same drop /
+// 503 / truncation / latency menu the server-side middleware produces,
+// plus explicit named partitions: Partition(host) makes every request
+// to that host fail with a transport error until Heal, the harness for
+// "peer unreachable" without touching the peer process.
+//
+// Fates draw from the same seeded SplitMix64 stream as Injector, so a
+// given seed yields the same fault sequence across runs (sequential
+// request streams are fully reproducible).
+type Transport struct {
+	cfg   Config
+	inner http.RoundTripper
+
+	mu      sync.Mutex
+	state   uint64
+	blocked map[string]bool
+
+	requests  atomic.Uint64
+	drops     atomic.Uint64
+	errors    atomic.Uint64
+	truncates atomic.Uint64
+	delays    atomic.Uint64
+	parted    atomic.Uint64
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with fault
+// injection per cfg. A zero cfg injects nothing until Partition is
+// called — the explicit-partition harness needs no probabilities.
+func NewTransport(cfg Config, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed5eed
+	}
+	return &Transport{cfg: cfg, inner: inner, state: seed, blocked: make(map[string]bool)}
+}
+
+// Partition blocks every request to the given hosts ("host:port" as it
+// appears in the request URL) with a transport error — the inter-peer
+// network partition.
+func (t *Transport) Partition(hosts ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range hosts {
+		t.blocked[h] = true
+	}
+}
+
+// Heal unblocks the given hosts; with no arguments it heals every
+// partition.
+func (t *Transport) Heal(hosts ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(hosts) == 0 {
+		t.blocked = make(map[string]bool)
+		return
+	}
+	for _, h := range hosts {
+		delete(t.blocked, h)
+	}
+}
+
+// Stats returns a snapshot of the fault counters. Partitioned refusals
+// count as Drops.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:  t.requests.Load(),
+		Drops:     t.drops.Load() + t.parted.Load(),
+		Errors:    t.errors.Load(),
+		Truncates: t.truncates.Load(),
+		Delays:    t.delays.Load(),
+	}
+}
+
+// next draws one uniform variate in [0, 1). Caller holds mu.
+func (t *Transport) next() float64 {
+	t.state += 0x9e3779b97f4a7c15
+	z := t.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	host := req.URL.Host
+
+	t.mu.Lock()
+	if t.blocked[host] {
+		t.mu.Unlock()
+		t.parted.Add(1)
+		return nil, fmt.Errorf("faultinject: partitioned from %s", host)
+	}
+	var du, u float64
+	if t.cfg.DelayProb > 0 && t.cfg.DelayBy > 0 {
+		du = t.next()
+	}
+	u = t.next()
+	t.mu.Unlock()
+
+	if t.cfg.DelayProb > 0 && t.cfg.DelayBy > 0 && du < t.cfg.DelayProb {
+		t.delays.Add(1)
+		tm := time.NewTimer(t.cfg.DelayBy)
+		select {
+		case <-tm.C:
+		case <-req.Context().Done():
+			tm.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case u < t.cfg.Drop:
+		t.drops.Add(1)
+		return nil, fmt.Errorf("faultinject: injected transport error to %s", host)
+	case u < t.cfg.Drop+t.cfg.Error:
+		t.errors.Add(1)
+		// A synthesized 503, as if an intermediary shed the request. The
+		// request body (if any) is consumed so connection reuse stays sane.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body) //nolint:errcheck // draining best-effort
+			req.Body.Close()
+		}
+		return synthesized(req, http.StatusServiceUnavailable, "faultinject: injected failure\n"), nil
+	case u < t.cfg.Drop+t.cfg.Error+t.cfg.Truncate:
+		t.truncates.Add(1)
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{inner: resp.Body, remain: resp.ContentLength / 2}
+		return resp, nil
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// synthesized builds an in-memory response without touching the network.
+func synthesized(req *http.Request, code int, body string) *http.Response {
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody yields the first half of the response and then fails
+// the read — the client-side view of a dying transfer.
+type truncatedBody struct {
+	inner  io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("faultinject: response truncated: %w", io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF && b.remain <= 0 {
+		err = fmt.Errorf("faultinject: response truncated: %w", io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

@@ -101,43 +101,53 @@ func (in *Ingester) AnalysisContext(ctx context.Context) (*liveanalysis.Result, 
 // AnalysisVersioned is AnalysisContext plus the stream position the
 // barrier was taken at, for the serving tier's cache keys.
 func (in *Ingester) AnalysisVersioned(ctx context.Context) (*liveanalysis.Result, Version, error) {
+	views, err := in.collectAnalysisViews(ctx)
+	if err != nil {
+		return nil, Version{}, err
+	}
+	res, ver := mergeAnalysis(views)
+	return res, ver, nil
+}
+
+// collectAnalysisViews gathers one consistent analysisView per owned
+// shard via the in-band analysis barrier (or directly once closed).
+func (in *Ingester) collectAnalysisViews(ctx context.Context) ([]*analysisView, error) {
 	if !in.cfg.Analysis {
-		return nil, Version{}, ErrAnalysisDisabled
+		return nil, ErrAnalysisDisabled
 	}
 	in.mu.RLock()
+	shards := in.shards
 	if in.closed {
 		in.mu.RUnlock()
 		// Shard goroutines have exited; state is quiescent.
-		views := make([]*analysisView, 0, len(in.shards))
-		for _, s := range in.shards {
+		views := make([]*analysisView, 0, len(shards))
+		for _, s := range shards {
 			views = append(views, s.analysisView())
 		}
-		res, ver := mergeAnalysis(views)
-		return res, ver, nil
+		return views, nil
 	}
 	// Buffered to the full shard count so markers already sent keep a
 	// reply slot even if the collection is abandoned on cancellation.
-	ch := make(chan *analysisView, len(in.shards))
-	for _, s := range in.shards {
+	ch := make(chan *analysisView, len(shards))
+	for _, s := range shards {
 		select {
 		case s.in <- record{kind: kindAnalysis, analysis: ch}:
 		case <-ctx.Done():
 			in.mu.RUnlock()
-			return nil, Version{}, ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 	in.mu.RUnlock()
-	views := make([]*analysisView, 0, len(in.shards))
-	for range in.shards {
+	views := make([]*analysisView, 0, len(shards))
+	for range shards {
 		select {
 		case v := <-ch:
 			views = append(views, v)
 		case <-ctx.Done():
-			return nil, Version{}, ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
-	res, ver := mergeAnalysis(views)
-	return res, ver, nil
+	return views, nil
 }
 
 // mergeAnalysis combines the shard contributions — events re-sorted

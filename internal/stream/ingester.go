@@ -26,6 +26,24 @@ var ErrClosed = errors.New("stream: ingester closed")
 // Retry-After).
 var ErrDegraded = errors.New("stream: shard degraded after WAL failure, retry later")
 
+// ErrNotOwner is returned by ingest and cursor calls for a probe whose
+// partition this ingester does not own. A single-node ingester owns
+// every partition and never returns it; a cluster peer returns it for
+// records the coordinator should have routed elsewhere (the HTTP layer
+// maps this to 421 Misdirected Request).
+var ErrNotOwner = errors.New("stream: probe's partition not owned by this node")
+
+// PartitionOf hashes a probe ID onto one of total partitions. It is THE
+// routing function: producers, coordinator and peers must all agree on
+// it, and it is deliberately dependency-free so internal/cluster can
+// reuse it. The multiplier is the 64-bit golden ratio (Fibonacci
+// hashing); the shift folds high bits into the modulus.
+func PartitionOf(id atlasdata.ProbeID, total int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(total))
+}
+
 type recordKind uint8
 
 const (
@@ -88,9 +106,15 @@ type shard struct {
 	// flag for new probe states, which get detectors iff it is set.
 	churn *liveanalysis.ChurnTable
 
-	// index is the shard's position in Ingester.shards — part of the
-	// on-disk identity of a durable shard.
+	// index is the shard's global partition ID — part of the on-disk
+	// identity of a durable shard (WAL directory shard-NNN) and stable
+	// across the whole cluster, not the shard's position in
+	// Ingester.shards. Single-node, the two coincide.
 	index int
+
+	// done is closed when run() returns; ReleasePartition waits on it to
+	// know the shard is quiescent and its logs are closed.
+	done chan struct{}
 
 	// Durability (nil/zero for an in-memory ingester). The shard appends
 	// every record to its log before applying it, so the log holds a
@@ -232,10 +256,16 @@ func (c *RecordCounts) add(o RecordCounts) {
 // must arrive in time order (per stream), which the per-probe shard
 // affinity preserves end to end.
 type Ingester struct {
-	cfg    Config
-	shards []*shard
+	cfg   Config
+	total int // cluster-wide partition count (hash modulus)
 
+	// mu guards shards, table and closed. shards and table are replaced
+	// wholesale (copy-on-write) by ReleasePartition/AdoptPartition, so a
+	// reader that copies the slice header under RLock can keep using it
+	// after unlocking.
 	mu     sync.RWMutex
+	shards []*shard
+	table  []int32 // partition → index into shards, -1 when unowned
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -261,29 +291,28 @@ func NewIngester(cfg Config) *Ingester {
 // newIngester allocates the ingester and its shards without starting
 // the shard goroutines (Recover restores shard state in between).
 func newIngester(cfg Config) *Ingester {
-	in := &Ingester{cfg: cfg, shards: make([]*shard, cfg.Shards)}
-	for i := range in.shards {
-		in.shards[i] = &shard{
-			index:        i,
-			in:           make(chan record, cfg.Buffer),
-			states:       make(map[atlasdata.ProbeID]*probeState),
-			sessionsByAS: make(map[uint32]int64),
-			pfx:          cfg.Pfx2AS,
-			metrics:      newShardMetrics(cfg.Metrics, i),
-			reg:          cfg.Metrics,
-			rearmEvery:   cfg.RearmEvery,
+	owned := cfg.OwnedPartitions
+	if owned == nil {
+		owned = make([]int, cfg.Shards)
+		for i := range owned {
+			owned[i] = i
 		}
-		if cfg.Analysis {
-			in.shards[i].churn = &liveanalysis.ChurnTable{}
-			in.shards[i].ametrics = newAnalysisMetrics(cfg.Metrics, i)
-		}
-		registerQueueDepth(cfg.Metrics, i, in.shards[i].in)
 	}
+	in := &Ingester{cfg: cfg, total: cfg.TotalPartitions, shards: make([]*shard, len(owned))}
+	for i, p := range owned {
+		if p < 0 || p >= in.total {
+			panic(fmt.Sprintf("stream: owned partition %d outside [0, %d)", p, in.total))
+		}
+		in.shards[i] = in.newShard(p)
+	}
+	in.rebuildTable()
 	if cfg.Metrics != nil {
-		shards := in.shards
 		cfg.Metrics.GaugeFunc("wal_degraded_shards",
 			"Shards in degraded read-only mode after a WAL failure, pending re-arm.",
 			func() float64 {
+				in.mu.RLock()
+				shards := in.shards
+				in.mu.RUnlock()
 				n := 0
 				for _, s := range shards {
 					if s.degraded.Load() {
@@ -296,25 +325,91 @@ func newIngester(cfg Config) *Ingester {
 	return in
 }
 
+// newShard builds one shard for global partition p, wired but not
+// running.
+func (in *Ingester) newShard(p int) *shard {
+	cfg := in.cfg
+	s := &shard{
+		index:        p,
+		in:           make(chan record, cfg.Buffer),
+		done:         make(chan struct{}),
+		states:       make(map[atlasdata.ProbeID]*probeState),
+		sessionsByAS: make(map[uint32]int64),
+		pfx:          cfg.Pfx2AS,
+		metrics:      newShardMetrics(cfg.Metrics, p),
+		reg:          cfg.Metrics,
+		rearmEvery:   cfg.RearmEvery,
+	}
+	if cfg.Analysis {
+		s.churn = &liveanalysis.ChurnTable{}
+		s.ametrics = newAnalysisMetrics(cfg.Metrics, p)
+	}
+	registerQueueDepth(cfg.Metrics, p, s.in)
+	return s
+}
+
+// rebuildTable recomputes the partition → shard routing table. Caller
+// holds mu (or is single-threaded construction).
+func (in *Ingester) rebuildTable() {
+	table := make([]int32, in.total)
+	for i := range table {
+		table[i] = -1
+	}
+	for i, s := range in.shards {
+		table[s.index] = int32(i)
+	}
+	in.table = table
+}
+
 // start launches one goroutine per shard.
 func (in *Ingester) start() {
 	for _, s := range in.shards {
-		in.wg.Add(1)
-		go func() {
-			defer in.wg.Done()
-			s.run()
-		}()
+		in.startShard(s)
 	}
 }
 
-// Shards returns the shard count the ingester runs with.
-func (in *Ingester) Shards() int { return len(in.shards) }
+func (in *Ingester) startShard(s *shard) {
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		defer close(s.done)
+		s.run()
+	}()
+}
 
-// shardFor hashes a probe ID onto its owning shard.
+// Shards returns the number of shards the ingester currently runs —
+// the partitions it owns, which single-node is all of them.
+func (in *Ingester) Shards() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.shards)
+}
+
+// TotalPartitions returns the cluster-wide partition count records are
+// hashed over. Single-node it equals Shards().
+func (in *Ingester) TotalPartitions() int { return in.total }
+
+// OwnedPartitions returns the sorted partition IDs this ingester
+// currently owns.
+func (in *Ingester) OwnedPartitions() []int {
+	in.mu.RLock()
+	shards := in.shards
+	in.mu.RUnlock()
+	out := make([]int, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, s.index)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shardFor maps a probe ID to its owning local shard, or nil when the
+// probe's partition is not owned here. Caller holds mu (read side).
 func (in *Ingester) shardFor(id atlasdata.ProbeID) *shard {
-	h := uint64(id) * 0x9E3779B97F4A7C15
-	h ^= h >> 29
-	return in.shards[h%uint64(len(in.shards))]
+	if li := in.table[PartitionOf(id, in.total)]; li >= 0 {
+		return in.shards[li]
+	}
+	return nil
 }
 
 // send routes one record, blocking while the target shard's buffer is
@@ -328,6 +423,9 @@ func (in *Ingester) send(ctx context.Context, id atlasdata.ProbeID, rec record) 
 		return ErrClosed
 	}
 	s := in.shardFor(id)
+	if s == nil {
+		return ErrNotOwner
+	}
 	if s.degraded.Load() {
 		// The shard is read-only until its WAL re-arms: shed instead of
 		// queueing work it could only park. (A record that slips past this
@@ -413,22 +511,33 @@ func (in *Ingester) Snapshot() *Snapshot {
 // ctx.Err() on cancellation instead of hanging. The error is always
 // ctx.Err(); a nil-error return carries the snapshot.
 func (in *Ingester) SnapshotContext(ctx context.Context) (*Snapshot, error) {
+	views, err := in.collectViews(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return mergeViews(views, in.total), nil
+}
+
+// collectViews gathers one consistent shardView per owned shard via the
+// in-band snapshot barrier (or directly once closed).
+func (in *Ingester) collectViews(ctx context.Context) ([]*shardView, error) {
 	in.mu.RLock()
+	shards := in.shards
 	if in.closed {
 		in.mu.RUnlock()
 		// After Close the shard goroutines have exited; their state is
 		// quiescent and safe to read directly.
-		views := make([]*shardView, 0, len(in.shards))
-		for _, s := range in.shards {
+		views := make([]*shardView, 0, len(shards))
+		for _, s := range shards {
 			views = append(views, s.view())
 		}
-		return mergeViews(views, len(in.shards)), nil
+		return views, nil
 	}
 	// ch is buffered to the full shard count so markers already sent keep
 	// a reply slot even if we abandon the collection on cancellation —
 	// no shard goroutine ever blocks on a dead snapshot.
-	ch := make(chan *shardView, len(in.shards))
-	for _, s := range in.shards {
+	ch := make(chan *shardView, len(shards))
+	for _, s := range shards {
 		select {
 		case s.in <- record{kind: kindSnapshot, snap: ch}:
 		case <-ctx.Done():
@@ -437,8 +546,8 @@ func (in *Ingester) SnapshotContext(ctx context.Context) (*Snapshot, error) {
 		}
 	}
 	in.mu.RUnlock()
-	views := make([]*shardView, 0, len(in.shards))
-	for range in.shards {
+	views := make([]*shardView, 0, len(shards))
+	for range shards {
 		select {
 		case v := <-ch:
 			views = append(views, v)
@@ -446,7 +555,7 @@ func (in *Ingester) SnapshotContext(ctx context.Context) (*Snapshot, error) {
 			return nil, ctx.Err()
 		}
 	}
-	return mergeViews(views, len(in.shards)), nil
+	return views, nil
 }
 
 // Cursor returns a probe's resume cursor: how many records of each
@@ -470,14 +579,22 @@ func (in *Ingester) Cursor(ctx context.Context, id atlasdata.ProbeID) (ProbeCurs
 // records.
 func (in *Ingester) CursorVersioned(ctx context.Context, id atlasdata.ProbeID) (ProbeCursor, Version, error) {
 	in.mu.RLock()
+	s := in.shardFor(id)
+	if s == nil {
+		closed := in.closed
+		in.mu.RUnlock()
+		if closed {
+			return ProbeCursor{}, Version{}, ErrClosed
+		}
+		return ProbeCursor{}, Version{}, ErrNotOwner
+	}
 	if in.closed {
 		in.mu.RUnlock()
-		s := in.shardFor(id)
 		return s.cursor(id), s.version(), nil
 	}
 	ch := make(chan cursorReply, 1)
 	select {
-	case in.shardFor(id).in <- record{kind: kindCursor, probe: id, cur: ch}:
+	case s.in <- record{kind: kindCursor, probe: id, cur: ch}:
 	case <-ctx.Done():
 		in.mu.RUnlock()
 		return ProbeCursor{}, Version{}, ctx.Err()
@@ -498,7 +615,10 @@ func (in *Ingester) CursorVersioned(ctx context.Context, id atlasdata.ProbeID) (
 // error. The WAL therefore always covers the applied state: records
 // are only applied after their append succeeds.
 func (in *Ingester) WALError() error {
-	for _, s := range in.shards {
+	in.mu.RLock()
+	shards := in.shards
+	in.mu.RUnlock()
+	for _, s := range shards {
 		if err := s.walError(); err != nil {
 			return err
 		}
@@ -509,12 +629,16 @@ func (in *Ingester) WALError() error {
 // DegradedShards lists the indexes of shards currently in degraded
 // read-only mode, oldest index first. Empty means fully healthy.
 func (in *Ingester) DegradedShards() []int {
+	in.mu.RLock()
+	shards := in.shards
+	in.mu.RUnlock()
 	var out []int
-	for _, s := range in.shards {
+	for _, s := range shards {
 		if s.degraded.Load() {
 			out = append(out, s.index)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -524,8 +648,11 @@ func (in *Ingester) DegradedShards() []int {
 // configured high-watermark, instead of letting producers pile up
 // behind a slow shard.
 func (in *Ingester) QueuePressure() float64 {
+	in.mu.RLock()
+	shards := in.shards
+	in.mu.RUnlock()
 	p := 0.0
-	for _, s := range in.shards {
+	for _, s := range shards {
 		if c := cap(s.in); c > 0 {
 			if f := float64(len(s.in)) / float64(c); f > p {
 				p = f

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 
 	"dynaddr/internal/atlasdata"
@@ -68,9 +69,12 @@ func decodeRecord(payload []byte) (record, error) {
 }
 
 // walMeta pins the parts of the configuration baked into the on-disk
-// layout. The shard count decides which log a probe's records land in,
-// so reopening with a different count would silently break the
-// per-probe ordering recovery depends on — it is refused instead.
+// layout. The partition count decides which log a probe's records land
+// in, so reopening with a different count would silently break the
+// per-probe ordering recovery depends on — it is refused instead. (The
+// field is named "shards" for compatibility with pre-cluster layouts,
+// where the shard count WAS the partition count; it has always meant
+// the routing modulus.)
 type walMeta struct {
 	Version int `json:"version"`
 	Shards  int `json:"shards"`
@@ -109,9 +113,44 @@ func checkWALMeta(dir string, shards int) error {
 		return fmt.Errorf("stream: WAL metadata version %d, want %d", m.Version, walMetaVersion)
 	}
 	if m.Shards != shards {
-		return fmt.Errorf("stream: WAL directory laid out for %d shards, config wants %d (resharding an existing WAL is not supported)", m.Shards, shards)
+		return fmt.Errorf("stream: WAL directory laid out for %d partitions, config wants %d (repartitioning an existing WAL is not supported)", m.Shards, shards)
 	}
 	return nil
+}
+
+// DiscoverPartitions scans a WAL directory for shard-NNN subdirectories
+// and returns the sorted partition IDs found — the partitions a
+// restarting cluster peer owns on disk, which take precedence over any
+// ring-derived assignment (a partition may have been adopted or
+// released since the peer's flags were written). A missing or empty
+// directory returns (nil, nil): the caller falls back to its configured
+// assignment. Directories renamed aside by ReleasePartition
+// (shard-NNN.released) are not partitions and are skipped.
+func DiscoverPartitions(walDir string) ([]int, error) {
+	entries, err := os.ReadDir(walDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if len(name) != len("shard-000") || name[:len("shard-")] != "shard-" {
+			continue
+		}
+		p, err := strconv.Atoi(name[len("shard-"):])
+		if err != nil || p < 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
 }
 
 // RecoverStats summarises what Recover reconstructed.
@@ -142,11 +181,11 @@ func Recover(cfg Config) (*Ingester, *RecoverStats, error) {
 	if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	if err := checkWALMeta(cfg.WALDir, cfg.Shards); err != nil {
+	if err := checkWALMeta(cfg.WALDir, cfg.TotalPartitions); err != nil {
 		return nil, nil, err
 	}
 	in := newIngester(cfg)
-	st := &RecoverStats{Shards: cfg.Shards}
+	st := &RecoverStats{Shards: len(in.shards)}
 	for _, s := range in.shards {
 		if err := recoverShard(s, cfg, st); err != nil {
 			for _, prev := range in.shards {

@@ -274,10 +274,10 @@ func TestRecoverFullStream(t *testing.T) {
 		t.Errorf("recovered snapshot differs from uninterrupted run\n got: %.200s\nwant: %.200s", got, want)
 	}
 
-	// The shard count is part of the on-disk layout.
+	// The partition count is part of the on-disk layout.
 	if _, _, err := stream.Recover(durableConfig(ds, dir, 2)); err == nil ||
-		!strings.Contains(err.Error(), "shards") {
-		t.Errorf("resharding an existing WAL dir not refused: %v", err)
+		!strings.Contains(err.Error(), "partition") {
+		t.Errorf("repartitioning an existing WAL dir not refused: %v", err)
 	}
 }
 

@@ -52,6 +52,21 @@ type Config struct {
 	// recovered aggregates to match.
 	Pfx2AS *pfx2as.SnapshotStore
 
+	// TotalPartitions is the cluster-wide partition count probe IDs are
+	// hashed over. Zero means Shards — the single-node case, where every
+	// partition is local and "partition" and "shard" coincide. In a
+	// cluster every peer shares the same TotalPartitions (it is the
+	// routing invariant recorded in the WAL meta file) and owns a subset.
+	TotalPartitions int
+	// OwnedPartitions lists the partitions this ingester owns, i.e. runs
+	// a shard for. Nil means all of them (single-node). Non-nil — even
+	// empty — overrides Shards with its length: a cluster peer runs
+	// exactly one shard per owned partition so that partition state
+	// (WAL directory, checkpoint, dead letters) can be shipped whole to
+	// another peer on rebalance. Records for unowned partitions are
+	// refused with ErrNotOwner.
+	OwnedPartitions []int
+
 	// WALDir, when set, makes the ingester durable: each shard appends
 	// every record to its own write-ahead log under WALDir/shard-NNN
 	// before applying it, checkpoints its state periodically, and can be
@@ -96,8 +111,17 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Shards <= 0 {
+	if c.OwnedPartitions != nil {
+		c.Shards = len(c.OwnedPartitions)
+	}
+	if c.Shards <= 0 && c.OwnedPartitions == nil {
 		c.Shards = 4
+	}
+	if c.TotalPartitions <= 0 {
+		c.TotalPartitions = c.Shards
+		if c.TotalPartitions <= 0 {
+			c.TotalPartitions = 1
+		}
 	}
 	if c.Buffer <= 0 {
 		c.Buffer = 256

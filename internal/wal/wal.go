@@ -496,6 +496,24 @@ func Replay(dir string, from uint64, fn func(seq uint64, payload []byte) error) 
 	return nil
 }
 
+// Collect returns copies of every valid frame payload with sequence >=
+// from, in order — the log's tail past a checkpoint, packaged for
+// shipping to another node. It is Replay without the apply: the caller
+// gets raw payloads it can re-append verbatim into a fresh log, which
+// preserves the frame encoding (and therefore crash recovery) on the
+// receiving side.
+func Collect(dir string, from uint64) ([][]byte, error) {
+	var out [][]byte
+	err := Replay(dir, from, func(seq uint64, payload []byte) error {
+		out = append(out, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // syncDir fsyncs a directory so segment creation and removal survive a
 // crash. fsync on a directory is advisory on some platforms and
 // filesystems, so its failure is tolerated rather than failing the

@@ -59,6 +59,22 @@ func PayloadKind(payload []byte) (Kind, error) {
 	return k, nil
 }
 
+// PayloadProbe returns a framed payload's probe ID without decoding the
+// body: every record layout places a u32 LE probe ID immediately after
+// the kind byte, by design, so a router can split a batch by probe
+// owner while only touching 5 bytes per record. The kind byte is
+// validated; the rest of the body is not (the owning peer's decoder
+// remains the authority on body validity).
+func PayloadProbe(payload []byte) (atlasdata.ProbeID, error) {
+	if _, err := PayloadKind(payload); err != nil {
+		return 0, err
+	}
+	if len(payload) < 5 {
+		return 0, fmt.Errorf("%w: payload too short for probe ID", ErrRecord)
+	}
+	return atlasdata.ProbeID(binary.LittleEndian.Uint32(payload[1:5])), nil
+}
+
 // Record bodies are fixed-width little-endian, one layout per kind,
 // preceded by the kind byte:
 //
